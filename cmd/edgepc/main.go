@@ -1,0 +1,292 @@
+// Command edgepc applies the EdgePC operations to point-cloud files or
+// generated clouds: Morton structurization, down-sampling (FPS or Morton),
+// and neighbor search (exact or index-window), reporting quality metrics and
+// modelled edge-device cost.
+//
+// Usage:
+//
+//	edgepc structurize -in bunny.ply -out sorted.ply [-bits 32]
+//	edgepc sample -in scene.off -n 1024 -method morton|fps|uniform [-out sub.off]
+//	edgepc neighbors -in scene.off -k 8 -window 16 [-exact]
+//	edgepc info -in scene.off
+//
+// When -in is omitted, a synthetic bunny (-gen bunny) or scene (-gen scene)
+// is used, so every subcommand is runnable offline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "structurize":
+		err = cmdStructurize(args)
+	case "sample":
+		err = cmdSample(args)
+	case "neighbors":
+		err = cmdNeighbors(args)
+	case "info":
+		err = cmdInfo(args)
+	case "compress":
+		err = cmdCompress(args)
+	case "decompress":
+		err = cmdDecompress(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "edgepc: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgepc:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: edgepc <command> [flags]
+
+commands:
+  structurize   Morton-sort a cloud and report the structurization stats
+  sample        down-sample a cloud (fps | morton | uniform | random)
+  neighbors     search k neighbors (exact kNN or Morton index window)
+  info          print cloud statistics
+  compress      encode a cloud with the Morton delta codec (.epc)
+  decompress    decode an .epc file back to .off/.ply
+
+common flags: -in FILE (.off/.ply), -gen bunny|scene|sphere, -seed N
+`)
+}
+
+type inputFlags struct {
+	in   *string
+	gen  *string
+	n    *int
+	seed *int64
+}
+
+func addInputFlags(fs *flag.FlagSet) inputFlags {
+	return inputFlags{
+		in:   fs.String("in", "", "input .off or .ply file"),
+		gen:  fs.String("gen", "bunny", "generated input when -in is absent: bunny|scene|sphere"),
+		n:    fs.Int("points", 10000, "point count for generated inputs"),
+		seed: fs.Int64("seed", 1, "seed for generated inputs"),
+	}
+}
+
+func (f inputFlags) load() (*edgepc.Cloud, error) {
+	if *f.in != "" {
+		return edgepc.LoadCloud(*f.in)
+	}
+	switch *f.gen {
+	case "bunny":
+		return edgepc.SyntheticBunny(*f.seed), nil
+	case "scene":
+		return edgepc.GenerateScene(edgepc.SceneOptions{N: *f.n, Seed: *f.seed}), nil
+	case "sphere":
+		return edgepc.GenerateShape(edgepc.ShapeSphere, edgepc.ShapeOptions{N: *f.n, Seed: *f.seed}), nil
+	default:
+		return nil, fmt.Errorf("unknown -gen %q", *f.gen)
+	}
+}
+
+func cmdStructurize(args []string) error {
+	fs := flag.NewFlagSet("structurize", flag.ExitOnError)
+	in := addInputFlags(fs)
+	out := fs.String("out", "", "write the Morton-sorted cloud to this .off/.ply file")
+	bits := fs.Int("bits", 32, "Morton code width a")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cloud, err := in.load()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	s, err := edgepc.Structurize(cloud, edgepc.StructurizeOptions{TotalBits: *bits})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("structurized %d points in %v\n", s.Len(), time.Since(start).Round(time.Microsecond))
+	fmt.Printf("grid size r = %g, bits/axis = %d, code memory = %d bytes\n",
+		s.Encoder.R, s.Encoder.BitsPerAxis, s.MemoryOverheadBytes())
+	if *out != "" {
+		if err := edgepc.SaveCloud(*out, s.Cloud); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func cmdSample(args []string) error {
+	fs := flag.NewFlagSet("sample", flag.ExitOnError)
+	in := addInputFlags(fs)
+	n := fs.Int("n", 1024, "number of points to sample")
+	method := fs.String("method", "morton", "sampler: morton|fps|uniform|random")
+	out := fs.String("out", "", "write the sampled cloud to this .off/.ply file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cloud, err := in.load()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var sel []int
+	switch *method {
+	case "morton":
+		sel, err = edgepc.SampleMorton(cloud, *n)
+	case "fps":
+		sel, err = edgepc.SampleFPS(cloud, *n)
+	default:
+		return fmt.Errorf("unknown -method %q (uniform/random are exposed via the library)", *method)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	mean, max, err := edgepc.CoverageRadius(cloud.Points, sel)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sampled %d/%d points with %s in %v\n", len(sel), cloud.Len(), *method, elapsed.Round(time.Microsecond))
+	fmt.Printf("coverage radius: mean %.4f, max %.4f\n", mean, max)
+	if *out != "" {
+		if err := edgepc.SaveCloud(*out, cloud.Select(sel)); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func cmdNeighbors(args []string) error {
+	fs := flag.NewFlagSet("neighbors", flag.ExitOnError)
+	in := addInputFlags(fs)
+	k := fs.Int("k", 8, "neighbors per query")
+	window := fs.Int("window", 0, "Morton window size W (0 = pure index pick)")
+	exact := fs.Bool("exact", false, "also run exact kNN and report the false neighbor ratio")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cloud, err := in.load()
+	if err != nil {
+		return err
+	}
+	s, err := edgepc.Structurize(cloud, edgepc.StructurizeOptions{})
+	if err != nil {
+		return err
+	}
+	pos := make([]int, s.Len())
+	for i := range pos {
+		pos[i] = i
+	}
+	start := time.Now()
+	approx, err := edgepc.WindowNeighbors(s, pos, *k, *window)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("window search (W=%d) for %d queries in %v\n", *window, s.Len(), time.Since(start).Round(time.Microsecond))
+	if *exact {
+		start = time.Now()
+		ref, err := edgepc.KNNNeighbors(s.Cloud.Points, s.Cloud.Points, *k)
+		if err != nil {
+			return err
+		}
+		exactDur := time.Since(start)
+		fnr, err := edgepc.FalseNeighborRatio(approx, ref, *k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("exact kNN in %v; false neighbor ratio %.1f%%\n", exactDur.Round(time.Microsecond), 100*fnr)
+	}
+	return nil
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	in := addInputFlags(fs)
+	out := fs.String("out", "cloud.epc", "output file")
+	bits := fs.Int("bits", 10, "quantization bits per axis")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cloud, err := in.load()
+	if err != nil {
+		return err
+	}
+	data, err := edgepc.CompressCloud(cloud, *bits)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	raw := cloud.Len() * 12
+	fmt.Printf("compressed %d points: %d -> %d bytes (%.2fx), max error %.4g\n",
+		cloud.Len(), raw, len(data), float64(raw)/float64(len(data)),
+		edgepc.CompressionMaxError(cloud.Bounds(), *bits))
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func cmdDecompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	in := fs.String("in", "cloud.epc", "input .epc file")
+	out := fs.String("out", "cloud.ply", "output .off/.ply file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	cloud, err := edgepc.DecompressCloud(data)
+	if err != nil {
+		return err
+	}
+	if err := edgepc.SaveCloud(*out, cloud); err != nil {
+		return err
+	}
+	fmt.Printf("decoded %d points (Morton-ordered) to %s\n", cloud.Len(), *out)
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := addInputFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cloud, err := in.load()
+	if err != nil {
+		return err
+	}
+	dropped := cloud.DropNonFinite()
+	b := cloud.Bounds()
+	fmt.Printf("points: %d (dropped %d non-finite)\n", cloud.Len(), dropped)
+	fmt.Printf("bounds: min (%.3f %.3f %.3f) max (%.3f %.3f %.3f), max dim %.3f\n",
+		b.Min.X, b.Min.Y, b.Min.Z, b.Max.X, b.Max.Y, b.Max.Z, b.MaxDim())
+	if cloud.Labels != nil {
+		counts := map[int32]int{}
+		for _, l := range cloud.Labels {
+			counts[l]++
+		}
+		fmt.Printf("labels: %d classes\n", len(counts))
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package edgepc_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// Smoke tests for the command-line binaries: each must build and complete a
+// minimal invocation. Run via `go run` so no artifacts are left behind.
+func TestCommandSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"edgepc-info", []string{"run", "./cmd/edgepc", "info", "-gen", "sphere", "-points", "500"}, "points: 500"},
+		{"edgepc-sample", []string{"run", "./cmd/edgepc", "sample", "-gen", "sphere", "-points", "400", "-n", "40"}, "coverage radius"},
+		{"edgepc-bench-list", []string{"run", "./cmd/edgepc-bench", "-list"}, "fig13"},
+		{"edgepc-bench-quick", []string{"run", "./cmd/edgepc-bench", "-quick", "table1"}, "W6"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			out, err := exec.Command("go", c.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v: %v\n%s", c.args, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("%v: output lacks %q:\n%s", c.args, c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,98 @@
+package edgepc_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// fig8Cloud is the five-point worked example of the paper's Fig. 8/10.
+func fig8Cloud() *edgepc.Cloud {
+	c := edgepc.NewCloud(0, 0)
+	c.Points = []edgepc.Point3{
+		{X: 3, Y: 6, Z: 2}, // P0 → Morton code 185 at r=1
+		{X: 1, Y: 3, Z: 1}, // P1 → 23
+		{X: 4, Y: 3, Z: 2}, // P2 → 114
+		{X: 0, Y: 0, Z: 0}, // P3 → 0
+		{X: 5, Y: 1, Z: 0}, // P4 → 67
+	}
+	return c
+}
+
+// The paper's Fig. 8(b): structurizing the five-point cloud at grid size 1
+// yields the sorted index array {3, 1, 4, 2, 0}.
+func ExampleStructurize() {
+	s, err := edgepc.Structurize(fig8Cloud(), edgepc.StructurizeOptions{GridSize: 1, TotalBits: 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sorted index array:", s.Perm)
+	fmt.Println("sorted codes:", s.Codes)
+	// Output:
+	// sorted index array: [3 1 4 2 0]
+	// sorted codes: [0 23 67 114 185]
+}
+
+// Sampling 3 of the 5 points picks P3, P4 and P0 — "exactly the same points"
+// as farthest point sampling on this input (Fig. 8).
+func ExampleSampleStructurized() {
+	cloud := fig8Cloud()
+	// Use the worked example's grid size r = 1 so the codes match Fig. 8.
+	s, err := edgepc.Structurize(cloud, edgepc.StructurizeOptions{GridSize: 1, TotalBits: 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	morton, err := edgepc.SampleStructurized(s, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fps, err := edgepc.SampleFPS(cloud, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("morton:", morton)
+	fmt.Println("fps:   ", fps)
+	// Output:
+	// morton: [3 4 0]
+	// fps:    [0 3 4]
+}
+
+// The paper's Fig. 10(b): with a window of W = k+1 = 4 around P2 (position 3
+// of the sorted order), the selected neighbors are P1, P4 and P0.
+func ExampleWindowNeighbors() {
+	s, err := edgepc.Structurize(fig8Cloud(), edgepc.StructurizeOptions{GridSize: 1, TotalBits: 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nbrs, err := edgepc.WindowNeighbors(s, []int{3}, 3, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pos := range nbrs {
+		fmt.Printf("P%d ", s.Perm[pos])
+	}
+	fmt.Println()
+	// Output:
+	// P4 P1 P0
+}
+
+// The Morton codec compresses a structured scene several-fold with bounded
+// reconstruction error.
+func ExampleCompressCloud() {
+	scene := edgepc.GenerateScene(edgepc.SceneOptions{N: 4096, Seed: 1})
+	data, err := edgepc.CompressCloud(scene, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := edgepc.DecompressCloud(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := scene.Len() * 12
+	fmt.Println("points preserved:", back.Len() == scene.Len())
+	fmt.Println("ratio > 3x:", float64(raw) > 3*float64(len(data)))
+	// Output:
+	// points preserved: true
+	// ratio > 3x: true
+}

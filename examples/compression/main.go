@@ -1,0 +1,83 @@
+// Sensor-to-edge transport: compress a scanned frame with the Morton delta
+// codec, ship it, decode on the edge device, and run the EdgePC pipeline on
+// the decoded cloud — which arrives *already Morton-ordered*, so the
+// structurization sort that powers the index-based sampling and neighbor
+// search costs nothing on the device.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// The "sensor": a scanned indoor frame.
+	frame := edgepc.GenerateScene(edgepc.SceneOptions{N: 8192, Seed: 11})
+	raw := frame.Len() * 12 // float32 xyz
+
+	// Compress at the paper's a=32 quantization (10 bits/axis).
+	start := time.Now()
+	payload, err := edgepc.CompressCloud(frame, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	encDur := time.Since(start)
+	fmt.Printf("sensor: %d points, %d B raw -> %d B (%.2fx) in %v\n",
+		frame.Len(), raw, len(payload), float64(raw)/float64(len(payload)), encDur.Round(time.Microsecond))
+	fmt.Printf("        max reconstruction error %.4g m\n",
+		edgepc.CompressionMaxError(frame.Bounds(), 10))
+
+	// The "edge device": decode and run EdgePC.
+	start = time.Now()
+	decoded, err := edgepc.DecompressCloud(payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decDur := time.Since(start)
+
+	// Decoded clouds are Morton-ordered; structurize is a no-op reorder.
+	start = time.Now()
+	s, err := edgepc.Structurize(decoded, edgepc.StructurizeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sortDur := time.Since(start)
+	fmt.Printf("edge:   decode %v, (re)structurize %v — already sorted\n",
+		decDur.Round(time.Microsecond), sortDur.Round(time.Microsecond))
+
+	// Index-based sampling + window neighbor search on the decoded frame.
+	samples, err := edgepc.SampleStructurized(s, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, max, err := edgepc.CoverageRadius(decoded.Points, samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("        sampled %d points: coverage mean %.4f max %.4f\n", len(samples), mean, max)
+
+	queries := make([]int, 0, 256)
+	for p := 0; p < s.Len(); p += s.Len() / 256 {
+		queries = append(queries, p)
+	}
+	start = time.Now()
+	if _, err := edgepc.WindowNeighbors(s, queries, 8, 16); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("        window search for %d queries in %v\n", len(queries), time.Since(start).Round(time.Microsecond))
+
+	// How lossy was the transport for the analytics? Compare sampling on
+	// the original vs decoded frame.
+	origSamples, err := edgepc.SampleMorton(frame, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	om, _, err := edgepc.CoverageRadius(frame.Points, origSamples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanalytics drift: coverage mean %.4f (original) vs %.4f (decoded)\n", om, mean)
+}

@@ -1,0 +1,106 @@
+// Streaming LiDAR-style inference under a latency budget, the paper's
+// motivating autonomous-driving scenario (§2.1.1): frames arrive at a fixed
+// rate and each must be classified before its deadline on the modelled edge
+// device. The baseline pipeline blows the deadline at high point counts; the
+// EdgePC pipeline holds it, and the search-window knob trades residual
+// accuracy risk (false-neighbor ratio) against headroom.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	const (
+		points     = 8192
+		k          = 8
+		deadlineMS = 33.0 // 30 Hz LiDAR
+	)
+	frameSizes := []int{1024, 2048, 4096, 8192}
+	dev := edgepc.JetsonAGXXavier()
+	w := edgepc.Workload{
+		ID: "lidar", Dataset: "ScanNet", Points: points, Batch: 1,
+		Arch: edgepc.ArchDGCNN, Task: edgepc.TaskClassification,
+		Classes: 10, K: k,
+	}
+	opts := edgepc.Options{BaseWidth: 16, Modules: 4, Seed: 5}
+
+	nets := map[edgepc.ConfigKind]edgepc.Net{}
+	for _, kind := range []edgepc.ConfigKind{edgepc.Baseline, edgepc.SN} {
+		net, err := edgepc.BuildNet(w, kind, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nets[kind] = net
+	}
+
+	fmt.Printf("LiDAR stream: frames of %v points, %.0f ms deadline (30 Hz), device %s\n\n",
+		frameSizes, deadlineMS, dev.Name)
+	fmt.Printf("%-8s  %-9s  %-12s  %-10s  %s\n", "points", "config", "modelled ms", "deadline", "energy J")
+	missed := map[edgepc.ConfigKind]int{}
+	var energy = map[edgepc.ConfigKind]float64{}
+	for f, pts := range frameSizes {
+		fw := w
+		fw.Points = pts
+		frame, err := edgepc.GenerateFrame(fw, int64(100+f))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, kind := range []edgepc.ConfigKind{edgepc.Baseline, edgepc.SN} {
+			_, rep, _, err := edgepc.RunFrame(nets[kind], frame, dev, edgepc.NewSimConfig(fw, kind, opts))
+			if err != nil {
+				log.Fatal(err)
+			}
+			lat := rep.Total.Seconds() * 1e3
+			verdict := "ok"
+			if lat > deadlineMS {
+				verdict = "MISSED"
+				missed[kind]++
+			}
+			energy[kind] += rep.EnergyJ
+			fmt.Printf("%-8d  %-9s  %-12.2f  %-10s  %.3f\n", pts, kind, lat, verdict, rep.EnergyJ)
+		}
+	}
+	fmt.Printf("\nbaseline missed %d/%d deadlines, EdgePC missed %d/%d\n",
+		missed[edgepc.Baseline], len(frameSizes), missed[edgepc.SN], len(frameSizes))
+	fmt.Printf("energy per stream: baseline %.2f J, EdgePC %.2f J (%.0f%% saved)\n",
+		energy[edgepc.Baseline], energy[edgepc.SN],
+		100*(1-energy[edgepc.SN]/energy[edgepc.Baseline]))
+
+	// Bonus: how much window headroom does the deadline leave? Sweep W and
+	// report the modelled NS latency of the first EdgeConv layer.
+	fmt.Println("\nwindow headroom at the first EdgeConv layer:")
+	frame, err := edgepc.GenerateFrame(w, 999)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := edgepc.Structurize(frame, edgepc.StructurizeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pos := make([]int, s.Len())
+	for i := range pos {
+		pos[i] = i
+	}
+	exact, err := edgepc.KNNNeighbors(s.Cloud.Points, s.Cloud.Points, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, mult := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		approx, err := edgepc.WindowNeighbors(s, pos, k, mult*k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dur := time.Since(start)
+		fnr, err := edgepc.FalseNeighborRatio(approx, exact, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  W=%2dk: FNR %5.1f%%  host wall %v\n", mult, 100*fnr, dur.Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,121 @@
+// Design-space exploration, the paper's §5.1.3/§5.2.3/§6.3 knobs: sweep the
+// Morton code width, the search-window size and the number of optimized
+// layers, printing the accuracy-proxy (false-neighbor ratio / coverage) and
+// modelled-latency trade-offs so a deployment can pick its own operating
+// point, exactly as the paper prescribes for new workloads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const (
+		points = 4096
+		k      = 8
+		n      = 1024
+	)
+	frame := edgepc.GenerateScene(edgepc.SceneOptions{N: points, Seed: 21})
+	dev := edgepc.JetsonAGXXavier()
+	_ = dev
+
+	// --- Knob 1: Morton code width a (§5.1.3, paper picks 32) ---
+	fmt.Println("Morton code width a vs false neighbor ratio (W = 2k):")
+	// The windowed searcher excludes the query itself, so the exact
+	// reference must too.
+	exact, err := edgepc.KNNNeighborsExcludingSelf(frame.Points, seq(frame.Len()), k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, bits := range []int{12, 18, 24, 33, 45} {
+		s, err := edgepc.Structurize(frame, edgepc.StructurizeOptions{TotalBits: bits})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Exact reference must be in the same (sorted) order as queries.
+		refSorted := remap(exact, s.Perm, k)
+		pos := seq(s.Len())
+		approx, err := edgepc.WindowNeighbors(s, pos, k, 2*k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fnr, err := edgepc.FalseNeighborRatio(approx, refSorted, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  a=%2d (%d bits/axis): FNR %5.1f%%, code memory %d KB\n",
+			bits, bits/3, 100*fnr, s.MemoryOverheadBytes()/1024)
+	}
+
+	// --- Knob 2: search window W (§6.3 Fig. 15a) ---
+	fmt.Println("\nsearch window W vs FNR:")
+	s, err := edgepc.Structurize(frame, edgepc.StructurizeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	refSorted := remap(exact, s.Perm, k)
+	pos := seq(s.Len())
+	for _, mult := range []int{1, 2, 4, 8, 16} {
+		approx, err := edgepc.WindowNeighbors(s, pos, k, mult*k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fnr, err := edgepc.FalseNeighborRatio(approx, refSorted, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  W=%2dk: FNR %5.1f%%\n", mult, 100*fnr)
+	}
+
+	// --- Knob 3: sampling quality vs sampler (§4.2 Fig. 5) ---
+	fmt.Println("\nsampler quality (lower coverage radius = better):")
+	fps, err := edgepc.SampleFPS(frame, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	morton, err := edgepc.SampleMorton(frame, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range []struct {
+		name string
+		sel  []int
+	}{{"FPS", fps}, {"Morton", morton}} {
+		mean, max, err := edgepc.CoverageRadius(frame.Points, row.sel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-7s coverage mean %.4f max %.4f\n", row.name, mean, max)
+	}
+}
+
+// remap converts a flat q×k neighbor result expressed in original indexes
+// into the structurized order given by perm (original → position).
+func remap(flat []int, perm []int, k int) []int {
+	inv := make([]int, len(perm))
+	for p, orig := range perm {
+		inv[orig] = p
+	}
+	out := make([]int, len(flat))
+	// Row q of the original result belongs to original point q; its row in
+	// sorted order is inv[q].
+	q := len(flat) / k
+	for i := 0; i < q; i++ {
+		dst := inv[i]
+		for j := 0; j < k; j++ {
+			out[dst*k+j] = inv[flat[i*k+j]]
+		}
+	}
+	return out
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

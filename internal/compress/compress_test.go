@@ -1,0 +1,147 @@
+package compress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestRoundtripErrorBound(t *testing.T) {
+	cloud := geom.GenerateShape(geom.ShapeBlob, geom.ShapeOptions{N: 2000, DensitySkew: 0.5, Seed: 3})
+	for _, bits := range []int{8, 10, 12} {
+		data, err := Encode(cloud, Options{BitsPerAxis: bits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Len() != cloud.Len() {
+			t.Fatalf("bits=%d: %d points, want %d", bits, back.Len(), cloud.Len())
+		}
+		bound := MaxError(cloud.Bounds(), bits) + 1e-9
+		// Every original point must have a decoded point within the bound.
+		// Decoded points are sorted by Morton code, original are not, so
+		// check nearest.
+		for i, p := range cloud.Points {
+			best := math.Inf(1)
+			for _, q := range back.Points {
+				if d := p.DistSq(q); d < best {
+					best = d
+				}
+			}
+			if math.Sqrt(best) > bound {
+				t.Fatalf("bits=%d: point %d error %v > bound %v", bits, i, math.Sqrt(best), bound)
+			}
+		}
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	cloud := geom.GenerateScene(geom.SceneOptions{N: 8192, Seed: 5})
+	data, err := Encode(cloud, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := RawSize(cloud.Len())
+	if len(data) >= raw {
+		t.Fatalf("no compression: %d bytes vs raw %d", len(data), raw)
+	}
+	ratio := float64(raw) / float64(len(data))
+	if ratio < 2 {
+		t.Fatalf("ratio %.2f, want ≥ 2 for a dense scene (Morton deltas should be short)", ratio)
+	}
+	t.Logf("scene ratio %.2f (%d → %d bytes)", ratio, raw, len(data))
+}
+
+func TestDecodedCloudIsMortonSorted(t *testing.T) {
+	// The codec emits points in Morton order — downstream EdgePC pipelines
+	// can skip the sort entirely (decode-side structurization for free).
+	cloud := geom.GenerateShape(geom.ShapeTorus, geom.ShapeOptions{N: 500, Seed: 7})
+	data, err := Encode(cloud, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode the decoded points and verify non-decreasing codes.
+	data2, err := Encode(back, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := Decode(data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back.Points {
+		if back.Points[i].Dist(back2.Points[i]) > MaxError(back.Bounds(), 10)+1e-9 {
+			t.Fatalf("double roundtrip drifted at %d", i)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(geom.NewCloud(0, 0), Options{}); err == nil {
+		t.Fatal("empty cloud: want error")
+	}
+	c := geom.GenerateShape(geom.ShapeBox, geom.ShapeOptions{N: 10, Seed: 1})
+	if _, err := Encode(c, Options{BitsPerAxis: 22}); err == nil {
+		t.Fatal("22 bits: want error")
+	}
+	if _, err := Encode(c, Options{BitsPerAxis: -1}); err == nil {
+		t.Fatal("negative bits: want error")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	c := geom.GenerateShape(geom.ShapeBox, geom.ShapeOptions{N: 50, Seed: 2})
+	data, err := Encode(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     data[:10],
+		"bad magic": append([]byte("NOPE"), data[4:]...),
+		"truncated": data[:len(data)-3],
+		"version":   append(append([]byte{}, data[:4]...), append([]byte{99}, data[5:]...)...),
+		"zero bits": append(append([]byte{}, data[:5]...), append([]byte{0}, data[6:]...)...),
+	}
+	for name, bad := range cases {
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	f := func(seed int64, kindRaw uint8) bool {
+		kind := geom.ShapeKind(int(kindRaw) % int(geom.NumShapeKinds))
+		cloud := geom.GenerateShape(kind, geom.ShapeOptions{N: 120, Noise: 0.01, Seed: seed})
+		data, err := Encode(cloud, Options{})
+		if err != nil {
+			return false
+		}
+		back, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return back.Len() == cloud.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxError(t *testing.T) {
+	b := geom.AABB{Max: geom.Point3{X: 8, Y: 1, Z: 1}}
+	got := MaxError(b, 3) // r = 8/8 = 1 → error = √3/2
+	if math.Abs(got-math.Sqrt(3)/2) > 1e-12 {
+		t.Fatalf("MaxError = %v", got)
+	}
+}

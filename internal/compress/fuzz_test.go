@@ -1,0 +1,34 @@
+package compress
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzDecode: arbitrary bytes fed to the codec must error cleanly — no
+// panic, and no gigabyte allocation from a forged count field.
+func FuzzDecode(f *testing.F) {
+	c := geom.GenerateShape(geom.ShapeTorus, geom.ShapeOptions{N: 20, Seed: 1})
+	valid, err := Encode(c, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("EPCZ"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cloud, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if cloud == nil || cloud.Len() == 0 {
+			t.Fatal("decode succeeded with empty cloud")
+		}
+		for _, p := range cloud.Points {
+			if !p.IsFinite() {
+				t.Fatal("decode produced non-finite point")
+			}
+		}
+	})
+}

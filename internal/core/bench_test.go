@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/neighbor"
+)
+
+// Host wall-clock comparison of the neighbor-search design space on one
+// structurized frame: the EdgePC window approximation vs the two exact
+// Morton searchers (BigMin scan, linear octree) vs brute force.
+
+func benchStructurized(b *testing.B, n int) (*Structurized, []int) {
+	b.Helper()
+	cloud := geom.GenerateScene(geom.SceneOptions{N: n, Seed: 77})
+	s, err := Structurize(cloud, StructurizeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pos := make([]int, s.Len())
+	for i := range pos {
+		pos[i] = i
+	}
+	return s, pos
+}
+
+func BenchmarkSearchWindowPure(b *testing.B) {
+	s, pos := benchStructurized(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (WindowSearcher{}).SearchPositions(s.Cloud.Points, pos, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchWindowW32(b *testing.B) {
+	s, pos := benchStructurized(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (WindowSearcher{W: 32}).SearchPositions(s.Cloud.Points, pos, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchRangeBall(b *testing.B) {
+	s, pos := benchStructurized(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (RangeBall{R: 0.3}).SearchStructurized(s, pos, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchOctreeBall(b *testing.B) {
+	s, pos := benchStructurized(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (OctreeBall{R: 0.3}).SearchStructurized(s, pos, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchBruteBall(b *testing.B) {
+	s, pos := benchStructurized(b, 4096)
+	_ = pos
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (neighbor.BallQuery{R: 0.3}).Search(s.Cloud.Points, s.Cloud.Points, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNormalsWindow(b *testing.B) {
+	s, _ := benchStructurized(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateNormalsWindow(s, 10, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNormalsExact(b *testing.B) {
+	s, _ := benchStructurized(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := neighbor.EstimateNormals(s.Cloud.Points, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamerStructurize(b *testing.B) {
+	cloud := geom.GenerateScene(geom.SceneOptions{N: 8192, Seed: 5})
+	st, err := NewStreamer(cloud.Bounds(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Structurize(cloud); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(cloud.Len() * 24))
+}
+
+func BenchmarkOneShotStructurize(b *testing.B) {
+	cloud := geom.GenerateScene(geom.SceneOptions{N: 8192, Seed: 5})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Structurize(cloud, StructurizeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(cloud.Len() * 24))
+}

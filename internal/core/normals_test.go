@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/neighbor"
+)
+
+func TestWindowNormalsAgreeWithExact(t *testing.T) {
+	// The approximate-neighbor normal estimator must agree with the exact
+	// one on a smooth surface — the normals analogue of the paper's claim
+	// that false-but-nearby neighbors carry almost the same information.
+	cloud := geom.GenerateShape(geom.ShapeSphere, geom.ShapeOptions{N: 1500, Seed: 9})
+	s, err := Structurize(cloud, StructurizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 10
+	exact, err := neighbor.EstimateNormals(s.Cloud.Points, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := EstimateNormalsWindow(s, k, 4*k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumAbsCos float64
+	for i := range exact {
+		sumAbsCos += math.Abs(exact[i].Dot(approx[i]))
+	}
+	mean := sumAbsCos / float64(len(exact))
+	if mean < 0.95 {
+		t.Fatalf("window normals agree |cos| = %.4f with exact, want ≥ 0.95", mean)
+	}
+}
+
+func TestWindowNormalsErrors(t *testing.T) {
+	cloud := geom.GenerateShape(geom.ShapeSphere, geom.ShapeOptions{N: 20, Seed: 1})
+	s, err := Structurize(cloud, StructurizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateNormalsWindow(s, 0, 8); err == nil {
+		t.Fatal("k=0: want error")
+	}
+}

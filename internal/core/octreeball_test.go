@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestOctreeBallMatchesRangeBall(t *testing.T) {
+	cloud := geom.GenerateShape(geom.ShapeBlob, geom.ShapeOptions{N: 700, DensitySkew: 0.5, Seed: 31})
+	s, err := Structurize(cloud, StructurizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 0.3
+	const k = 48
+	var pos []int
+	for p := 0; p < s.Len(); p += 37 {
+		pos = append(pos, p)
+	}
+	a, err := OctreeBall{R: r}.SearchStructurized(s, pos, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RangeBall{R: r}.SearchStructurized(s, pos, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the *sets* per query (visit order differs; both truncate at
+	// k, so only compare fully when below k distinct results).
+	for qi := range pos {
+		sa := distinct(a[qi*k : (qi+1)*k])
+		sb := distinct(b[qi*k : (qi+1)*k])
+		if len(sa) < k && len(sb) < k {
+			if len(sa) != len(sb) {
+				t.Fatalf("query %d: octree %d hits vs range %d", pos[qi], len(sa), len(sb))
+			}
+			for i := range sa {
+				if sa[i] != sb[i] {
+					t.Fatalf("query %d: sets differ: %v vs %v", pos[qi], sa, sb)
+				}
+			}
+		}
+	}
+}
+
+func distinct(row []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range row {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestOctreeBallShallowDepthStillExact(t *testing.T) {
+	cloud := geom.GenerateShape(geom.ShapeTorus, geom.ShapeOptions{N: 300, Seed: 7})
+	s, err := Structurize(cloud, StructurizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 0.4
+	const k = 64
+	pos := []int{0, 100, 299}
+	deep, err := OctreeBall{R: r}.SearchStructurized(s, pos, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := OctreeBall{R: r, MaxDepth: 3}.SearchStructurized(s, pos, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range pos {
+		a := distinct(deep[qi*k : (qi+1)*k])
+		b := distinct(shallow[qi*k : (qi+1)*k])
+		if len(a) < k && len(b) < k {
+			if len(a) != len(b) {
+				t.Fatalf("depth changed the exact result: %d vs %d hits", len(a), len(b))
+			}
+		}
+	}
+}
+
+func TestOctreeBallErrors(t *testing.T) {
+	cloud := geom.GenerateShape(geom.ShapeSphere, geom.ShapeOptions{N: 20, Seed: 2})
+	s, err := Structurize(cloud, StructurizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (OctreeBall{R: 0}).SearchStructurized(s, []int{0}, 2); err == nil {
+		t.Fatal("zero radius: want error")
+	}
+	if _, err := (OctreeBall{R: 1}).SearchStructurized(s, []int{0}, 0); err == nil {
+		t.Fatal("k=0: want error")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRangeBallMatchesBruteForce(t *testing.T) {
+	cloud := geom.GenerateShape(geom.ShapeBlob, geom.ShapeOptions{N: 600, DensitySkew: 0.6, Seed: 17})
+	s, err := Structurize(cloud, StructurizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 0.25
+	const k = 64 // large enough that padding rarely truncates real hits
+	queryPos := []int{0, 7, 99, 300, 599}
+	got, err := RangeBall{R: r}.SearchStructurized(s, queryPos, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := s.Cloud.Points
+	for qi, pos := range queryPos {
+		// Brute-force in-ball set.
+		want := map[int]bool{}
+		for j, p := range pts {
+			if pts[pos].DistSq(p) <= r*r {
+				want[j] = true
+			}
+		}
+		gotSet := map[int]bool{}
+		for _, j := range got[qi*k : (qi+1)*k] {
+			gotSet[j] = true
+		}
+		if len(want) <= k {
+			// Exact: every in-ball point must be found (padding repeats
+			// are fine) and nothing outside the ball returned.
+			for j := range want {
+				if !gotSet[j] {
+					t.Fatalf("query %d: in-ball point %d missed", pos, j)
+				}
+			}
+			for j := range gotSet {
+				if !want[j] {
+					t.Fatalf("query %d: out-of-ball point %d returned (d=%v)",
+						pos, j, math.Sqrt(pts[pos].DistSq(pts[j])))
+				}
+			}
+		} else {
+			// Truncated: all returned points must at least be in the ball.
+			for j := range gotSet {
+				if !want[j] {
+					t.Fatalf("query %d: out-of-ball point %d returned", pos, j)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeBallEmptyBallFallsBack(t *testing.T) {
+	cloud := geom.NewCloud(0, 0)
+	cloud.Points = []geom.Point3{{X: 0}, {X: 100}}
+	s, err := Structurize(cloud, StructurizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RangeBall{R: 0.001}.SearchStructurized(s, []int{0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range got {
+		// Fallback: the nearest candidate inside the (tiny) box — the
+		// query itself.
+		if j != 0 {
+			t.Fatalf("fallback returned %v", got)
+		}
+	}
+}
+
+func TestRangeBallErrors(t *testing.T) {
+	cloud := geom.GenerateShape(geom.ShapeSphere, geom.ShapeOptions{N: 10, Seed: 1})
+	s, err := Structurize(cloud, StructurizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (RangeBall{R: 0}).SearchStructurized(s, []int{0}, 2); err == nil {
+		t.Fatal("zero radius: want error")
+	}
+	if _, err := (RangeBall{R: 1}).SearchStructurized(s, []int{0}, 0); err == nil {
+		t.Fatal("k=0: want error")
+	}
+}
+
+func TestRangeBallVsWindowAccuracy(t *testing.T) {
+	// The design-space contrast the two searchers embody: RangeBall is
+	// exact (0 false neighbors w.r.t. the ball definition); the window
+	// searcher misses some true neighbors but touches a fixed candidate
+	// count.
+	cloud := geom.GenerateShape(geom.ShapeTorus, geom.ShapeOptions{N: 500, Seed: 23})
+	s, err := Structurize(cloud, StructurizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 0.3
+	const k = 8
+	pos := make([]int, 50)
+	for i := range pos {
+		pos[i] = i * 10
+	}
+	exact, err := RangeBall{R: r}.SearchStructurized(s, pos, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every exact hit must truly be within r (or a padded duplicate).
+	for qi, p := range pos {
+		row := exact[qi*k : (qi+1)*k]
+		seen := map[int]bool{}
+		for _, j := range row {
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			if d := s.Cloud.Points[p].Dist(s.Cloud.Points[j]); d > r+1e-9 {
+				t.Fatalf("range ball returned point at distance %v > %v", d, r)
+			}
+		}
+	}
+	// Window results are a subset of nearby positions by construction.
+	approx, err := WindowSearcher{W: 4 * k}.SearchPositions(s.Cloud.Points, pos, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, p := range pos {
+		row := append([]int(nil), approx[qi*k:(qi+1)*k]...)
+		sort.Ints(row)
+		// The window is clamped to the sequence bounds, exactly as the
+		// searcher clamps it.
+		start := p - 2*k
+		if start < 0 {
+			start = 0
+		}
+		if start+4*k > s.Len() {
+			start = s.Len() - 4*k
+		}
+		for _, j := range row {
+			if j < start || j >= start+4*k {
+				t.Fatalf("window hit %d outside the clamped W=%d window [%d,%d) of query %d",
+					j, 4*k, start, start+4*k, p)
+			}
+		}
+	}
+}

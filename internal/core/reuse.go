@@ -1,0 +1,83 @@
+package core
+
+import "fmt"
+
+// Neighbor-index reuse (§5.2.3): in DGCNN, all EdgeConv modules operate on
+// the same point set, and "during the propagation of the CNN model, the
+// neighborhood of points would not vary much across consecutive layers". With
+// reuse distance 1, layer 2 reuses layer 1's neighbor indexes, layer 3
+// recomputes (with the SOTA searcher over feature-space distances), layer 4
+// reuses layer 3's, and so on — halving the neighbor-search work at the cost
+// of caching one n×k index array (the paper's ≤160 KB per batch).
+
+// ReusePolicy decides, per layer, whether neighbor indexes are recomputed or
+// reused from the most recent computing layer.
+type ReusePolicy struct {
+	// Distance is the number of consecutive layers served by one computed
+	// result minus one: 0 disables reuse (every layer computes); 1 is the
+	// paper's setting (compute, reuse, compute, reuse, …); 2 computes every
+	// third layer.
+	Distance int
+}
+
+// Computes reports whether the given layer (0-based) must run its own
+// neighbor search under this policy. Layer 0 always computes.
+func (r ReusePolicy) Computes(layer int) bool {
+	if r.Distance <= 0 || layer <= 0 {
+		return true
+	}
+	return layer%(r.Distance+1) == 0
+}
+
+// ComputedLayers returns how many of nLayers run a real neighbor search.
+func (r ReusePolicy) ComputedLayers(nLayers int) int {
+	count := 0
+	for l := 0; l < nLayers; l++ {
+		if r.Computes(l) {
+			count++
+		}
+	}
+	return count
+}
+
+// ReuseBufferBytes returns the memory held to carry neighbor indexes between
+// layers: one int32 per (query, neighbor) entry when reuse is enabled
+// (§5.2.3 accounts up to 160 KB per batch for the reused search data).
+func (r ReusePolicy) ReuseBufferBytes(queries, k int) int {
+	if r.Distance <= 0 {
+		return 0
+	}
+	return queries * k * 4
+}
+
+// ReuseCache carries neighbor results across layers under a policy.
+// The zero value is not ready; use NewReuseCache.
+type ReuseCache struct {
+	policy ReusePolicy
+	last   []int
+	lastK  int
+}
+
+// NewReuseCache creates a cache applying the given policy.
+func NewReuseCache(policy ReusePolicy) *ReuseCache {
+	return &ReuseCache{policy: policy}
+}
+
+// ForLayer returns the neighbor indexes for the given layer: if the policy
+// says this layer computes, compute() is invoked and its result cached;
+// otherwise the cached result is returned. It reports whether a real search
+// ran.
+func (c *ReuseCache) ForLayer(layer, k int, compute func() ([]int, error)) ([]int, bool, error) {
+	if c.policy.Computes(layer) || c.last == nil {
+		res, err := compute()
+		if err != nil {
+			return nil, true, err
+		}
+		c.last, c.lastK = res, k
+		return res, true, nil
+	}
+	if k != c.lastK {
+		return nil, false, fmt.Errorf("core: reuse with k=%d but cached k=%d", k, c.lastK)
+	}
+	return c.last, false, nil
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/sample"
+)
+
+// MortonSampler is the paper's Algorithm 1: generate Morton codes (fully
+// parallel), sort them, and uniformly sample the re-ordered points with an
+// even index stride. It approximates farthest point sampling at
+// O(N log N) total cost with no serial dependency between picks.
+//
+// It implements sample.Sampler on raw clouds (performing the structurization
+// internally and returning *original* indexes, exactly as Algorithm 1's
+// S = S ∪ {p_i_index}); when the cloud is already structurized, use
+// SamplePositions to skip the re-encoding.
+type MortonSampler struct {
+	// Options configure the internal structurization pass.
+	Options StructurizeOptions
+}
+
+// Name implements sample.Sampler.
+func (MortonSampler) Name() string { return "morton" }
+
+// Sample implements sample.Sampler: it returns n original-cloud indexes
+// uniformly spread along the Morton order.
+func (m MortonSampler) Sample(c *geom.Cloud, n int) ([]int, error) {
+	if n < 1 || n > c.Len() {
+		return nil, fmt.Errorf("%w: n=%d with %d points", sample.ErrBadCount, n, c.Len())
+	}
+	s, err := Structurize(c, m.Options)
+	if err != nil {
+		return nil, err
+	}
+	return s.OriginalIndexes(SamplePositions(s.Len(), n)), nil
+}
+
+// SamplePositions returns the n structurized positions the Morton sampler
+// picks from a cloud of the given size: evenly spaced positions covering both
+// ends of the Morton order (Fig. 8(b): sampling 3 of 5 points picks sorted
+// positions {0, 2, 4}).
+func SamplePositions(total, n int) []int {
+	return sample.UniformIndexes(total, n)
+}
+
+// SampleStructurized samples n points from an already-structurized cloud and
+// returns their original indexes. The per-call cost is O(n), fully parallel —
+// the stage the paper accelerates 10.6× (Fig. 9, first SA module).
+func SampleStructurized(s *Structurized, n int) ([]int, error) {
+	if n < 1 || n > s.Len() {
+		return nil, fmt.Errorf("%w: n=%d with %d points", sample.ErrBadCount, n, s.Len())
+	}
+	return s.OriginalIndexes(SamplePositions(s.Len(), n)), nil
+}

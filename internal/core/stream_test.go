@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestStreamerMatchesOneShot(t *testing.T) {
+	frame := geom.GenerateScene(geom.SceneOptions{N: 400, Seed: 8})
+	bounds := frame.Bounds()
+	st, err := NewStreamer(bounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-shot structurize with the same reference bounds.
+	ref, err := Structurize(frame, StructurizeOptions{Bounds: &bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := st.Structurize(frame.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Len() != ref.Len() {
+		t.Fatal("length mismatch")
+	}
+	for j := range ref.Perm {
+		if ref.Perm[j] != streamed.Perm[j] {
+			t.Fatalf("permutation differs at %d", j)
+		}
+		if ref.Codes[j] != streamed.Codes[j] {
+			t.Fatalf("codes differ at %d", j)
+		}
+	}
+}
+
+func TestStreamerCrossFrameCodesComparable(t *testing.T) {
+	// Two frames of the same scene must voxelize identically for shared
+	// coordinates — the property per-frame bounds would break.
+	bounds := geom.AABB{Min: geom.Point3{}, Max: geom.Point3{X: 6, Y: 5, Z: 3}}
+	st, err := NewStreamer(bounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geom.Point3{X: 1.5, Y: 2.5, Z: 0.5}
+	frameA := geom.NewCloud(0, 0)
+	frameA.Points = []geom.Point3{p, {X: 5, Y: 4, Z: 2}}
+	frameB := geom.NewCloud(0, 0)
+	frameB.Points = []geom.Point3{{X: 0.1, Y: 0.1, Z: 0.1}, p}
+	sa, err := st.Structurize(frameA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codeA := sa.Codes[positionOf(t, sa, p)]
+	sb, err := st.Structurize(frameB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codeB := sb.Codes[positionOf(t, sb, p)]
+	if codeA != codeB {
+		t.Fatalf("same point coded differently across frames: %d vs %d", codeA, codeB)
+	}
+}
+
+func positionOf(t *testing.T, s *Structurized, p geom.Point3) int {
+	t.Helper()
+	for j, q := range s.Cloud.Points {
+		if q == p {
+			return j
+		}
+	}
+	t.Fatalf("point %v not found", p)
+	return -1
+}
+
+func TestStreamerOutOfBoundsClamps(t *testing.T) {
+	bounds := geom.AABB{Min: geom.Point3{}, Max: geom.Point3{X: 1, Y: 1, Z: 1}}
+	st, err := NewStreamer(bounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := geom.NewCloud(0, 0)
+	frame.Points = []geom.Point3{{X: 0.5, Y: 0.5, Z: 0.5}, {X: 99, Y: 99, Z: 99}}
+	s, err := st.Structurize(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatal("straggler dropped instead of clamped")
+	}
+}
+
+func TestStreamerRejectsInvalid(t *testing.T) {
+	if _, err := NewStreamer(geom.EmptyAABB(), 0); err == nil {
+		t.Fatal("empty bounds: want error")
+	}
+	bounds := geom.AABB{Max: geom.Point3{X: 1, Y: 1, Z: 1}}
+	st, err := NewStreamer(bounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Structurize(geom.NewCloud(0, 0)); err != nil {
+		// empty frame must error
+	} else {
+		t.Fatal("empty frame: want error")
+	}
+}
+
+func TestStreamerSteadyStateAllocations(t *testing.T) {
+	bounds := geom.AABB{Min: geom.Point3{}, Max: geom.Point3{X: 6, Y: 5, Z: 3}}
+	st, err := NewStreamer(bounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := geom.GenerateScene(geom.SceneOptions{N: 2000, Seed: 2})
+	// Warm up buffers.
+	if _, err := st.Structurize(frame); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := st.Structurize(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The permutation + Structurized view + sorted-codes copy are returned
+	// to the caller and necessarily allocate; the encode buffer must not.
+	// Radix sort allocates its perm/buf pair per call. Budget generously
+	// but catch O(N)-per-field regressions (≈10 allocations today).
+	if allocs > 40 {
+		t.Fatalf("steady-state allocations = %v, want ≤ 40", allocs)
+	}
+}

@@ -1,0 +1,128 @@
+// Package core implements the EdgePC contribution (§4–§5 of the paper):
+// Morton-code structurization of raw point clouds and the two approximation
+// techniques it enables —
+//
+//   - index-based uniform sampling (down- and up-sampling) that "skips" the
+//     O(nN) farthest-point-sampling stage (§5.1), and
+//   - index-window neighbor search that "skips" the O(N²) ball-query / k-NN
+//     stage (§5.2), optionally reusing neighbor indexes across consecutive
+//     network modules (§5.2.3).
+//
+// The substrates it builds on are packages morton (encoding/sorting), geom
+// (cloud types), sample and neighbor (the SOTA baselines being approximated).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/morton"
+)
+
+// ErrNotStructurized reports use of an index-based operation on data that has
+// not been Morton-ordered.
+var ErrNotStructurized = errors.New("core: operation requires structurized cloud")
+
+// StructurizeOptions configures the Morton structurization pass.
+type StructurizeOptions struct {
+	// TotalBits is the Morton code width a (default: morton.DefaultTotalBits
+	// = 32, the paper's pick). Larger widths reduce false neighbors at the
+	// cost of Na/8 bytes of code storage per frame.
+	TotalBits int
+	// GridSize overrides the derived grid size r (> 0 to take effect). When
+	// zero, r = D / 2^⌊a/3⌋ with D the bounding-box max dimension.
+	GridSize float64
+	// Bounds overrides the cloud's own bounding box — useful for streams of
+	// frames that share a fixed reference volume.
+	Bounds *geom.AABB
+	// UseStdSort selects the comparison sort instead of the default radix
+	// sort (exposed for the sort ablation).
+	UseStdSort bool
+}
+
+// Structurized is a point cloud re-ordered by Morton code together with the
+// bookkeeping needed by the index-based operations: the permutation back to
+// original indexes and the sorted codes.
+type Structurized struct {
+	// Cloud holds the points in Morton order. Position j in this cloud is
+	// the point with the j-th smallest Morton code.
+	Cloud *geom.Cloud
+	// Perm maps structurized position → original index (the paper's
+	// I' = [i_0, …, i_{N-1}]).
+	Perm []int
+	// Codes are the Morton codes in sorted (structurized) order.
+	Codes []uint64
+	// Encoder is the voxelizer used, retained so later pipeline stages can
+	// reuse the codes "without any extra overhead" (§5.2.3).
+	Encoder *morton.Encoder
+}
+
+// Len returns the number of points.
+func (s *Structurized) Len() int { return s.Cloud.Len() }
+
+// OriginalIndexes maps a slice of structurized positions to original cloud
+// indexes.
+func (s *Structurized) OriginalIndexes(positions []int) []int {
+	out := make([]int, len(positions))
+	for i, p := range positions {
+		out[i] = s.Perm[p]
+	}
+	return out
+}
+
+// MemoryOverheadBytes returns the extra storage the structurization carries:
+// the Morton codes at the encoder's width (§5.1.3's Na/8 accounting). The
+// permutation is not counted because the SOTA pipeline also materializes
+// sample index arrays of the same size.
+func (s *Structurized) MemoryOverheadBytes() int {
+	return s.Encoder.MemoryBytes(s.Len())
+}
+
+// Structurize re-orders a copy of the cloud by Morton code. The input cloud
+// is not modified. Complexity: O(N) fully parallel encoding + O(N log N)
+// sorting (Algorithm 1 without the final sampling step).
+func Structurize(c *geom.Cloud, opts StructurizeOptions) (*Structurized, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("core: cannot structurize empty cloud")
+	}
+	enc, err := newEncoder(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	codes := enc.EncodeCloud(c, nil)
+	var perm []int
+	if opts.UseStdSort {
+		perm = morton.StdOrder(codes)
+	} else {
+		perm = morton.Order(codes)
+	}
+	out := c.Clone()
+	if err := out.Permute(perm); err != nil {
+		return nil, err
+	}
+	return &Structurized{
+		Cloud:   out,
+		Perm:    perm,
+		Codes:   morton.SortedCodes(codes, perm),
+		Encoder: enc,
+	}, nil
+}
+
+func newEncoder(c *geom.Cloud, opts StructurizeOptions) (*morton.Encoder, error) {
+	bits := opts.TotalBits
+	if bits == 0 {
+		bits = morton.DefaultTotalBits
+	}
+	bounds := c.Bounds()
+	if opts.Bounds != nil {
+		bounds = *opts.Bounds
+	}
+	if opts.GridSize > 0 {
+		return morton.NewEncoderWithGrid(bounds.Min, opts.GridSize, bits/3)
+	}
+	return morton.NewEncoder(bounds, bits)
+}

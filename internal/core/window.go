@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/neighbor"
+	"repro/internal/parallel"
+)
+
+// WindowSearcher is the paper's index-based neighbor searcher (§5.2.2): on a
+// structurized cloud, the neighbors of the point at position p are taken from
+// the window of positions {p−W/2, …, p, …, p+W/2}.
+//
+// With W == k the k window members are returned directly — zero distance
+// computations, the pure index pick of §4.3 (Fig. 10(b) uses W = k+1). With
+// W > k the k nearest-by-distance points inside the window are selected,
+// costing O(W) per query instead of the SOTA's O(N); the window size trades
+// false-neighbor ratio against speed (Fig. 15a).
+type WindowSearcher struct {
+	// W is the search window size, clamped to [k, N]. Zero means W = k
+	// (pure index selection).
+	W int
+}
+
+// Name returns the algorithm name used in reports.
+func (w WindowSearcher) Name() string { return "morton-window" }
+
+// SearchPositions finds k neighbors for each query, where queries are given
+// as *positions into the structurized order* of points. The result is flat
+// (query-major) and holds positions into points — the same index space the
+// grouping stage consumes.
+func (w WindowSearcher) SearchPositions(points []geom.Point3, queryPos []int, k int) ([]int, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, neighbor.ErrNoPoints
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("%w: k=%d with %d points", neighbor.ErrBadK, k, n)
+	}
+	win := w.W
+	if win < k {
+		win = k
+	}
+	if win > n {
+		win = n
+	}
+	out := make([]int, len(queryPos)*k)
+	if win == k {
+		// Pure index pick: the k consecutive positions centered on the query.
+		parallel.ForChunks(len(queryPos), func(lo, hi int) {
+			for q := lo; q < hi; q++ {
+				start := clampWindow(queryPos[q], k, n)
+				row := out[q*k : (q+1)*k]
+				for j := range row {
+					row[j] = start + j
+				}
+			}
+		})
+		return out, nil
+	}
+	// Windowed exact-within-window: rank the W candidates by distance. The
+	// query point itself is excluded, matching the paper's Fig. 10(b)
+	// worked example (W = k+1 around P2 selects P1, P4 and P0, not P2) —
+	// spending a neighbor slot on the zero-distance self would waste it.
+	parallel.ForChunks(len(queryPos), func(lo, hi int) {
+		idx := make([]int, k)
+		d := make([]float64, k)
+		for q := lo; q < hi; q++ {
+			pos := queryPos[q]
+			start := clampWindow(pos, win, n)
+			topKWindow(points[pos], points, start, start+win, pos, idx, d)
+			copy(out[q*k:(q+1)*k], idx)
+		}
+	})
+	return out, nil
+}
+
+// clampWindow returns the start of a window of the given size centered on pos
+// and fully contained in [0, n).
+func clampWindow(pos, size, n int) int {
+	start := pos - size/2
+	if start < 0 {
+		start = 0
+	}
+	if start+size > n {
+		start = n - size
+	}
+	return start
+}
+
+// topKWindow fills idx/d with the k nearest points to p among positions
+// [lo, hi) of points (skipping position self), ascending by distance.
+func topKWindow(p geom.Point3, points []geom.Point3, lo, hi, self int, idx []int, d []float64) {
+	k := len(idx)
+	const inf = 1e300
+	for i := range d {
+		d[i] = inf
+		idx[i] = -1
+	}
+	for s := lo; s < hi; s++ {
+		if s == self {
+			continue
+		}
+		dist := p.DistSq(points[s])
+		if dist >= d[k-1] {
+			continue
+		}
+		j := k - 1
+		for j > 0 && d[j-1] > dist {
+			d[j] = d[j-1]
+			idx[j] = idx[j-1]
+			j--
+		}
+		d[j] = dist
+		idx[j] = s
+	}
+}
+
+// SearchAll finds k neighbors for every point of the structurized cloud (the
+// DGCNN case, where every point is a query).
+func (w WindowSearcher) SearchAll(points []geom.Point3, k int) ([]int, error) {
+	pos := make([]int, len(points))
+	for i := range pos {
+		pos[i] = i
+	}
+	return w.SearchPositions(points, pos, k)
+}
+
+// StructurizedSearcher adapts WindowSearcher to the neighbor.Searcher
+// interface for query sets that are a *subset of the candidate points in
+// structurized order*. It locates each query's position by exact coordinate
+// match against the candidate order — O(1) when QueryPositions is provided,
+// otherwise via a prepass map. It exists so the approximate searcher can be
+// dropped into harnesses written against neighbor.Searcher.
+type StructurizedSearcher struct {
+	Window WindowSearcher
+	// QueryPositions, when non-nil, gives the structurized position of each
+	// query and skips coordinate matching.
+	QueryPositions []int
+}
+
+// Name implements neighbor.Searcher.
+func (s StructurizedSearcher) Name() string { return "morton-window" }
+
+// Search implements neighbor.Searcher.
+func (s StructurizedSearcher) Search(points, queries []geom.Point3, k int) ([]int, error) {
+	pos := s.QueryPositions
+	if pos == nil {
+		index := make(map[geom.Point3]int, len(points))
+		for i := len(points) - 1; i >= 0; i-- {
+			index[points[i]] = i // earliest occurrence wins
+		}
+		pos = make([]int, len(queries))
+		for i, q := range queries {
+			p, ok := index[q]
+			if !ok {
+				return nil, fmt.Errorf("%w: query %d not among candidate points", ErrNotStructurized, i)
+			}
+			pos[i] = p
+		}
+	} else if len(pos) != len(queries) {
+		return nil, fmt.Errorf("core: %d query positions for %d queries", len(pos), len(queries))
+	}
+	return s.Window.SearchPositions(points, pos, k)
+}

@@ -1,0 +1,294 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestClassificationDataset(t *testing.T) {
+	d := NewClassification(20, 1)
+	if d.Len() != 20 || d.Classes() != int(geom.NumShapeKinds) {
+		t.Fatalf("len=%d classes=%d", d.Len(), d.Classes())
+	}
+	s, err := d.At(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cloud.Len() != 1024 {
+		t.Fatalf("points = %d, want 1024 (Table 1 ModelNet)", s.Cloud.Len())
+	}
+	if s.Label != 3%int32(geom.NumShapeKinds) {
+		t.Fatalf("label = %d", s.Label)
+	}
+	// Deterministic.
+	s2, _ := d.At(3)
+	for i := range s.Cloud.Points {
+		if s.Cloud.Points[i] != s2.Cloud.Points[i] {
+			t.Fatal("At not deterministic")
+		}
+	}
+	if _, err := d.At(20); err == nil {
+		t.Fatal("out of range: want error")
+	}
+	if _, err := d.At(-1); err == nil {
+		t.Fatal("negative: want error")
+	}
+}
+
+func TestClassificationCoversAllClasses(t *testing.T) {
+	d := NewClassification(int(geom.NumShapeKinds)*2, 2)
+	seen := map[int32]bool{}
+	for i := 0; i < d.Len(); i++ {
+		s, err := d.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[s.Label] = true
+	}
+	if len(seen) != int(geom.NumShapeKinds) {
+		t.Fatalf("covered %d of %d classes", len(seen), geom.NumShapeKinds)
+	}
+}
+
+func TestPartSegmentationDataset(t *testing.T) {
+	d := NewPartSegmentation(6, 3)
+	if d.Classes() != int(NumPartClasses) {
+		t.Fatalf("classes = %d", d.Classes())
+	}
+	for i := 0; i < d.Len(); i++ {
+		s, err := d.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Label != -1 {
+			t.Fatal("segmentation sample should have cloud label -1")
+		}
+		if s.Cloud.Len() != 2048 {
+			t.Fatalf("points = %d, want 2048 (Table 1 ShapeNet)", s.Cloud.Len())
+		}
+		if len(s.Cloud.Labels) != s.Cloud.Len() {
+			t.Fatal("per-point labels missing")
+		}
+		seen := map[int32]bool{}
+		for _, l := range s.Cloud.Labels {
+			if l < 0 || l >= NumPartClasses {
+				t.Fatalf("label %d out of range", l)
+			}
+			seen[l] = true
+		}
+		if len(seen) < 2 {
+			t.Fatalf("item %d has only %d parts", i, len(seen))
+		}
+	}
+}
+
+func TestSceneSegmentationDataset(t *testing.T) {
+	for _, style := range []string{"s3dis", "scannet"} {
+		points := 4096
+		if style == "scannet" {
+			points = 8192
+		}
+		d := NewSceneSegmentation(2, points, style, 4)
+		s, err := d.At(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Cloud.Len() < points {
+			t.Fatalf("%s: %d points, want ≥ %d", style, s.Cloud.Len(), points)
+		}
+		if !strings.Contains(d.Name(), style) {
+			t.Fatalf("name %q", d.Name())
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	train, test := Split(10, 0.2)
+	if len(train)+len(test) != 10 {
+		t.Fatalf("split sizes %d+%d", len(train), len(test))
+	}
+	if len(test) != 2 {
+		t.Fatalf("test size %d, want 2", len(test))
+	}
+	// No overlap.
+	seen := map[int]bool{}
+	for _, i := range append(train, test...) {
+		if seen[i] {
+			t.Fatalf("index %d duplicated", i)
+		}
+		seen[i] = true
+	}
+	// Deterministic.
+	train2, test2 := Split(10, 0.2)
+	for i := range test {
+		if test[i] != test2[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+	_ = train2
+	// Zero test fraction.
+	train, test = Split(5, 0)
+	if len(train) != 5 || test != nil {
+		t.Fatal("zero fraction wrong")
+	}
+}
+
+func TestSplitCoversClassesWithRoundRobinLabels(t *testing.T) {
+	// Regression: the datasets assign labels round-robin (label = i mod C);
+	// a strided split whose stride divides C would put one class in the
+	// test set. The shuffled split must cover (nearly) all classes.
+	const items, classes = 100, 5
+	_, test := Split(items, 0.2)
+	seen := map[int]bool{}
+	for _, i := range test {
+		seen[i%classes] = true
+	}
+	if len(seen) < classes-1 {
+		t.Fatalf("test split covers only %d of %d classes", len(seen), classes)
+	}
+}
+
+func TestOFFRoundtrip(t *testing.T) {
+	c := geom.GenerateShape(geom.ShapeSphere, geom.ShapeOptions{N: 30, Seed: 1})
+	var buf bytes.Buffer
+	if err := WriteOFF(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadOFF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 30 {
+		t.Fatalf("roundtrip %d points", back.Len())
+	}
+	for i := range c.Points {
+		if c.Points[i].Dist(back.Points[i]) > 1e-9 {
+			t.Fatalf("point %d drifted", i)
+		}
+	}
+}
+
+func TestOFFCompactHeader(t *testing.T) {
+	in := "OFF 2 0 0\n1 2 3\n4 5 6\n"
+	c, err := ReadOFF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.Points[1].Z != 6 {
+		t.Fatalf("compact OFF parsed wrong: %v", c.Points)
+	}
+}
+
+func TestOFFWithComments(t *testing.T) {
+	in := "# a comment\nOFF\n# counts\n1 0 0\n7 8 9\n"
+	c, err := ReadOFF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Points[0].X != 7 {
+		t.Fatal("comment handling broken")
+	}
+}
+
+func TestOFFErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"NOTOFF\n1 0 0\n1 2 3\n",
+		"OFF\n2 0 0\n1 2 3\n", // truncated vertex list
+		"OFF\nx 0 0\n",        // bad count
+		"OFF\n1 0 0\n1 2\n",   // short vertex
+		"OFF\n1 0 0\na b c\n", // non-numeric
+	}
+	for _, in := range bad {
+		if _, err := ReadOFF(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q: want error", in)
+		}
+	}
+}
+
+func TestPLYRoundtrip(t *testing.T) {
+	c := geom.GenerateShape(geom.ShapeTorus, geom.ShapeOptions{N: 25, Seed: 2})
+	var buf bytes.Buffer
+	if err := WritePLY(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPLY(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 25 {
+		t.Fatalf("roundtrip %d points", back.Len())
+	}
+	for i := range c.Points {
+		if c.Points[i].Dist(back.Points[i]) > 1e-9 {
+			t.Fatalf("point %d drifted", i)
+		}
+	}
+}
+
+func TestPLYExtraPropertiesAndElements(t *testing.T) {
+	in := `ply
+format ascii 1.0
+comment made by hand
+element vertex 2
+property float x
+property float y
+property float z
+property uchar red
+element face 1
+property list uchar int vertex_indices
+end_header
+1 2 3 255
+4 5 6 0
+3 0 1 0
+`
+	c, err := ReadPLY(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.Points[1].Y != 5 {
+		t.Fatalf("parsed %v", c.Points)
+	}
+}
+
+func TestPLYSkipsNonVertexElementsBeforeVertex(t *testing.T) {
+	in := `ply
+format ascii 1.0
+element other 2
+property float a
+element vertex 1
+property float x
+property float y
+property float z
+end_header
+9
+9
+1 2 3
+`
+	c, err := ReadPLY(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 || c.Points[0].X != 1 {
+		t.Fatalf("parsed %v", c.Points)
+	}
+}
+
+func TestPLYErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"notply\n",
+		"ply\nformat binary_little_endian 1.0\nend_header\n",
+		"ply\nformat ascii 1.0\nelement vertex 1\nproperty float x\nproperty float y\nend_header\n1 2\n",                     // no z
+		"ply\nformat ascii 1.0\nend_header\n",                                                                                // no vertex element
+		"ply\nformat ascii 1.0\nelement vertex 2\nproperty float x\nproperty float y\nproperty float z\nend_header\n1 2 3\n", // truncated
+	}
+	for _, in := range bad {
+		if _, err := ReadPLY(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %.40q: want error", in)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// ReadOFF parses the vertex set of an ASCII OFF file (the format ModelNet
+// ships in) into a point cloud. Faces are ignored — point-cloud networks
+// consume vertices only. Both the strict two-line header ("OFF\n nv nf ne")
+// and the common compact variant ("OFF nv nf ne" on one line) are accepted.
+func ReadOFF(r io.Reader) (*geom.Cloud, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	fields, err := nextFields(sc)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: OFF: missing header: %w", err)
+	}
+	if !strings.HasPrefix(fields[0], "OFF") {
+		return nil, errors.New("dataset: OFF: missing OFF magic")
+	}
+	var counts []string
+	if len(fields) >= 4 {
+		// Compact header: "OFF nv nf ne".
+		counts = fields[1:4]
+	} else {
+		counts, err = nextFields(sc)
+		if err != nil || len(counts) < 3 {
+			return nil, errors.New("dataset: OFF: missing count line")
+		}
+	}
+	nv, err := strconv.Atoi(counts[0])
+	if err != nil || nv < 0 {
+		return nil, fmt.Errorf("dataset: OFF: bad vertex count %q", counts[0])
+	}
+	// Grow incrementally rather than trusting the declared count: a forged
+	// header must not allocate gigabytes before the (absent) data fails to
+	// parse.
+	cloud := geom.NewCloud(0, 0)
+	cloud.Points = make([]geom.Point3, 0, clampPrealloc(nv))
+	for i := 0; i < nv; i++ {
+		f, err := nextFields(sc)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: OFF: vertex %d: %w", i, err)
+		}
+		if len(f) < 3 {
+			return nil, fmt.Errorf("dataset: OFF: vertex %d: %d fields", i, len(f))
+		}
+		p, err := parsePoint(f[0], f[1], f[2])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: OFF: vertex %d: %w", i, err)
+		}
+		cloud.Points = append(cloud.Points, p)
+	}
+	return cloud, nil
+}
+
+// clampPrealloc bounds header-declared counts to a sane preallocation; the
+// slices still grow to any real size via append.
+func clampPrealloc(n int) int {
+	const limit = 1 << 16
+	if n > limit {
+		return limit
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// nextFields returns the fields of the next non-empty, non-comment line.
+func nextFields(sc *bufio.Scanner) ([]string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return strings.Fields(line), nil
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.ErrUnexpectedEOF
+}
+
+func parsePoint(xs, ys, zs string) (geom.Point3, error) {
+	x, err := strconv.ParseFloat(xs, 64)
+	if err != nil {
+		return geom.Point3{}, err
+	}
+	y, err := strconv.ParseFloat(ys, 64)
+	if err != nil {
+		return geom.Point3{}, err
+	}
+	z, err := strconv.ParseFloat(zs, 64)
+	if err != nil {
+		return geom.Point3{}, err
+	}
+	return geom.Point3{X: x, Y: y, Z: z}, nil
+}
+
+// WriteOFF writes the cloud's points as an ASCII OFF file with no faces.
+func WriteOFF(w io.Writer, c *geom.Cloud) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "OFF\n%d 0 0\n", c.Len())
+	for _, p := range c.Points {
+		fmt.Fprintf(bw, "%g %g %g\n", p.X, p.Y, p.Z)
+	}
+	return bw.Flush()
+}

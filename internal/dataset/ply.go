@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+)
+
+// ReadPLY parses a PLY file (the format of the Stanford scans, including the
+// Bunny) into a point cloud. ASCII and binary_little_endian payloads are
+// supported; only the vertex element's x/y/z properties are read, extra
+// per-vertex properties and other elements are skipped.
+func ReadPLY(r io.Reader) (*geom.Cloud, error) {
+	br := bufio.NewReader(r)
+	h, err := parsePLYHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	switch h.format {
+	case "ascii":
+		return readASCIIPLY(br, h)
+	case "binary_little_endian":
+		return readBinaryPLY(br, h)
+	default:
+		return nil, fmt.Errorf("dataset: PLY: unsupported format %q", h.format)
+	}
+}
+
+// readASCIIPLY reads the vertex element of an ASCII payload.
+func readASCIIPLY(br *bufio.Reader, h *plyHeader) (*geom.Cloud, error) {
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for _, el := range h.elements {
+		if el.name != "vertex" {
+			for i := 0; i < el.count; i++ {
+				if _, err := nextFields(sc); err != nil {
+					return nil, fmt.Errorf("dataset: PLY: truncated %s data: %w", el.name, err)
+				}
+			}
+			continue
+		}
+		xi, yi, zi := -1, -1, -1
+		for i, p := range el.props {
+			if p.isList {
+				return nil, errors.New("dataset: PLY: list property on vertices is unsupported")
+			}
+			switch p.name {
+			case "x":
+				xi = i
+			case "y":
+				yi = i
+			case "z":
+				zi = i
+			}
+		}
+		if xi < 0 || yi < 0 || zi < 0 {
+			return nil, errors.New("dataset: PLY: vertex element lacks x/y/z properties")
+		}
+		cloud := geom.NewCloud(0, 0)
+		cloud.Points = make([]geom.Point3, 0, clampPrealloc(el.count))
+		for i := 0; i < el.count; i++ {
+			f, err := nextFields(sc)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: PLY: vertex %d: %w", i, err)
+			}
+			if len(f) < len(el.props) {
+				return nil, fmt.Errorf("dataset: PLY: vertex %d has %d of %d fields", i, len(f), len(el.props))
+			}
+			p, err := parsePoint(f[xi], f[yi], f[zi])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: PLY: vertex %d: %w", i, err)
+			}
+			cloud.Points = append(cloud.Points, p)
+		}
+		return cloud, nil
+	}
+	return nil, errors.New("dataset: PLY: no vertex element")
+}
+
+// WritePLY writes the cloud as an ASCII PLY file with x/y/z vertex
+// properties.
+func WritePLY(w io.Writer, c *geom.Cloud) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "ply\nformat ascii 1.0\nelement vertex %d\n", c.Len())
+	fmt.Fprint(bw, "property float x\nproperty float y\nproperty float z\nend_header\n")
+	for _, p := range c.Points {
+		fmt.Fprintf(bw, "%g %g %g\n", p.X, p.Y, p.Z)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,222 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Binary PLY support: real scan repositories (including the Stanford set the
+// paper samples for Fig. 5) ship binary_little_endian PLY. The ASCII reader
+// lives in ply.go; this file parses the same header grammar and then reads
+// fixed-width records.
+
+type plyType struct {
+	size  int
+	float bool
+}
+
+var plyTypes = map[string]plyType{
+	"char": {1, false}, "int8": {1, false},
+	"uchar": {1, false}, "uint8": {1, false},
+	"short": {2, false}, "int16": {2, false},
+	"ushort": {2, false}, "uint16": {2, false},
+	"int": {4, false}, "int32": {4, false},
+	"uint": {4, false}, "uint32": {4, false},
+	"float": {4, true}, "float32": {4, true},
+	"double": {8, true}, "float64": {8, true},
+}
+
+type plyProperty struct {
+	name   string
+	typ    plyType
+	isList bool
+}
+
+type plyElement struct {
+	name  string
+	count int
+	props []plyProperty
+}
+
+// plyHeader holds the parsed header of any PLY flavor.
+type plyHeader struct {
+	format   string // "ascii", "binary_little_endian", "binary_big_endian"
+	elements []plyElement
+}
+
+// parsePLYHeader consumes the header through end_header, reading byte by
+// byte so the binary payload position stays exact.
+func parsePLYHeader(r *bufio.Reader) (*plyHeader, error) {
+	readLine := func() (string, error) {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		return strings.TrimRight(line, "\r\n"), nil
+	}
+	first, err := readLine()
+	if err != nil || strings.TrimSpace(first) != "ply" {
+		return nil, errors.New("dataset: PLY: missing ply magic")
+	}
+	h := &plyHeader{}
+	for {
+		line, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: PLY: truncated header: %w", err)
+		}
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		switch f[0] {
+		case "format":
+			if len(f) < 2 {
+				return nil, errors.New("dataset: PLY: malformed format line")
+			}
+			h.format = f[1]
+		case "comment", "obj_info":
+		case "element":
+			if len(f) < 3 {
+				return nil, errors.New("dataset: PLY: malformed element line")
+			}
+			n, err := strconv.Atoi(f[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dataset: PLY: bad element count %q", f[2])
+			}
+			h.elements = append(h.elements, plyElement{name: f[1], count: n})
+		case "property":
+			if len(h.elements) == 0 {
+				return nil, errors.New("dataset: PLY: property before element")
+			}
+			el := &h.elements[len(h.elements)-1]
+			if len(f) >= 2 && f[1] == "list" {
+				if len(f) < 5 {
+					return nil, errors.New("dataset: PLY: malformed list property")
+				}
+				el.props = append(el.props, plyProperty{name: f[len(f)-1], isList: true})
+				continue
+			}
+			if len(f) < 3 {
+				return nil, errors.New("dataset: PLY: malformed property line")
+			}
+			typ, ok := plyTypes[f[1]]
+			if !ok {
+				return nil, fmt.Errorf("dataset: PLY: unknown property type %q", f[1])
+			}
+			el.props = append(el.props, plyProperty{name: f[len(f)-1], typ: typ})
+		case "end_header":
+			if h.format == "" {
+				return nil, errors.New("dataset: PLY: missing format line")
+			}
+			return h, nil
+		default:
+			return nil, fmt.Errorf("dataset: PLY: unknown header keyword %q", f[0])
+		}
+	}
+}
+
+// readBinaryPLY reads the vertex element of a binary_little_endian payload.
+func readBinaryPLY(r *bufio.Reader, h *plyHeader) (*geom.Cloud, error) {
+	for _, el := range h.elements {
+		if el.name != "vertex" {
+			// Skip a non-vertex element preceding the vertices. Fixed-width
+			// properties can be skipped exactly; list properties cannot
+			// without reading them, which we only do after the vertices.
+			stride := 0
+			for _, p := range el.props {
+				if p.isList {
+					return nil, fmt.Errorf("dataset: PLY: list property in element %q before vertices is unsupported", el.name)
+				}
+				stride += p.typ.size
+			}
+			if _, err := io.CopyN(io.Discard, r, int64(stride)*int64(el.count)); err != nil {
+				return nil, fmt.Errorf("dataset: PLY: skipping %s: %w", el.name, err)
+			}
+			continue
+		}
+		xi, yi, zi := -1, -1, -1
+		stride := 0
+		offsets := make([]int, len(el.props))
+		for i, p := range el.props {
+			if p.isList {
+				return nil, errors.New("dataset: PLY: list property on vertices is unsupported")
+			}
+			offsets[i] = stride
+			stride += p.typ.size
+			switch p.name {
+			case "x":
+				xi = i
+			case "y":
+				yi = i
+			case "z":
+				zi = i
+			}
+		}
+		if xi < 0 || yi < 0 || zi < 0 {
+			return nil, errors.New("dataset: PLY: vertex element lacks x/y/z properties")
+		}
+		cloud := geom.NewCloud(0, 0)
+		cloud.Points = make([]geom.Point3, 0, clampPrealloc(el.count))
+		record := make([]byte, stride)
+		for i := 0; i < el.count; i++ {
+			if _, err := io.ReadFull(r, record); err != nil {
+				return nil, fmt.Errorf("dataset: PLY: vertex %d: %w", i, err)
+			}
+			x, err := readScalar(record[offsets[xi]:], el.props[xi].typ)
+			if err != nil {
+				return nil, err
+			}
+			y, err := readScalar(record[offsets[yi]:], el.props[yi].typ)
+			if err != nil {
+				return nil, err
+			}
+			z, err := readScalar(record[offsets[zi]:], el.props[zi].typ)
+			if err != nil {
+				return nil, err
+			}
+			cloud.Points = append(cloud.Points, geom.Point3{X: x, Y: y, Z: z})
+		}
+		return cloud, nil
+	}
+	return nil, errors.New("dataset: PLY: no vertex element")
+}
+
+func readScalar(b []byte, t plyType) (float64, error) {
+	if !t.float {
+		return 0, errors.New("dataset: PLY: integer coordinates are unsupported")
+	}
+	switch t.size {
+	case 4:
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(b))), nil
+	case 8:
+		return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+	default:
+		return 0, fmt.Errorf("dataset: PLY: bad float width %d", t.size)
+	}
+}
+
+// WritePLYBinary writes the cloud as binary_little_endian PLY with float32
+// x/y/z vertex properties.
+func WritePLYBinary(w io.Writer, c *geom.Cloud) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "ply\nformat binary_little_endian 1.0\nelement vertex %d\n", c.Len())
+	fmt.Fprint(bw, "property float x\nproperty float y\nproperty float z\nend_header\n")
+	var buf [12]byte
+	for _, p := range c.Points {
+		binary.LittleEndian.PutUint32(buf[0:], math.Float32bits(float32(p.X)))
+		binary.LittleEndian.PutUint32(buf[4:], math.Float32bits(float32(p.Y)))
+		binary.LittleEndian.PutUint32(buf[8:], math.Float32bits(float32(p.Z)))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestBinaryPLYRoundtrip(t *testing.T) {
+	c := geom.GenerateShape(geom.ShapeBlob, geom.ShapeOptions{N: 200, Seed: 4})
+	var buf bytes.Buffer
+	if err := WritePLYBinary(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPLY(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 200 {
+		t.Fatalf("roundtrip %d points", back.Len())
+	}
+	for i := range c.Points {
+		// float32 quantization on write.
+		if c.Points[i].Dist(back.Points[i]) > 1e-5 {
+			t.Fatalf("point %d drifted: %v vs %v", i, c.Points[i], back.Points[i])
+		}
+	}
+}
+
+// buildBinaryPLY constructs a binary PLY with extra vertex properties and a
+// preceding fixed-width element, mimicking real scan exports.
+func buildBinaryPLY(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fmt.Fprint(&buf, "ply\nformat binary_little_endian 1.0\n")
+	fmt.Fprint(&buf, "comment scanner export\n")
+	fmt.Fprint(&buf, "element sensor 2\nproperty float temperature\n")
+	fmt.Fprint(&buf, "element vertex 2\n")
+	fmt.Fprint(&buf, "property float x\nproperty float y\nproperty double z\nproperty uchar intensity\n")
+	fmt.Fprint(&buf, "element face 1\nproperty list uchar int vertex_indices\n")
+	fmt.Fprint(&buf, "end_header\n")
+	// sensor element: two float32 temperatures.
+	for _, v := range []float32{20.5, 21.5} {
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	// vertices: x float32, y float32, z float64, intensity uchar.
+	writeVertex := func(x, y float32, z float64, in byte) {
+		binary.Write(&buf, binary.LittleEndian, x)
+		binary.Write(&buf, binary.LittleEndian, y)
+		binary.Write(&buf, binary.LittleEndian, z)
+		buf.WriteByte(in)
+	}
+	writeVertex(1, 2, 3, 200)
+	writeVertex(-4, 5.5, -6.25, 10)
+	// trailing face data (ignored — reader stops after vertices).
+	buf.WriteByte(3)
+	binary.Write(&buf, binary.LittleEndian, [3]int32{0, 1, 0})
+	return buf.Bytes()
+}
+
+func TestBinaryPLYMixedProperties(t *testing.T) {
+	c, err := ReadPLY(bytes.NewReader(buildBinaryPLY(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("%d points", c.Len())
+	}
+	want := []geom.Point3{{X: 1, Y: 2, Z: 3}, {X: -4, Y: 5.5, Z: -6.25}}
+	for i := range want {
+		if c.Points[i].Dist(want[i]) > 1e-6 {
+			t.Fatalf("point %d = %v, want %v", i, c.Points[i], want[i])
+		}
+	}
+}
+
+func TestBinaryPLYErrors(t *testing.T) {
+	full := buildBinaryPLY(t)
+	if _, err := ReadPLY(bytes.NewReader(full[:len(full)-30])); err == nil {
+		t.Fatal("truncated payload: want error")
+	}
+	// Big-endian unsupported.
+	be := bytes.Replace(full, []byte("binary_little_endian"), []byte("binary_big_endian"), 1)
+	if _, err := ReadPLY(bytes.NewReader(be)); err == nil {
+		t.Fatal("big endian: want error")
+	}
+	// List property before vertices cannot be skipped.
+	var buf bytes.Buffer
+	fmt.Fprint(&buf, "ply\nformat binary_little_endian 1.0\n")
+	fmt.Fprint(&buf, "element face 1\nproperty list uchar int idx\n")
+	fmt.Fprint(&buf, "element vertex 1\nproperty float x\nproperty float y\nproperty float z\nend_header\n")
+	if _, err := ReadPLY(&buf); err == nil {
+		t.Fatal("pre-vertex list property: want error")
+	}
+	// Integer coordinates rejected.
+	buf.Reset()
+	fmt.Fprint(&buf, "ply\nformat binary_little_endian 1.0\n")
+	fmt.Fprint(&buf, "element vertex 1\nproperty int x\nproperty float y\nproperty float z\nend_header\n")
+	binary.Write(&buf, binary.LittleEndian, int32(1))
+	binary.Write(&buf, binary.LittleEndian, float32(2))
+	binary.Write(&buf, binary.LittleEndian, float32(3))
+	if _, err := ReadPLY(&buf); err == nil {
+		t.Fatal("integer x: want error")
+	}
+}
+
+func TestBinaryPLYDoublePrecision(t *testing.T) {
+	var buf bytes.Buffer
+	fmt.Fprint(&buf, "ply\nformat binary_little_endian 1.0\n")
+	fmt.Fprint(&buf, "element vertex 1\nproperty double x\nproperty double y\nproperty double z\nend_header\n")
+	want := geom.Point3{X: math.Pi, Y: -math.E, Z: 1e-12}
+	binary.Write(&buf, binary.LittleEndian, want.X)
+	binary.Write(&buf, binary.LittleEndian, want.Y)
+	binary.Write(&buf, binary.LittleEndian, want.Z)
+	c, err := ReadPLY(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Points[0] != want {
+		t.Fatalf("double precision lost: %v vs %v", c.Points[0], want)
+	}
+}

@@ -1,0 +1,282 @@
+package edgesim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func dev() *Device { return JetsonAGXXavier() }
+
+func TestFPSVsMortonSamplingLatency(t *testing.T) {
+	// The §4.2 anchor shape: FPS on the 40 256-point Bunny sampling 1 024
+	// points is roughly two orders of magnitude slower than the Morton
+	// sampler.
+	d := dev()
+	cfg := Config{Batch: 1}
+	fps := d.StageLatency(model.StageRecord{Stage: model.StageSample, Algo: "fps", N: 40256, Q: 1024}, cfg)
+	morton := d.StageLatency(model.StageRecord{Stage: model.StageSample, Algo: "morton", N: 40256, Q: 1024}, cfg)
+	ratio := float64(fps) / float64(morton)
+	if ratio < 10 || ratio > 500 {
+		t.Fatalf("FPS/morton ratio = %.1f (fps=%v morton=%v), want the paper's ~80× order", ratio, fps, morton)
+	}
+	if fps < 10*time.Millisecond || fps > 500*time.Millisecond {
+		t.Fatalf("FPS latency %v implausible vs the paper's 81.7 ms anchor", fps)
+	}
+}
+
+func TestMortonGenAnchor(t *testing.T) {
+	// §5.1.2: generating Morton codes for 8 192 points ≈ 0.1 ms. The
+	// structurize stage also pays the sort, so check the encode component
+	// via throughput directly.
+	d := dev()
+	encode := float64(8192) / d.MortonThroughput
+	if encode < 50e-6 || encode > 200e-6 {
+		t.Fatalf("morton encode for 8192 pts = %v s, want ≈1e-4", encode)
+	}
+}
+
+func TestBruteSearchQuadraticInN(t *testing.T) {
+	d := dev()
+	cfg := Config{Batch: 1}
+	rec := func(n int) model.StageRecord {
+		return model.StageRecord{Stage: model.StageNeighbor, Algo: "knn-brute", N: n, Q: n, K: 8}
+	}
+	small := d.StageLatency(rec(1024), cfg) - d.KernelLaunch
+	big := d.StageLatency(rec(4096), cfg) - d.KernelLaunch
+	ratio := float64(big) / float64(small)
+	if ratio < 14 || ratio > 18 {
+		t.Fatalf("4× points → %.1f× latency, want ≈16 (quadratic)", ratio)
+	}
+}
+
+func TestWindowSearchLinearInW(t *testing.T) {
+	d := dev()
+	cfg := Config{Batch: 1}
+	rec := func(w int) model.StageRecord {
+		return model.StageRecord{Stage: model.StageNeighbor, Algo: "morton-window", N: 8192, Q: 2048, K: 8, W: w}
+	}
+	w16 := d.StageLatency(rec(16), cfg) - d.KernelLaunch
+	w64 := d.StageLatency(rec(64), cfg) - d.KernelLaunch
+	ratio := float64(w64) / float64(w16)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("4× window → %.2f× latency, want ≈4", ratio)
+	}
+	// Pure index pick (W=K) is cheaper than any distance-ranked window.
+	pure := d.StageLatency(model.StageRecord{Stage: model.StageNeighbor, Algo: "morton-window", N: 8192, Q: 2048, K: 8, W: 8}, cfg)
+	if pure >= w16+d.KernelLaunch {
+		t.Fatalf("pure pick (%v) not cheaper than W=16 (%v)", pure, w16+d.KernelLaunch)
+	}
+}
+
+func TestReuseIsNearFree(t *testing.T) {
+	d := dev()
+	lat := d.StageLatency(model.StageRecord{Stage: model.StageNeighbor, Algo: "reuse", Reused: true, N: 8192, Q: 8192, K: 8}, Config{Batch: 14})
+	if lat > d.KernelLaunch {
+		t.Fatalf("reuse costs %v, should be below one kernel launch", lat)
+	}
+}
+
+func TestBatchScalesThroughputBoundWork(t *testing.T) {
+	d := dev()
+	rec := model.StageRecord{Stage: model.StageNeighbor, Algo: "knn-brute", N: 4096, Q: 1024, K: 8}
+	b1 := d.StageLatency(rec, Config{Batch: 1})
+	b8 := d.StageLatency(rec, Config{Batch: 8})
+	if float64(b8) < 6*float64(b1-d.KernelLaunch) {
+		t.Fatalf("batch 8 = %v vs batch 1 = %v: throughput-bound work must scale ~linearly", b8, b1)
+	}
+}
+
+func TestTensorCoreThreshold(t *testing.T) {
+	// §5.4.1: below the channel threshold tensor cores stay idle.
+	d := dev()
+	below := model.StageRecord{Stage: model.StageFeature, Algo: "shared-mlp", Q: 32000, CIn: 12, COut: 64}
+	above := model.StageRecord{Stage: model.StageFeature, Algo: "shared-mlp", Q: 3200, CIn: 120, COut: 64}
+	noTC := Config{Batch: 1}
+	tc := Config{Batch: 1, TensorCores: true}
+	if d.StageLatency(below, noTC) != d.StageLatency(below, tc) {
+		t.Fatal("tensor cores engaged below the channel threshold")
+	}
+	if d.StageLatency(above, tc) >= d.StageLatency(above, noTC) {
+		t.Fatal("tensor cores did not speed up the above-threshold conv")
+	}
+	if d.TensorCoreUtilization(12) != 0 {
+		t.Fatal("utilization nonzero below threshold")
+	}
+	if u := d.TensorCoreUtilization(120); u <= 0 || u >= 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestSec541ReshapeShape(t *testing.T) {
+	// The §5.4.1 ablation: same FLOPs, wider channels → faster with tensor
+	// cores (40.4 ms → 18.3 ms on the paper's hardware; we check the
+	// direction and that the factor is meaningful).
+	d := dev()
+	tc := Config{Batch: 1, TensorCores: true}
+	orig := model.StageRecord{Stage: model.StageFeature, Algo: "shared-mlp", Q: 32 * 1000 * 32, CIn: 12, COut: 64}
+	reshaped := model.StageRecord{Stage: model.StageFeature, Algo: "shared-mlp", Q: 32 * 100 * 32, CIn: 120, COut: 64}
+	lo := d.StageLatency(orig, tc)
+	lr := d.StageLatency(reshaped, tc)
+	if lr >= lo {
+		t.Fatalf("reshape did not help: %v → %v", lo, lr)
+	}
+	ratio := float64(lo) / float64(lr)
+	if ratio < 1.5 || ratio > 20 {
+		t.Fatalf("reshape speedup %.2f×, want within an order of the paper's 2.2×", ratio)
+	}
+}
+
+func TestSortedGroupingReducesTraffic(t *testing.T) {
+	d := dev()
+	rec := model.StageRecord{Stage: model.StageGroup, Algo: "gather", Q: 2048, K: 8, CIn: 64}
+	base := d.StageLatency(rec, Config{Batch: 1})
+	sorted := d.StageLatency(rec, Config{Batch: 1, SortedGrouping: true})
+	if sorted >= base {
+		t.Fatal("sorted grouping did not reduce latency")
+	}
+}
+
+func TestPriceTraceAggregation(t *testing.T) {
+	d := dev()
+	tr := &model.Trace{}
+	tr.Add(model.StageRecord{Stage: model.StageStructurize, Algo: "morton", N: 8192})
+	tr.Add(model.StageRecord{Stage: model.StageSample, Algo: "morton", N: 8192, Q: 2048})
+	tr.Add(model.StageRecord{Stage: model.StageNeighbor, Algo: "morton-window", N: 8192, Q: 2048, K: 8, W: 16})
+	tr.Add(model.StageRecord{Stage: model.StageGroup, Algo: "gather", Q: 2048, K: 8, CIn: 16})
+	tr.Add(model.StageRecord{Stage: model.StageFeature, Algo: "shared-mlp", Q: 2048 * 8, CIn: 16, COut: 32})
+	rep := d.PriceTrace(tr, Config{Batch: 14, Reuse: true})
+	if len(rep.Records) != 5 {
+		t.Fatalf("records = %d", len(rep.Records))
+	}
+	var sum time.Duration
+	for _, r := range rep.Records {
+		if r.Latency <= 0 {
+			t.Fatalf("non-positive latency for %v", r.Stage)
+		}
+		sum += r.Latency
+	}
+	if sum != rep.Total {
+		t.Fatalf("total %v != sum %v", rep.Total, sum)
+	}
+	if rep.SampleNeighbor+rep.Feature != rep.Total {
+		t.Fatal("two-way breakdown does not partition the total")
+	}
+	if rep.EnergyJ <= 0 {
+		t.Fatal("energy not positive")
+	}
+	// Energy = Σ power×time, so avg power must sit between component bounds.
+	if rep.AvgPowerW < d.BasePower || rep.AvgPowerW > d.BasePower+d.FeaturePowerTensor+d.MemPowerReuse+1 {
+		t.Fatalf("avg power = %v W implausible", rep.AvgPowerW)
+	}
+	if rep.MemoryOverheadBytes != 8192*4 {
+		t.Fatalf("memory overhead = %d, want %d", rep.MemoryOverheadBytes, 8192*4)
+	}
+}
+
+func TestReusePowerDelta(t *testing.T) {
+	// Reuse raises DRAM power (1.35 → 1.63 W) — energy under reuse must be
+	// higher for the same trace.
+	d := dev()
+	tr := &model.Trace{}
+	tr.Add(model.StageRecord{Stage: model.StageFeature, Algo: "shared-mlp", Q: 1000, CIn: 32, COut: 32})
+	base := d.PriceTrace(tr, Config{Batch: 1})
+	reuse := d.PriceTrace(tr, Config{Batch: 1, Reuse: true})
+	if reuse.EnergyJ <= base.EnergyJ {
+		t.Fatal("reuse config did not raise memory power")
+	}
+	if reuse.Total != base.Total {
+		t.Fatal("reuse config changed latency of a feature stage")
+	}
+}
+
+func TestMortonPowerBelowSOTA(t *testing.T) {
+	// §6.2: 4.5 W → 4.2 W when the approximations run.
+	d := dev()
+	sota := d.StagePower(model.StageRecord{Stage: model.StageSample, Algo: "fps"}, Config{})
+	morton := d.StagePower(model.StageRecord{Stage: model.StageSample, Algo: "morton"}, Config{})
+	if morton >= sota {
+		t.Fatalf("morton power %v ≥ SOTA power %v", morton, sota)
+	}
+	if sota != 4.5 || morton != 4.2 {
+		t.Fatalf("powers (%v, %v) drifted from the paper's measurements", sota, morton)
+	}
+}
+
+func TestDeviceTierScaling(t *testing.T) {
+	xavier := JetsonAGXXavier()
+	orin := JetsonOrinNX()
+	nano := JetsonNano()
+	rec := model.StageRecord{Stage: model.StageNeighbor, Algo: "knn-brute", N: 4096, Q: 1024, K: 8}
+	cfg := Config{Batch: 4}
+	lx := xavier.StageLatency(rec, cfg)
+	lo := orin.StageLatency(rec, cfg)
+	ln := nano.StageLatency(rec, cfg)
+	if !(lo < lx && lx < ln) {
+		t.Fatalf("tier ordering broken: orin %v, xavier %v, nano %v", lo, lx, ln)
+	}
+	// Powers scale with the tier factor.
+	if orin.IrregularPower <= xavier.IrregularPower || nano.IrregularPower >= xavier.IrregularPower {
+		t.Fatal("power scaling broken")
+	}
+	if orin.Name == xavier.Name || nano.Name == xavier.Name {
+		t.Fatal("tier names not set")
+	}
+}
+
+func TestStageLatencyDefaultBranches(t *testing.T) {
+	d := dev()
+	cfg := Config{Batch: 1}
+	// Unknown algorithms fall back to conservative defaults, not zero.
+	for _, rec := range []model.StageRecord{
+		{Stage: model.StageSample, Algo: "mystery", N: 1000, Q: 100},
+		{Stage: model.StageNeighbor, Algo: "mystery", N: 1000, Q: 100, K: 4},
+		{Stage: model.StageSample, Algo: "grid", N: 1000, Q: 100},
+		{Stage: model.StageNeighbor, Algo: "knn-kdtree", N: 1000, Q: 100, K: 4},
+		{Stage: model.StageInterp, Algo: "three-nn", N: 1000, Q: 100},
+		{Stage: model.StageKind(99)},
+	} {
+		if lat := d.StageLatency(rec, cfg); lat < 0 {
+			t.Fatalf("negative latency for %+v", rec)
+		}
+	}
+	if p := d.StagePower(model.StageRecord{Stage: model.StageKind(99)}, cfg); p != d.BasePower {
+		t.Fatalf("unknown stage power = %v", p)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	d := dev()
+	tr := &model.Trace{}
+	tr.Add(model.StageRecord{Stage: model.StageSample, Algo: "fps", N: 1000, Q: 100})
+	tr.Add(model.StageRecord{Stage: model.StageFeature, Algo: "shared-mlp", Q: 100, CIn: 8, COut: 8})
+	rep := d.PriceTrace(tr, Config{Batch: 1})
+	s := rep.Format()
+	for _, want := range []string{"total", "sample", "feature", "energy", "avg power"} {
+		if !contains(s, want) {
+			t.Fatalf("Format missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLayerStage(t *testing.T) {
+	d := dev()
+	tr := &model.Trace{}
+	tr.Add(model.StageRecord{Stage: model.StageSample, Layer: 0, Algo: "fps", N: 1000, Q: 250})
+	tr.Add(model.StageRecord{Stage: model.StageSample, Layer: 1, Algo: "fps", N: 250, Q: 64})
+	rep := d.PriceTrace(tr, Config{Batch: 1})
+	per := rep.LayerStage(model.StageSample)
+	if len(per) != 2 || per[0] <= per[1] {
+		t.Fatalf("per-layer sample latencies = %v (layer 0 must dominate)", per)
+	}
+}

@@ -1,0 +1,103 @@
+package edgesim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/model"
+)
+
+// PricedRecord is a stage record with its modelled latency and energy.
+type PricedRecord struct {
+	model.StageRecord
+	Latency time.Duration
+	EnergyJ float64
+}
+
+// Report summarizes a priced trace.
+type Report struct {
+	Records []PricedRecord
+	Total   time.Duration
+	ByStage map[model.StageKind]time.Duration
+	// SampleNeighbor groups the paper's "sample & neighbor search"
+	// component (sample + neighbor + interp + structurize); Feature groups
+	// feature compute + grouping, matching Fig. 3's two-way breakdown.
+	SampleNeighbor time.Duration
+	Feature        time.Duration
+	EnergyJ        float64
+	AvgPowerW      float64
+	// MemoryOverheadBytes is the extra storage the configuration holds
+	// (Morton codes, reuse buffers), from the trace's record shapes.
+	MemoryOverheadBytes int
+}
+
+// PriceTrace runs the cost model over every record of a trace.
+func (d *Device) PriceTrace(tr *model.Trace, cfg Config) Report {
+	rep := Report{ByStage: make(map[model.StageKind]time.Duration)}
+	memPower := d.MemPower
+	if cfg.Reuse {
+		memPower = d.MemPowerReuse
+	}
+	for _, r := range tr.Records {
+		lat := d.StageLatency(r, cfg)
+		power := d.StagePower(r, cfg) + memPower + d.BasePower
+		pr := PricedRecord{StageRecord: r, Latency: lat, EnergyJ: lat.Seconds() * power}
+		rep.Records = append(rep.Records, pr)
+		rep.Total += lat
+		rep.ByStage[r.Stage] += lat
+		rep.EnergyJ += pr.EnergyJ
+		switch r.Stage {
+		case model.StageSample, model.StageNeighbor, model.StageInterp, model.StageStructurize:
+			rep.SampleNeighbor += lat
+		default:
+			rep.Feature += lat
+		}
+		switch {
+		case r.Stage == model.StageStructurize:
+			rep.MemoryOverheadBytes += r.N * 4 // 32-bit Morton codes
+		case r.Reused:
+			rep.MemoryOverheadBytes += r.Q * r.K * 4 // cached index array
+		}
+	}
+	if rep.Total > 0 {
+		rep.AvgPowerW = rep.EnergyJ / rep.Total.Seconds()
+	}
+	return rep
+}
+
+// Format renders the report as a human-readable breakdown — total, the
+// paper's two-way split, per-stage-kind latencies and the energy figures.
+func (r Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total %v  (sample+NS %v, feature %v)\n", r.Total, r.SampleNeighbor, r.Feature)
+	kinds := make([]model.StageKind, 0, len(r.ByStage))
+	for k := range r.ByStage {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(a, b int) bool { return kinds[a] < kinds[b] })
+	for _, k := range kinds {
+		share := 0.0
+		if r.Total > 0 {
+			share = r.ByStage[k].Seconds() / r.Total.Seconds()
+		}
+		fmt.Fprintf(&b, "  %-12s %10v  %5.1f%%\n", k, r.ByStage[k], 100*share)
+	}
+	fmt.Fprintf(&b, "energy %.3f J  avg power %.2f W  extra memory %d B\n",
+		r.EnergyJ, r.AvgPowerW, r.MemoryOverheadBytes)
+	return b.String()
+}
+
+// LayerStage sums latencies of one stage kind per layer — the shape of
+// Fig. 9 (per-layer sampling latency) and Fig. 11 (per-module neighbor
+// search).
+func (r Report) LayerStage(stage model.StageKind) map[int]time.Duration {
+	out := make(map[int]time.Duration)
+	for _, rec := range r.Records {
+		if rec.Stage == stage {
+			out[rec.Layer] += rec.Latency
+		}
+	}
+	return out
+}

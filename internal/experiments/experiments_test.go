@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "fig3", "fig5", "fig6", "fig9", "fig11",
+		"fig13", "fig14", "fig15a", "fig15b",
+		"sec541", "sec542", "memory", "sec64", "table2",
+		"ablation-bits", "ablation-reuse", "ablation-sort", "compression", "devices", "validate",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("order[%d] = %s, want %s", i, all[i].ID, id)
+		}
+	}
+	if _, err := ByID("fig13"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id: want error")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every registered experiment in Quick
+// mode — the integration test of the whole harness.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment suite still takes a few seconds")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(RunConfig{Quick: true, Seed: 3})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if res.ID != e.ID {
+				t.Fatalf("result id %q for experiment %q", res.ID, e.ID)
+			}
+			if !strings.Contains(res.Table, "\n") || len(res.Table) < 20 {
+				t.Fatalf("%s: implausible table:\n%s", e.ID, res.Table)
+			}
+			if res.Notes == "" {
+				t.Fatalf("%s: missing notes", e.ID)
+			}
+			lines := strings.Split(strings.TrimSpace(res.Table), "\n")
+			if len(lines) < 3 { // header + underline + ≥1 data row
+				t.Fatalf("%s: table has no data rows:\n%s", e.ID, res.Table)
+			}
+		})
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	out := table([][]string{{"A", "BB"}, {"1", "2"}})
+	if !strings.Contains(out, "A") || !strings.Contains(out, "--") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}

@@ -1,0 +1,187 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoint3Arithmetic(t *testing.T) {
+	p := Point3{1, 2, 3}
+	q := Point3{4, 5, 6}
+	if got := p.Add(q); got != (Point3{5, 7, 9}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != (Point3{3, 3, 3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point3{2, 4, 6}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestDistSqMatchesDist(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		// Keep values in a sane range to avoid overflow-to-Inf noise.
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		p := Point3{clamp(ax), clamp(ay), clamp(az)}
+		q := Point3{clamp(bx), clamp(by), clamp(bz)}
+		d := p.Dist(q)
+		return math.Abs(d*d-p.DistSq(q)) <= 1e-6*(1+p.DistSq(q))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !(Point3{1, 2, 3}).IsFinite() {
+		t.Fatal("finite point reported non-finite")
+	}
+	bad := []Point3{
+		{math.NaN(), 0, 0},
+		{0, math.Inf(1), 0},
+		{0, 0, math.Inf(-1)},
+	}
+	for _, p := range bad {
+		if p.IsFinite() {
+			t.Fatalf("%v reported finite", p)
+		}
+	}
+}
+
+func TestAABBExtend(t *testing.T) {
+	b := EmptyAABB()
+	if b.IsValid() {
+		t.Fatal("empty box is valid")
+	}
+	b.Extend(Point3{1, 2, 3})
+	b.Extend(Point3{-1, 5, 0})
+	if !b.IsValid() {
+		t.Fatal("extended box invalid")
+	}
+	if b.Min != (Point3{-1, 2, 0}) || b.Max != (Point3{1, 5, 3}) {
+		t.Fatalf("bounds = %v", b)
+	}
+	if b.MaxDim() != 3 {
+		t.Fatalf("MaxDim = %v, want 3", b.MaxDim())
+	}
+	if !b.Contains(Point3{0, 3, 1}) {
+		t.Fatal("Contains(inside) = false")
+	}
+	if b.Contains(Point3{2, 3, 1}) {
+		t.Fatal("Contains(outside) = true")
+	}
+}
+
+func TestCloudValidate(t *testing.T) {
+	c := NewCloud(3, 2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.Feat = c.Feat[:5]
+	if err := c.Validate(); err == nil {
+		t.Fatal("truncated features: want error")
+	}
+	c = NewCloud(3, 0)
+	c.Labels = make([]int32, 2)
+	if err := c.Validate(); err == nil {
+		t.Fatal("short labels: want error")
+	}
+}
+
+func TestCloudSelect(t *testing.T) {
+	c := NewCloud(4, 2)
+	for i := range c.Points {
+		c.Points[i] = Point3{X: float64(i)}
+		c.FeatureRow(i)[0] = float32(i)
+		c.FeatureRow(i)[1] = float32(i * 10)
+	}
+	c.Labels = []int32{0, 1, 2, 3}
+	out := c.Select([]int{3, 1, 1})
+	if out.Len() != 3 {
+		t.Fatalf("Len = %d", out.Len())
+	}
+	if out.Points[0].X != 3 || out.Points[1].X != 1 || out.Points[2].X != 1 {
+		t.Fatalf("points = %v", out.Points)
+	}
+	if out.FeatureRow(0)[1] != 30 {
+		t.Fatalf("features not carried: %v", out.FeatureRow(0))
+	}
+	if out.Labels[0] != 3 {
+		t.Fatalf("labels not carried: %v", out.Labels)
+	}
+}
+
+func TestCloudPermute(t *testing.T) {
+	c := NewCloud(3, 1)
+	for i := range c.Points {
+		c.Points[i] = Point3{X: float64(i)}
+		c.FeatureRow(i)[0] = float32(i)
+	}
+	c.Labels = []int32{10, 11, 12}
+	if err := c.Permute([]int{2, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Points[0].X != 2 || c.Points[1].X != 0 || c.Points[2].X != 1 {
+		t.Fatalf("points = %v", c.Points)
+	}
+	if c.Feat[0] != 2 || c.Labels[0] != 12 {
+		t.Fatal("features/labels not permuted together")
+	}
+}
+
+func TestCloudPermuteRejectsInvalid(t *testing.T) {
+	c := NewCloud(3, 0)
+	if err := c.Permute([]int{0, 1}); err == nil {
+		t.Fatal("short permutation: want error")
+	}
+	if err := c.Permute([]int{0, 0, 1}); err == nil {
+		t.Fatal("duplicate permutation: want error")
+	}
+	if err := c.Permute([]int{0, 1, 5}); err == nil {
+		t.Fatal("out-of-range permutation: want error")
+	}
+}
+
+func TestCloudClone(t *testing.T) {
+	c := NewCloud(2, 1)
+	c.Labels = []int32{1, 2}
+	d := c.Clone()
+	d.Points[0].X = 99
+	d.Feat[0] = 7
+	d.Labels[0] = 9
+	if c.Points[0].X == 99 || c.Feat[0] == 7 || c.Labels[0] == 9 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestDropNonFinite(t *testing.T) {
+	c := NewCloud(4, 1)
+	c.Points[1].X = math.NaN()
+	c.Points[3].Y = math.Inf(1)
+	c.Labels = []int32{0, 1, 2, 3}
+	for i := range c.Points {
+		c.FeatureRow(i)[0] = float32(i)
+	}
+	removed := c.DropNonFinite()
+	if removed != 2 || c.Len() != 2 {
+		t.Fatalf("removed %d, len %d", removed, c.Len())
+	}
+	if c.Labels[1] != 2 || c.FeatureRow(1)[0] != 2 {
+		t.Fatal("labels/features misaligned after drop")
+	}
+	if c.DropNonFinite() != 0 {
+		t.Fatal("second pass removed points")
+	}
+}
+
+func TestBoundsEmptyCloud(t *testing.T) {
+	c := NewCloud(0, 0)
+	if c.Bounds().IsValid() {
+		t.Fatal("empty cloud bounds should be invalid")
+	}
+}

@@ -1,0 +1,136 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateShapeCountsAndFiniteness(t *testing.T) {
+	for kind := ShapeKind(0); kind < NumShapeKinds; kind++ {
+		c := GenerateShape(kind, ShapeOptions{N: 200, Noise: 0.01, DensitySkew: 0.5, Seed: int64(kind)})
+		if c.Len() != 200 {
+			t.Fatalf("%v: %d points", kind, c.Len())
+		}
+		for i, p := range c.Points {
+			if !p.IsFinite() {
+				t.Fatalf("%v: point %d not finite: %v", kind, i, p)
+			}
+		}
+	}
+}
+
+func TestGenerateShapeDeterministic(t *testing.T) {
+	a := GenerateShape(ShapeTorus, ShapeOptions{N: 50, Seed: 42})
+	b := GenerateShape(ShapeTorus, ShapeOptions{N: 50, Seed: 42})
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("same seed produced different shapes")
+		}
+	}
+	c := GenerateShape(ShapeTorus, ShapeOptions{N: 50, Seed: 43})
+	same := true
+	for i := range a.Points {
+		if a.Points[i] != c.Points[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical shapes")
+	}
+}
+
+func TestShapeKindString(t *testing.T) {
+	if ShapeSphere.String() != "sphere" || ShapeShell.String() != "shell" {
+		t.Fatal("shape names wrong")
+	}
+	if ShapeKind(99).String() != "unknown" {
+		t.Fatal("out-of-range kind should be unknown")
+	}
+}
+
+func TestSpherePointsOnUnitSphere(t *testing.T) {
+	c := GenerateShape(ShapeSphere, ShapeOptions{N: 500, Seed: 1})
+	for _, p := range c.Points {
+		if math.Abs(p.Norm()-1) > 1e-9 {
+			t.Fatalf("sphere point at radius %v", p.Norm())
+		}
+	}
+}
+
+func TestDensitySkewClustersPoints(t *testing.T) {
+	// With strong skew, points crowd near the u≈0 end of the
+	// parameterization: the spread of theta should shrink.
+	even := GenerateShape(ShapeCylinder, ShapeOptions{N: 2000, Seed: 5})
+	skewed := GenerateShape(ShapeCylinder, ShapeOptions{N: 2000, DensitySkew: 1, Seed: 5})
+	// Count points with x > 0.9 (theta near 0): the skewed cloud should
+	// have clearly more.
+	count := func(c *Cloud) int {
+		n := 0
+		for _, p := range c.Points {
+			if p.X > 0.9 {
+				n++
+			}
+		}
+		return n
+	}
+	if count(skewed) <= count(even) {
+		t.Fatalf("skewed cloud not clustered: %d vs %d near theta=0", count(skewed), count(even))
+	}
+}
+
+func TestSyntheticBunnyPointCount(t *testing.T) {
+	b := SyntheticBunny(1)
+	if b.Len() != 40256 {
+		t.Fatalf("bunny has %d points, want 40256 (Stanford Bunny size)", b.Len())
+	}
+	for _, p := range b.Points {
+		if !p.IsFinite() {
+			t.Fatal("bunny point not finite")
+		}
+	}
+}
+
+func TestGenerateSceneLabelsAndBudget(t *testing.T) {
+	c := GenerateScene(SceneOptions{N: 3000, Seed: 9})
+	if c.Len() < 3000 {
+		t.Fatalf("scene has %d points, want ≥ 3000", c.Len())
+	}
+	if len(c.Labels) != c.Len() {
+		t.Fatalf("%d labels for %d points", len(c.Labels), c.Len())
+	}
+	seen := map[int32]int{}
+	for _, l := range c.Labels {
+		if l < 0 || l >= NumSceneClasses {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l]++
+	}
+	// Structure and furniture classes must all appear in a default room.
+	for _, must := range []int32{ClassFloor, ClassWall, ClassClutter} {
+		if seen[must] == 0 {
+			t.Fatalf("class %s absent from scene", SceneClassName(must))
+		}
+	}
+}
+
+func TestSceneClassName(t *testing.T) {
+	if SceneClassName(ClassSofa) != "sofa" {
+		t.Fatal("wrong class name")
+	}
+	if SceneClassName(-1) != "unknown" || SceneClassName(99) != "unknown" {
+		t.Fatal("out-of-range label should be unknown")
+	}
+}
+
+func TestScenePointsInsideRoom(t *testing.T) {
+	opts := SceneOptions{N: 2000, RoomW: 4, RoomD: 3, RoomH: 2.5, Seed: 3}
+	c := GenerateScene(opts)
+	for i, p := range c.Points {
+		// Clutter jitter may poke slightly outside; allow a small margin.
+		const eps = 0.5
+		if p.X < -eps || p.X > opts.RoomW+eps || p.Y < -eps || p.Y > opts.RoomD+eps || p.Z < -eps || p.Z > opts.RoomH+eps {
+			t.Fatalf("point %d at %v escapes the room", i, p)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRotateZPreservesNormsAndZ(t *testing.T) {
+	c := GenerateShape(ShapeBlob, ShapeOptions{N: 100, Seed: 1})
+	orig := c.Clone()
+	c.RotateZ(math.Pi / 3)
+	for i, p := range c.Points {
+		o := orig.Points[i]
+		if math.Abs(p.Z-o.Z) > 1e-12 {
+			t.Fatalf("rotation changed Z at %d", i)
+		}
+		rBefore := math.Hypot(o.X, o.Y)
+		rAfter := math.Hypot(p.X, p.Y)
+		if math.Abs(rBefore-rAfter) > 1e-9 {
+			t.Fatalf("rotation changed XY radius at %d: %v vs %v", i, rBefore, rAfter)
+		}
+	}
+}
+
+func TestRotateZFullCircle(t *testing.T) {
+	c := GenerateShape(ShapeTorus, ShapeOptions{N: 50, Seed: 2})
+	orig := c.Clone()
+	c.RotateZ(2 * math.Pi)
+	for i := range c.Points {
+		if c.Points[i].Dist(orig.Points[i]) > 1e-9 {
+			t.Fatalf("2π rotation moved point %d", i)
+		}
+	}
+}
+
+func TestScaleAndTranslate(t *testing.T) {
+	c := NewCloud(1, 0)
+	c.Points[0] = Point3{1, 2, 3}
+	c.Scale(2, 3, 4)
+	if c.Points[0] != (Point3{2, 6, 12}) {
+		t.Fatalf("scale = %v", c.Points[0])
+	}
+	c.Translate(Point3{-1, -1, -1})
+	if c.Points[0] != (Point3{1, 5, 11}) {
+		t.Fatalf("translate = %v", c.Points[0])
+	}
+}
+
+func TestJitterBoundedAndZeroSigmaNoop(t *testing.T) {
+	c := GenerateShape(ShapeSphere, ShapeOptions{N: 500, Seed: 3})
+	orig := c.Clone()
+	rng := rand.New(rand.NewSource(4))
+	c.Jitter(0, rng)
+	for i := range c.Points {
+		if c.Points[i] != orig.Points[i] {
+			t.Fatal("sigma=0 jitter moved points")
+		}
+	}
+	const sigma = 0.02
+	c.Jitter(sigma, rng)
+	moved := 0
+	for i := range c.Points {
+		d := c.Points[i].Sub(orig.Points[i])
+		for _, v := range []float64{d.X, d.Y, d.Z} {
+			if math.Abs(v) > 3*sigma+1e-12 {
+				t.Fatalf("jitter exceeded clip: %v", v)
+			}
+			if v != 0 {
+				moved++
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("jitter moved nothing")
+	}
+}
+
+func TestAugmentIsACopy(t *testing.T) {
+	c := GenerateShape(ShapeBox, ShapeOptions{N: 60, Seed: 5})
+	c.Labels = make([]int32, 60)
+	orig := c.Clone()
+	rng := rand.New(rand.NewSource(6))
+	a := Augment(c, DefaultAugmentOptions(), rng)
+	for i := range c.Points {
+		if c.Points[i] != orig.Points[i] {
+			t.Fatal("Augment mutated the input")
+		}
+	}
+	if a.Len() != c.Len() || len(a.Labels) != len(c.Labels) {
+		t.Fatal("Augment changed shape")
+	}
+	different := false
+	for i := range a.Points {
+		if a.Points[i] != c.Points[i] {
+			different = true
+			break
+		}
+	}
+	if !different {
+		t.Fatal("Augment returned identical points")
+	}
+}

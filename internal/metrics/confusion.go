@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Confusion is a class-by-class confusion matrix for segmentation /
+// classification evaluation: rows are ground-truth classes, columns
+// predictions.
+type Confusion struct {
+	Classes int
+	Counts  []int64 // Classes × Classes, row-major
+}
+
+// NewConfusion allocates a matrix for the given class count.
+func NewConfusion(classes int) *Confusion {
+	return &Confusion{Classes: classes, Counts: make([]int64, classes*classes)}
+}
+
+// Add accumulates predictions against truth; labels < 0 in truth are
+// ignored.
+func (m *Confusion) Add(pred, truth []int32) error {
+	if len(pred) != len(truth) {
+		return fmt.Errorf("metrics: %d predictions for %d labels", len(pred), len(truth))
+	}
+	for i, p := range pred {
+		t := truth[i]
+		if t < 0 {
+			continue
+		}
+		if p < 0 || int(p) >= m.Classes || int(t) >= m.Classes {
+			return fmt.Errorf("metrics: label out of range (pred=%d truth=%d classes=%d)", p, t, m.Classes)
+		}
+		m.Counts[int(t)*m.Classes+int(p)]++
+	}
+	return nil
+}
+
+// At returns the count of truth-class t predicted as class p.
+func (m *Confusion) At(t, p int) int64 { return m.Counts[t*m.Classes+p] }
+
+// Total returns the number of accumulated (non-ignored) samples.
+func (m *Confusion) Total() int64 {
+	var s int64
+	for _, c := range m.Counts {
+		s += c
+	}
+	return s
+}
+
+// Accuracy returns the overall accuracy.
+func (m *Confusion) Accuracy() float64 {
+	total := m.Total()
+	if total == 0 {
+		return 0
+	}
+	var diag int64
+	for c := 0; c < m.Classes; c++ {
+		diag += m.At(c, c)
+	}
+	return float64(diag) / float64(total)
+}
+
+// IoU returns class c's intersection-over-union and whether the class
+// appeared at all (in truth or prediction).
+func (m *Confusion) IoU(c int) (float64, bool) {
+	inter := m.At(c, c)
+	var union int64
+	for j := 0; j < m.Classes; j++ {
+		union += m.At(c, j) // false negatives + tp
+		if j != c {
+			union += m.At(j, c) // false positives
+		}
+	}
+	if union == 0 {
+		return 0, false
+	}
+	return float64(inter) / float64(union), true
+}
+
+// MeanIoU averages IoU over classes present in the data.
+func (m *Confusion) MeanIoU() float64 {
+	var sum float64
+	n := 0
+	for c := 0; c < m.Classes; c++ {
+		if iou, ok := m.IoU(c); ok {
+			sum += iou
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// String renders the matrix with per-class IoU, suitable for experiment
+// logs.
+func (m *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (%d classes, %d samples, acc %.3f, mIoU %.3f)\n",
+		m.Classes, m.Total(), m.Accuracy(), m.MeanIoU())
+	for t := 0; t < m.Classes; t++ {
+		fmt.Fprintf(&b, "  T%-2d:", t)
+		for p := 0; p < m.Classes; p++ {
+			fmt.Fprintf(&b, " %6d", m.At(t, p))
+		}
+		if iou, ok := m.IoU(t); ok {
+			fmt.Fprintf(&b, "  IoU %.3f", iou)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	m := NewConfusion(3)
+	if err := m.Add([]int32{0, 1, 1, 2}, []int32{0, 1, 0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() != 4 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	if m.At(0, 1) != 1 || m.At(0, 0) != 1 || m.At(1, 1) != 1 || m.At(2, 2) != 1 {
+		t.Fatalf("counts = %v", m.Counts)
+	}
+	if math.Abs(m.Accuracy()-0.75) > 1e-12 {
+		t.Fatalf("accuracy = %v", m.Accuracy())
+	}
+}
+
+func TestConfusionIoUMatchesMeanIoU(t *testing.T) {
+	pred := []int32{0, 0, 1, 1, 2}
+	truth := []int32{0, 1, 1, 1, 2}
+	m := NewConfusion(3)
+	if err := m.Add(pred, truth); err != nil {
+		t.Fatal(err)
+	}
+	want, err := MeanIoU(pred, truth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.MeanIoU()-want) > 1e-12 {
+		t.Fatalf("confusion mIoU %v vs MeanIoU %v", m.MeanIoU(), want)
+	}
+}
+
+func TestConfusionIgnoresNegativeTruth(t *testing.T) {
+	m := NewConfusion(2)
+	if err := m.Add([]int32{0, 1}, []int32{0, -1}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() != 1 {
+		t.Fatalf("total = %d", m.Total())
+	}
+}
+
+func TestConfusionErrors(t *testing.T) {
+	m := NewConfusion(2)
+	if err := m.Add([]int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("length mismatch: want error")
+	}
+	if err := m.Add([]int32{5}, []int32{0}); err == nil {
+		t.Fatal("out-of-range prediction: want error")
+	}
+}
+
+func TestConfusionAbsentClass(t *testing.T) {
+	m := NewConfusion(3)
+	if err := m.Add([]int32{0}, []int32{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.IoU(2); ok {
+		t.Fatal("absent class reported present")
+	}
+	if m.MeanIoU() != 1 {
+		t.Fatalf("mIoU = %v", m.MeanIoU())
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	m := NewConfusion(2)
+	_ = m.Add([]int32{0, 1}, []int32{0, 1})
+	s := m.String()
+	if !strings.Contains(s, "acc 1.000") || !strings.Contains(s, "IoU 1.000") {
+		t.Fatalf("string output:\n%s", s)
+	}
+	if m2 := NewConfusion(2); m2.Accuracy() != 0 || m2.MeanIoU() != 0 {
+		t.Fatal("empty matrix metrics nonzero")
+	}
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestMeanIoU(t *testing.T) {
+	pred := []int32{0, 0, 1, 1}
+	truth := []int32{0, 1, 1, 1}
+	// class 0: inter 1, union 2 → 0.5; class 1: inter 2, union 3 → 2/3.
+	got, err := MeanIoU(pred, truth, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.5 + 2.0/3) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mIoU = %v, want %v", got, want)
+	}
+}
+
+func TestMeanIoUPerfect(t *testing.T) {
+	labels := []int32{0, 1, 2, 1}
+	got, err := MeanIoU(labels, labels, 3)
+	if err != nil || got != 1 {
+		t.Fatalf("perfect mIoU = %v, err %v", got, err)
+	}
+}
+
+func TestMeanIoUIgnoresNegativeTruth(t *testing.T) {
+	got, err := MeanIoU([]int32{0, 1}, []int32{0, -1}, 2)
+	if err != nil || got != 1 {
+		t.Fatalf("mIoU = %v err %v", got, err)
+	}
+}
+
+func TestMeanIoUErrors(t *testing.T) {
+	if _, err := MeanIoU([]int32{0}, []int32{0, 1}, 2); err == nil {
+		t.Fatal("length mismatch: want error")
+	}
+	if _, err := MeanIoU([]int32{5}, []int32{0}, 2); err == nil {
+		t.Fatal("label out of range: want error")
+	}
+}
+
+func TestOverallAccuracy(t *testing.T) {
+	got, err := OverallAccuracy([]int32{0, 1, 1}, []int32{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got, _ := OverallAccuracy(nil, nil); got != 0 {
+		t.Fatal("empty accuracy nonzero")
+	}
+}
+
+func TestCoverageRadius(t *testing.T) {
+	pts := []geom.Point3{{X: 0}, {X: 1}, {X: 2}, {X: 3}}
+	mean, max, err := CoverageRadius(pts, []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distances to nearest sample: 0, 1, 1, 0.
+	if math.Abs(mean-0.5) > 1e-12 || math.Abs(max-1) > 1e-12 {
+		t.Fatalf("coverage mean=%v max=%v", mean, max)
+	}
+	if _, _, err := CoverageRadius(pts, nil); err == nil {
+		t.Fatal("no samples: want error")
+	}
+	if _, _, err := CoverageRadius(pts, []int{9}); err == nil {
+		t.Fatal("bad index: want error")
+	}
+}
+
+func TestChamferDistance(t *testing.T) {
+	a := []geom.Point3{{X: 0}, {X: 2}}
+	b := []geom.Point3{{X: 0}, {X: 2}}
+	d, err := ChamferDistance(a, b)
+	if err != nil || d != 0 {
+		t.Fatalf("identical chamfer = %v err %v", d, err)
+	}
+	c := []geom.Point3{{X: 1}}
+	d, err = ChamferDistance(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a→c: (1+1)/2 = 1; c→a: 1 → (1+1)/2 = 1.
+	if math.Abs(d-1) > 1e-12 {
+		t.Fatalf("chamfer = %v, want 1", d)
+	}
+	if _, err := ChamferDistance(nil, a); err == nil {
+		t.Fatal("empty set: want error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean = %v, want 4", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatal("empty geomean")
+	}
+	if g := GeoMean([]float64{1, -1}); g != 0 {
+		t.Fatal("negative value geomean")
+	}
+}

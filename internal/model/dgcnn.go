@@ -1,0 +1,381 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// EdgeConvModule is DGCNN's basic block (Fig. 2b): build a k-NN graph, form
+// edge features [f_i | f_j − f_i], run a shared MLP and max-pool over the k
+// edges of each point. The point count never changes (no sampling stage).
+//
+// The first module measures neighbor distance in coordinate space (where the
+// Morton window approximation applies); deeper modules measure it in feature
+// space, where the paper instead *reuses* earlier indexes per ReusePolicy.
+type EdgeConvModule struct {
+	K     int
+	MLP   *nn.Sequential
+	Strat ModuleStrategy
+
+	cache ecCache
+}
+
+type ecCache struct {
+	nbr     []int
+	argmax  []int32
+	k, n, c int
+}
+
+func (m *EdgeConvModule) forward(lv *level, layer int, reuse *core.ReuseCache, trace *Trace, train bool) (*level, error) {
+	n := lv.len()
+	k := clampK(m.K, n)
+
+	// --- Neighbor search (or reuse) ---
+	var nbr []int
+	var computed bool
+	var algo string
+	w := 0
+	dur, err := timed(func() error {
+		var e error
+		nbr, computed, e = reuse.ForLayer(layer, k, func() ([]int, error) {
+			if m.Strat.MortonWindow && lv.mortonSorted && layer == 0 {
+				algo = "morton-window"
+				ws := core.WindowSearcher{W: m.Strat.WindowW}
+				w = m.Strat.WindowW
+				if w < k {
+					w = k
+				}
+				return ws.SearchAll(lv.pts, k)
+			}
+			if layer == 0 {
+				algo = "knn-brute"
+				return featKNN(coordMatrix(lv.pts), k), nil
+			}
+			algo = "knn-feature"
+			return featKNN(lv.feats, k), nil
+		})
+		return e
+	})
+	if err != nil {
+		return nil, fmt.Errorf("model: EC%d neighbor: %w", layer, err)
+	}
+	if !computed {
+		algo = "reuse"
+	}
+	trace.Add(StageRecord{
+		Stage: StageNeighbor, Layer: layer, Algo: algo,
+		N: n, Q: n, K: k, W: w, CIn: lv.feats.Cols, Reused: !computed, Dur: dur,
+	})
+
+	// --- Group ---
+	var grouped *tensor.Matrix
+	dur, err = timed(func() error {
+		var e error
+		grouped, e = buildGroupedEdge(lv.feats, nbr, k)
+		return e
+	})
+	if err != nil {
+		return nil, fmt.Errorf("model: EC%d group: %w", layer, err)
+	}
+	trace.Add(StageRecord{Stage: StageGroup, Layer: layer, Algo: "gather", N: n, Q: n, K: k, CIn: grouped.Cols, Dur: dur})
+
+	// --- Feature compute ---
+	var feats *tensor.Matrix
+	var argmax []int32
+	cin := grouped.Cols
+	dur, err = timed(func() error {
+		y, e := m.MLP.Forward(grouped, train)
+		if e != nil {
+			return e
+		}
+		feats, argmax, e = tensor.MaxPoolGroups(y, k)
+		return e
+	})
+	if err != nil {
+		return nil, fmt.Errorf("model: EC%d feature: %w", layer, err)
+	}
+	trace.Add(StageRecord{Stage: StageFeature, Layer: layer, Algo: "shared-mlp", Q: n * k, CIn: cin, COut: feats.Cols, Dur: dur})
+
+	if train {
+		m.cache = ecCache{nbr: nbr, argmax: argmax, k: k, n: n, c: lv.feats.Cols}
+	}
+	return &level{pts: lv.pts, feats: feats, mortonSorted: lv.mortonSorted}, nil
+}
+
+func (m *EdgeConvModule) backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
+	c := &m.cache
+	if c.nbr == nil {
+		return nil, fmt.Errorf("model: EC backward before forward(train)")
+	}
+	g, err := tensor.MaxPoolBackward(grad, c.argmax, c.k)
+	if err != nil {
+		return nil, err
+	}
+	g, err = m.MLP.Backward(g)
+	if err != nil {
+		return nil, err
+	}
+	return groupedEdgeBackward(g, c.nbr, c.n, c.c)
+}
+
+// Task selects the DGCNN head.
+type Task int
+
+// DGCNN task heads. Classification pools globally; Segmentation emits
+// per-point logits (used for both part and semantic segmentation).
+const (
+	TaskClassification Task = iota
+	TaskSegmentation
+)
+
+// DGCNN is the EdgeConv network of Fig. 2b with per-layer strategy selection
+// and the paper's neighbor-index reuse across modules.
+type DGCNN struct {
+	EC          []*EdgeConvModule
+	Embed       *nn.Sequential // fuses the concatenated EC outputs
+	Head        *nn.Sequential
+	Task        Task
+	Reuse       core.ReusePolicy
+	Structurize *core.StructurizeOptions
+
+	extraFeatDim int
+
+	// forward caches
+	ecOuts    []*tensor.Matrix // outputs of each EC module (post-pool)
+	ecCols    []int
+	clsArgmax []int32
+	embedRows int
+}
+
+// DGCNNConfig describes a DGCNN instance.
+type DGCNNConfig struct {
+	Classes    int
+	Modules    int // number of EdgeConv modules; default 3 (paper's DGCNN(s)); 4 for the reuse demo
+	BaseWidth  int // EC output width (constant across modules); default 16
+	K          int // neighbors; default 8 (paper uses 20 at full scale)
+	EmbedWidth int // fused embedding width; default 4×BaseWidth
+	// ExtraFeatDim is the width of per-point input features beyond the
+	// coordinates; input clouds must carry exactly this FeatDim.
+	ExtraFeatDim int
+	Strategies   []ModuleStrategy
+	Reuse        core.ReusePolicy
+	Task         Task
+	Structurize  *core.StructurizeOptions
+	// Dropout is the head dropout probability; 0 selects the default (0.3),
+	// a negative value disables dropout (useful for gradient checking).
+	Dropout float64
+	Seed    int64
+}
+
+func (c *DGCNNConfig) defaults() {
+	if c.Modules == 0 {
+		c.Modules = 3
+	}
+	if c.BaseWidth == 0 {
+		c.BaseWidth = 16
+	}
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.EmbedWidth == 0 {
+		c.EmbedWidth = 4 * c.BaseWidth
+	}
+	if c.Strategies == nil {
+		c.Strategies = make([]ModuleStrategy, c.Modules)
+	}
+}
+
+// NewDGCNN constructs the network.
+func NewDGCNN(cfg DGCNNConfig) (*DGCNN, error) {
+	cfg.defaults()
+	if cfg.Classes < 2 {
+		return nil, fmt.Errorf("model: need ≥2 classes, got %d", cfg.Classes)
+	}
+	if len(cfg.Strategies) != cfg.Modules {
+		return nil, fmt.Errorf("model: %d strategies for %d modules", len(cfg.Strategies), cfg.Modules)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	net := &DGCNN{Task: cfg.Task, Reuse: cfg.Reuse, Structurize: cfg.Structurize, extraFeatDim: cfg.ExtraFeatDim}
+	inC := 3 + cfg.ExtraFeatDim
+	for l := 0; l < cfg.Modules; l++ {
+		net.EC = append(net.EC, &EdgeConvModule{
+			K:     cfg.K,
+			MLP:   nn.NewSharedMLP(fmt.Sprintf("ec%d", l), []int{2 * inC, cfg.BaseWidth, cfg.BaseWidth}, rng),
+			Strat: cfg.Strategies[l],
+		})
+		inC = cfg.BaseWidth
+	}
+	concatC := cfg.Modules * cfg.BaseWidth
+	net.Embed = nn.NewSharedMLP("embed", []int{concatC, cfg.EmbedWidth}, rng)
+	// The classification head sees a single globally pooled row per cloud
+	// (this implementation processes clouds one at a time), so BatchNorm —
+	// which normalizes over rows — would be degenerate there; it stays in
+	// the segmentation head, where rows are points.
+	headLayers := []nn.Layer{
+		nn.NewLinear("head.0", cfg.EmbedWidth, cfg.EmbedWidth/2, rng),
+	}
+	if cfg.Task == TaskSegmentation {
+		headLayers = append(headLayers, nn.NewBatchNorm("head.0.bn", cfg.EmbedWidth/2))
+	}
+	headLayers = append(headLayers,
+		&nn.ReLU{},
+		&nn.Dropout{P: dropoutP(cfg.Dropout), Rng: rand.New(rand.NewSource(cfg.Seed + 4))},
+		nn.NewLinear("head.1", cfg.EmbedWidth/2, cfg.Classes, rng),
+	)
+	net.Head = nn.NewSequential(headLayers...)
+	return net, nil
+}
+
+// Params returns all trainable parameters.
+func (n *DGCNN) Params() []*nn.Param {
+	var out []*nn.Param
+	for _, m := range n.EC {
+		out = append(out, m.MLP.Params()...)
+	}
+	out = append(out, n.Embed.Params()...)
+	return append(out, n.Head.Params()...)
+}
+
+// Forward runs one cloud through the network. For classification the logits
+// matrix has a single row; for segmentation one row per point.
+func (n *DGCNN) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, error) {
+	if cloud.Len() == 0 {
+		return nil, fmt.Errorf("model: empty cloud")
+	}
+	pts := cloud.Points
+	feat, featDim := cloud.Feat, cloud.FeatDim
+	labels := cloud.Labels
+	var perm []int
+	sorted := false
+	if n.Structurize != nil {
+		start := time.Now()
+		s, err := core.Structurize(cloud, *n.Structurize)
+		if err != nil {
+			return nil, err
+		}
+		trace.Add(StageRecord{Stage: StageStructurize, Layer: 0, Algo: "morton", N: cloud.Len(), Dur: time.Since(start)})
+		pts = s.Cloud.Points
+		feat, featDim = s.Cloud.Feat, s.Cloud.FeatDim
+		labels = s.Cloud.Labels
+		perm = s.Perm
+		sorted = true
+	}
+	feats, err := inputFeatures(pts, feat, featDim, n.extraFeatDim)
+	if err != nil {
+		return nil, err
+	}
+	lv := &level{pts: pts, feats: feats, mortonSorted: sorted}
+	reuse := core.NewReuseCache(n.Reuse)
+	var outs []*tensor.Matrix
+	for i, m := range n.EC {
+		next, err := m.forward(lv, i, reuse, trace, train)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, next.feats)
+		lv = next
+	}
+	fused := outs[0]
+	for _, o := range outs[1:] {
+		fused, err = tensor.Concat(fused, o)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var embedded *tensor.Matrix
+	cin := fused.Cols
+	dur, err := timed(func() error {
+		var e error
+		embedded, e = n.Embed.Forward(fused, train)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	trace.Add(StageRecord{Stage: StageFeature, Layer: len(n.EC), Algo: "shared-mlp", Q: fused.Rows, CIn: cin, COut: embedded.Cols, Dur: dur})
+
+	var logits *tensor.Matrix
+	if n.Task == TaskClassification {
+		vals, argmax := tensor.ColMax(embedded)
+		pooled, _ := tensor.FromSlice(1, len(vals), vals)
+		logits, err = n.Head.Forward(pooled, train)
+		if err != nil {
+			return nil, err
+		}
+		if train {
+			n.clsArgmax = argmax
+			n.embedRows = embedded.Rows
+		}
+		// One label per cloud: majority convention is the caller's concern;
+		// we pass through cloud-level labels untouched.
+	} else {
+		logits, err = n.Head.Forward(embedded, train)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if train {
+		n.ecOuts = outs
+		n.ecCols = make([]int, len(outs))
+		for i, o := range outs {
+			n.ecCols[i] = o.Cols
+		}
+	}
+	return &Output{Logits: logits, Labels: labels, Perm: perm}, nil
+}
+
+// Backward propagates the loss gradient through the network.
+func (n *DGCNN) Backward(gradLogits *tensor.Matrix) error {
+	if n.ecOuts == nil {
+		return fmt.Errorf("model: backward before forward(train)")
+	}
+	g, err := n.Head.Backward(gradLogits)
+	if err != nil {
+		return err
+	}
+	if n.Task == TaskClassification {
+		// Route the pooled gradient back to the argmax rows.
+		full := tensor.New(n.embedRows, g.Cols)
+		row := g.Row(0)
+		for c, v := range row {
+			full.Data[int(n.clsArgmax[c])*g.Cols+c] += v
+		}
+		g = full
+	}
+	g, err = n.Embed.Backward(g)
+	if err != nil {
+		return err
+	}
+	// Split the concat gradient into per-EC parts, then run the EC chain
+	// backward, summing the skip gradient with the chain gradient.
+	parts := make([]*tensor.Matrix, len(n.ecOuts))
+	off := 0
+	for i, c := range n.ecCols {
+		part := tensor.New(g.Rows, c)
+		for r := 0; r < g.Rows; r++ {
+			copy(part.Row(r), g.Row(r)[off:off+c])
+		}
+		parts[i] = part
+		off += c
+	}
+	var chain *tensor.Matrix
+	for i := len(n.EC) - 1; i >= 0; i-- {
+		total := parts[i]
+		if chain != nil {
+			for j, v := range chain.Data {
+				total.Data[j] += v
+			}
+		}
+		chain, err = n.EC[i].backward(total)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// level is the per-resolution state flowing through a hierarchical
+// point-cloud network: the points at this resolution, their feature matrix,
+// and whether the point order is Morton-sorted (index-based operations are
+// only valid on sorted levels).
+//
+// A key property the EdgePC design exploits: uniform-stride sampling of a
+// Morton-sorted level yields positions in ascending order, so the *sampled
+// subset is itself Morton-sorted* — deeper modules may keep using index-based
+// operations without re-sorting.
+type level struct {
+	pts          []geom.Point3
+	feats        *tensor.Matrix // len(pts) × C
+	mortonSorted bool
+	// posInParent holds, for each point of this level, its index in the
+	// parent level's order (ascending when both levels are Morton-sorted).
+	// nil for the input level.
+	posInParent []int
+}
+
+func (l *level) len() int { return len(l.pts) }
+
+// coordMatrix converts points to an N×3 float32 feature matrix.
+func coordMatrix(pts []geom.Point3) *tensor.Matrix {
+	m := tensor.New(len(pts), 3)
+	for i, p := range pts {
+		row := m.Row(i)
+		row[0] = float32(p.X)
+		row[1] = float32(p.Y)
+		row[2] = float32(p.Z)
+	}
+	return m
+}
+
+// inputFeatures builds the level-0 feature matrix: coordinates, optionally
+// concatenated with the cloud's own per-point features (RGB, intensity, …),
+// whose width must match extraDim.
+func inputFeatures(pts []geom.Point3, feat []float32, featDim, extraDim int) (*tensor.Matrix, error) {
+	coords := coordMatrix(pts)
+	if extraDim == 0 {
+		return coords, nil
+	}
+	if featDim != extraDim {
+		return nil, fmt.Errorf("model: network expects %d extra features per point, cloud has %d", extraDim, featDim)
+	}
+	extra, err := tensor.FromSlice(len(pts), featDim, feat)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Concat(coords, extra)
+}
+
+// buildGroupedSA materializes the SetAbstraction grouping: for each query q
+// (a sampled point) and neighbor slot j, row q*k+j holds
+// [neighbor − center (3) | neighbor features (C)].
+// nbr is flat q-major with indexes into the parent level.
+func buildGroupedSA(parentPts []geom.Point3, parentFeats *tensor.Matrix, centers []geom.Point3, nbr []int, k int) (*tensor.Matrix, error) {
+	q := len(centers)
+	if len(nbr) != q*k {
+		return nil, fmt.Errorf("model: %d neighbor entries for %d queries × k=%d", len(nbr), q, k)
+	}
+	c := parentFeats.Cols
+	out := tensor.New(q*k, 3+c)
+	for i := 0; i < q; i++ {
+		ctr := centers[i]
+		for j := 0; j < k; j++ {
+			n := nbr[i*k+j]
+			if n < 0 || n >= len(parentPts) {
+				return nil, fmt.Errorf("model: neighbor index %d out of %d points", n, len(parentPts))
+			}
+			row := out.Row(i*k + j)
+			p := parentPts[n]
+			row[0] = float32(p.X - ctr.X)
+			row[1] = float32(p.Y - ctr.Y)
+			row[2] = float32(p.Z - ctr.Z)
+			copy(row[3:], parentFeats.Row(n))
+		}
+	}
+	return out, nil
+}
+
+// groupedSABackward routes the gradient of the grouped matrix back to the
+// parent feature matrix (the relative-coordinate columns carry no trainable
+// gradient and are dropped).
+func groupedSABackward(grad *tensor.Matrix, nbr []int, parentRows, parentCols int) (*tensor.Matrix, error) {
+	if grad.Cols != 3+parentCols {
+		return nil, fmt.Errorf("model: grouped grad has %d cols, expected %d", grad.Cols, 3+parentCols)
+	}
+	d := tensor.New(parentRows, parentCols)
+	for r := 0; r < grad.Rows; r++ {
+		n := nbr[r]
+		src := grad.Row(r)[3:]
+		dst := d.Row(n)
+		for c, v := range src {
+			dst[c] += v
+		}
+	}
+	return d, nil
+}
+
+// buildGroupedEdge materializes the DGCNN EdgeConv grouping: row i*k+j holds
+// [f_i | f_j − f_i] for neighbor j of point i. nbr indexes the same level.
+func buildGroupedEdge(feats *tensor.Matrix, nbr []int, k int) (*tensor.Matrix, error) {
+	n := feats.Rows
+	if len(nbr) != n*k {
+		return nil, fmt.Errorf("model: %d neighbor entries for %d points × k=%d", len(nbr), n, k)
+	}
+	c := feats.Cols
+	out := tensor.New(n*k, 2*c)
+	for i := 0; i < n; i++ {
+		fi := feats.Row(i)
+		for j := 0; j < k; j++ {
+			nj := nbr[i*k+j]
+			if nj < 0 || nj >= n {
+				return nil, fmt.Errorf("model: edge neighbor %d out of %d points", nj, n)
+			}
+			row := out.Row(i*k + j)
+			copy(row[:c], fi)
+			fj := feats.Row(nj)
+			for t := 0; t < c; t++ {
+				row[c+t] = fj[t] - fi[t]
+			}
+		}
+	}
+	return out, nil
+}
+
+// groupedEdgeBackward routes the gradient of the edge-grouped matrix back to
+// the level features: the left half accumulates on i, the right half adds to
+// j and subtracts from i.
+func groupedEdgeBackward(grad *tensor.Matrix, nbr []int, n, c int) (*tensor.Matrix, error) {
+	if grad.Cols != 2*c {
+		return nil, fmt.Errorf("model: edge grad has %d cols, expected %d", grad.Cols, 2*c)
+	}
+	d := tensor.New(n, c)
+	k := grad.Rows / n
+	for i := 0; i < n; i++ {
+		di := d.Row(i)
+		for j := 0; j < k; j++ {
+			row := grad.Row(i*k + j)
+			nj := nbr[i*k+j]
+			dj := d.Row(nj)
+			for t := 0; t < c; t++ {
+				di[t] += row[t] - row[c+t]
+				dj[t] += row[c+t]
+			}
+		}
+	}
+	return d, nil
+}
+
+// featKNN performs exact k-nearest-neighbor search in feature space (rows of
+// feats), the SOTA searcher of DGCNN's deeper EdgeConv modules where
+// "distance between points are measured using the features" (§5.2.3). The
+// query set is all rows; self is included as the first neighbor. O(N²·C).
+func featKNN(feats *tensor.Matrix, k int) []int {
+	n := feats.Rows
+	if k > n {
+		k = n
+	}
+	out := make([]int, n*k)
+	parallel.ForChunks(n, func(lo, hi int) {
+		d := make([]float64, k)
+		idx := make([]int, k)
+		for i := lo; i < hi; i++ {
+			fi := feats.Row(i)
+			for t := range d {
+				d[t] = 1e300
+				idx[t] = -1
+			}
+			for j := 0; j < n; j++ {
+				fj := feats.Row(j)
+				var dist float64
+				for t, v := range fi {
+					dv := float64(v - fj[t])
+					dist += dv * dv
+				}
+				if dist >= d[k-1] {
+					continue
+				}
+				t := k - 1
+				for t > 0 && d[t-1] > dist {
+					d[t] = d[t-1]
+					idx[t] = idx[t-1]
+					t--
+				}
+				d[t] = dist
+				idx[t] = j
+			}
+			copy(out[i*k:(i+1)*k], idx)
+		}
+	})
+	return out
+}

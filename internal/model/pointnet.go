@@ -1,0 +1,114 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// PointNetVanilla is the original PointNet classifier (Qi et al. 2017): a
+// per-point shared MLP followed by global max pooling and a dense head. It
+// has *no sampling and no neighbor search* — which makes it the control
+// architecture for the paper's Fig. 3 argument: the bottleneck the paper
+// attacks exists only in hierarchical models. A vanilla-PointNet trace
+// contains feature stages exclusively.
+type PointNetVanilla struct {
+	MLP  *nn.Sequential // per-point feature extractor
+	Head *nn.Sequential // classifier over the pooled global feature
+
+	// forward caches
+	rows      int
+	argmax    []int32
+	embedCols int
+}
+
+// PointNetConfig describes a vanilla PointNet instance.
+type PointNetConfig struct {
+	Classes   int
+	BaseWidth int // first MLP width; the embedding is 4× this; default 16
+	// Dropout follows the same convention as the other models (0 = default
+	// 0.3, negative disables).
+	Dropout float64
+	Seed    int64
+}
+
+// NewPointNetVanilla constructs the network.
+func NewPointNetVanilla(cfg PointNetConfig) (*PointNetVanilla, error) {
+	if cfg.Classes < 2 {
+		return nil, fmt.Errorf("model: need ≥2 classes, got %d", cfg.Classes)
+	}
+	if cfg.BaseWidth == 0 {
+		cfg.BaseWidth = 16
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 11))
+	embed := 4 * cfg.BaseWidth
+	net := &PointNetVanilla{
+		MLP: nn.NewSharedMLP("pn.mlp", []int{3, cfg.BaseWidth, 2 * cfg.BaseWidth, embed}, rng),
+	}
+	net.Head = nn.NewSequential(
+		nn.NewLinear("pn.head.0", embed, embed/2, rng),
+		&nn.ReLU{},
+		&nn.Dropout{P: dropoutP(cfg.Dropout), Rng: rand.New(rand.NewSource(cfg.Seed + 12))},
+		nn.NewLinear("pn.head.1", embed/2, cfg.Classes, rng),
+	)
+	return net, nil
+}
+
+// Params returns all trainable parameters.
+func (n *PointNetVanilla) Params() []*nn.Param {
+	return append(n.MLP.Params(), n.Head.Params()...)
+}
+
+// Forward runs one cloud through the network; logits have a single row.
+func (n *PointNetVanilla) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, error) {
+	if cloud.Len() == 0 {
+		return nil, fmt.Errorf("model: empty cloud")
+	}
+	x := coordMatrix(cloud.Points)
+	var feats *tensor.Matrix
+	start := time.Now()
+	feats, err := n.MLP.Forward(x, train)
+	if err != nil {
+		return nil, err
+	}
+	trace.Add(StageRecord{
+		Stage: StageFeature, Layer: 0, Algo: "shared-mlp",
+		Q: cloud.Len(), CIn: 3, COut: feats.Cols, Dur: time.Since(start),
+	})
+	vals, argmax := tensor.ColMax(feats)
+	pooled, err := tensor.FromSlice(1, len(vals), vals)
+	if err != nil {
+		return nil, err
+	}
+	logits, err := n.Head.Forward(pooled, train)
+	if err != nil {
+		return nil, err
+	}
+	if train {
+		n.rows = feats.Rows
+		n.argmax = argmax
+		n.embedCols = feats.Cols
+	}
+	return &Output{Logits: logits, Labels: cloud.Labels}, nil
+}
+
+// Backward propagates the loss gradient.
+func (n *PointNetVanilla) Backward(gradLogits *tensor.Matrix) error {
+	if n.argmax == nil {
+		return fmt.Errorf("model: backward before forward(train)")
+	}
+	g, err := n.Head.Backward(gradLogits)
+	if err != nil {
+		return err
+	}
+	full := tensor.New(n.rows, n.embedCols)
+	for c, v := range g.Row(0) {
+		full.Data[int(n.argmax[c])*n.embedCols+c] += v
+	}
+	_, err = n.MLP.Backward(full)
+	return err
+}

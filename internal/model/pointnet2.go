@@ -1,0 +1,558 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/neighbor"
+	"repro/internal/nn"
+	"repro/internal/sample"
+	"repro/internal/tensor"
+)
+
+// ModuleStrategy selects, for one network module, whether its bottleneck
+// stages run the SOTA algorithm or the EdgePC Morton approximation. The
+// paper's design point (§5.1.3, §5.2.3) enables Morton only on the critical
+// modules: the first SA, the last FP, the first EdgeConv.
+type ModuleStrategy struct {
+	MortonSample bool // index-stride sampling instead of FPS
+	MortonWindow bool // index-window neighbor search instead of BQ/kNN
+	WindowW      int  // window size W (0 → W = k, the pure index pick)
+	MortonInterp bool // stride-bracket interpolation instead of ThreeNN (FP only)
+}
+
+// SAModule is a PointNet++ SetAbstraction module: down-sample, search
+// neighbors, group, and run a shared MLP with max pooling over neighbors.
+type SAModule struct {
+	Frac   float64 // output point fraction of the input level
+	K      int     // neighbors per sampled point
+	Radius float64 // >0: SOTA searcher is ball query with this radius; 0: kNN
+	MLP    *nn.Sequential
+	Strat  ModuleStrategy
+
+	cache saCache
+}
+
+type saCache struct {
+	parentRows, parentCols int
+	nbr                    []int
+	argmax                 []int32
+	k                      int
+}
+
+func clampK(k, n int) int {
+	if k > n {
+		return n
+	}
+	return k
+}
+
+// forward consumes the parent level and produces the sampled level.
+func (m *SAModule) forward(parent *level, layer int, trace *Trace, train bool) (*level, error) {
+	n := parent.len()
+	nOut := int(float64(n)*m.Frac + 0.5)
+	if nOut < 1 {
+		nOut = 1
+	}
+	if nOut > n {
+		nOut = n
+	}
+	k := clampK(m.K, n)
+
+	// --- Sample stage ---
+	var sel []int
+	var sampleAlgo string
+	useMorton := m.Strat.MortonSample && parent.mortonSorted
+	dur, err := timed(func() error {
+		if useMorton {
+			// The level is already Morton-sorted (the encode+sort cost is
+			// the pipeline's one-time StageStructurize record), so sampling
+			// is a pure index-stride pick.
+			sampleAlgo = "morton-pick"
+			sel = core.SamplePositions(n, nOut)
+			return nil
+		}
+		sampleAlgo = "fps"
+		var e error
+		sel, e = sample.FPSIndexes(parent.pts, nOut, 0)
+		return e
+	})
+	if err != nil {
+		return nil, fmt.Errorf("model: SA%d sample: %w", layer, err)
+	}
+	trace.Add(StageRecord{Stage: StageSample, Layer: layer, Algo: sampleAlgo, N: n, Q: nOut, Dur: dur})
+
+	centers := make([]geom.Point3, nOut)
+	for i, s := range sel {
+		centers[i] = parent.pts[s]
+	}
+
+	// --- Neighbor search stage ---
+	var nbr []int
+	var nsAlgo string
+	w := 0
+	useWindow := m.Strat.MortonWindow && parent.mortonSorted && useMorton
+	dur, err = timed(func() error {
+		if useWindow {
+			nsAlgo = "morton-window"
+			ws := core.WindowSearcher{W: m.Strat.WindowW}
+			w = m.Strat.WindowW
+			if w < k {
+				w = k
+			}
+			var e error
+			nbr, e = ws.SearchPositions(parent.pts, sel, k)
+			return e
+		}
+		var s neighbor.Searcher
+		if m.Radius > 0 {
+			s = neighbor.BallQuery{R: m.Radius}
+		} else {
+			s = neighbor.BruteKNN{}
+		}
+		nsAlgo = s.Name()
+		var e error
+		nbr, e = s.Search(parent.pts, centers, k)
+		return e
+	})
+	if err != nil {
+		return nil, fmt.Errorf("model: SA%d neighbor: %w", layer, err)
+	}
+	trace.Add(StageRecord{Stage: StageNeighbor, Layer: layer, Algo: nsAlgo, N: n, Q: nOut, K: k, W: w, Dur: dur})
+
+	// --- Group stage ---
+	var grouped *tensor.Matrix
+	dur, err = timed(func() error {
+		var e error
+		grouped, e = buildGroupedSA(parent.pts, parent.feats, centers, nbr, k)
+		return e
+	})
+	if err != nil {
+		return nil, fmt.Errorf("model: SA%d group: %w", layer, err)
+	}
+	trace.Add(StageRecord{Stage: StageGroup, Layer: layer, Algo: "gather", N: n, Q: nOut, K: k, CIn: grouped.Cols, Dur: dur})
+
+	// --- Feature compute stage ---
+	var feats *tensor.Matrix
+	var argmax []int32
+	cin := grouped.Cols
+	dur, err = timed(func() error {
+		y, e := m.MLP.Forward(grouped, train)
+		if e != nil {
+			return e
+		}
+		feats, argmax, e = tensor.MaxPoolGroups(y, k)
+		return e
+	})
+	if err != nil {
+		return nil, fmt.Errorf("model: SA%d feature: %w", layer, err)
+	}
+	trace.Add(StageRecord{Stage: StageFeature, Layer: layer, Algo: "shared-mlp", Q: nOut * k, CIn: cin, COut: feats.Cols, Dur: dur})
+
+	if train {
+		m.cache = saCache{parentRows: n, parentCols: parent.feats.Cols, nbr: nbr, argmax: argmax, k: k}
+	}
+	return &level{
+		pts:          centers,
+		feats:        feats,
+		mortonSorted: parent.mortonSorted && useMorton,
+		posInParent:  sel,
+	}, nil
+}
+
+// backward routes the gradient of this module's output features back to the
+// parent level's features.
+func (m *SAModule) backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
+	c := &m.cache
+	if c.nbr == nil {
+		return nil, fmt.Errorf("model: SA backward before forward(train)")
+	}
+	g, err := tensor.MaxPoolBackward(grad, c.argmax, c.k)
+	if err != nil {
+		return nil, err
+	}
+	g, err = m.MLP.Backward(g)
+	if err != nil {
+		return nil, err
+	}
+	return groupedSABackward(g, c.nbr, c.parentRows, c.parentCols)
+}
+
+// FPModule is a PointNet++ FeaturePropagation module: interpolate coarse
+// features onto the finer level, concatenate the fine level's skip features,
+// and run a shared MLP.
+type FPModule struct {
+	MLP   *nn.Sequential
+	Strat ModuleStrategy
+
+	cache fpCache
+}
+
+type fpCache struct {
+	plan       *sample.InterpPlan
+	coarseRows int
+	interpCols int
+	skipCols   int
+}
+
+// forward interpolates coarseFeats (features at the coarse level) onto the
+// fine level and fuses them with the fine level's own features.
+func (m *FPModule) forward(fine, coarse *level, coarseFeats *tensor.Matrix, layer int, trace *Trace, train bool) (*tensor.Matrix, error) {
+	// --- Interpolation planning (the up-sampling stage of Fig. 9) ---
+	var plan *sample.InterpPlan
+	var algo string
+	useMorton := m.Strat.MortonInterp && fine.mortonSorted && coarse.posInParent != nil && isAscending(coarse.posInParent)
+	dur, err := timed(func() error {
+		var e error
+		if useMorton {
+			algo = "morton-interp"
+			plan, e = core.MortonInterp{}.PlanStructurized(fine.pts, coarse.posInParent)
+		} else {
+			algo = "three-nn"
+			plan, e = sample.ThreeNN{}.Plan(fine.pts, coarse.pts)
+		}
+		return e
+	})
+	if err != nil {
+		return nil, fmt.Errorf("model: FP%d interp plan: %w", layer, err)
+	}
+	trace.Add(StageRecord{Stage: StageInterp, Layer: layer, Algo: algo, N: fine.len(), Q: coarse.len(), K: plan.K, Dur: dur})
+
+	// --- Apply + concat + MLP (feature compute) ---
+	var out *tensor.Matrix
+	var interpCols, cin int
+	dur, err = timed(func() error {
+		interpData, e := sample.ApplyPlan(plan, coarseFeats.Data, coarseFeats.Cols, nil)
+		if e != nil {
+			return e
+		}
+		interp, e := tensor.FromSlice(fine.len(), coarseFeats.Cols, interpData)
+		if e != nil {
+			return e
+		}
+		interpCols = interp.Cols
+		fused, e := tensor.Concat(interp, fine.feats)
+		if e != nil {
+			return e
+		}
+		cin = fused.Cols
+		out, e = m.MLP.Forward(fused, train)
+		return e
+	})
+	if err != nil {
+		return nil, fmt.Errorf("model: FP%d feature: %w", layer, err)
+	}
+	trace.Add(StageRecord{Stage: StageFeature, Layer: layer, Algo: "shared-mlp", Q: fine.len(), CIn: cin, COut: out.Cols, Dur: dur})
+
+	if train {
+		m.cache = fpCache{plan: plan, coarseRows: coarse.len(), interpCols: interpCols, skipCols: fine.feats.Cols}
+	}
+	return out, nil
+}
+
+// backward returns (gradSkip, gradCoarseFeats).
+func (m *FPModule) backward(grad *tensor.Matrix) (*tensor.Matrix, *tensor.Matrix, error) {
+	c := &m.cache
+	if c.plan == nil {
+		return nil, nil, fmt.Errorf("model: FP backward before forward(train)")
+	}
+	g, err := m.MLP.Backward(grad)
+	if err != nil {
+		return nil, nil, err
+	}
+	gInterp, gSkip, err := tensor.SplitCols(g, c.interpCols)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Adjoint of ApplyPlan: dCoarse[src] += w · dInterp[target].
+	gCoarse := tensor.New(c.coarseRows, c.interpCols)
+	k := c.plan.K
+	for t := 0; t < gInterp.Rows; t++ {
+		row := gInterp.Row(t)
+		for j := 0; j < k; j++ {
+			s := c.plan.Indexes[t*k+j]
+			w := float32(c.plan.Weights[t*k+j])
+			dst := gCoarse.Row(s)
+			for col, v := range row {
+				dst[col] += w * v
+			}
+		}
+	}
+	return gSkip, gCoarse, nil
+}
+
+func isAscending(a []int) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i-1] >= a[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PointNetPP is the PointNet++ semantic-segmentation network of Fig. 2a:
+// Depth SetAbstraction modules followed by Depth FeaturePropagation modules
+// and a per-point classification head.
+type PointNetPP struct {
+	SA   []*SAModule
+	FP   []*FPModule // FP[i] refines level Depth−i → Depth−1−i
+	Head *nn.Sequential
+
+	// Structurize, when non-nil, Morton-orders the input cloud before the
+	// first module (the EdgePC configurations).
+	Structurize *core.StructurizeOptions
+
+	extraFeatDim int
+
+	// forward caches for backward
+	levels    []*level
+	skipGrads []*tensor.Matrix
+}
+
+// Output bundles the per-point logits with the label order they correspond
+// to (structurization permutes the points; labels are carried along).
+type Output struct {
+	Logits *tensor.Matrix
+	Labels []int32
+	// Perm maps logits row → original cloud index (nil when no
+	// structurization happened).
+	Perm []int
+}
+
+// PPConfig describes a PointNet++ instance.
+type PPConfig struct {
+	Classes    int
+	Depth      int     // number of SA (= FP) modules; default 4
+	BaseWidth  int     // width of the first SA module; doubles per level; default 16
+	K          int     // neighbors per query; default 8
+	SampleFrac float64 // per-module down-sampling ratio; default 0.25
+	Radius     float64 // base ball-query radius (doubles per level); 0 → kNN baseline
+	// ExtraFeatDim is the width of per-point input features beyond the
+	// coordinates (e.g. 3 for RGB in S3DIS); input clouds must carry
+	// exactly this FeatDim.
+	ExtraFeatDim int
+	// SAStrategies[i] configures SA module i; FPStrategies[i] configures FP
+	// module i in execution order (i = Depth−1 is the last FP, the one
+	// producing full resolution — the paper's optimized layer).
+	SAStrategies []ModuleStrategy
+	FPStrategies []ModuleStrategy
+	Structurize  *core.StructurizeOptions
+	// Dropout is the head dropout probability; 0 selects the default (0.3),
+	// a negative value disables dropout (useful for gradient checking).
+	Dropout float64
+	Seed    int64
+}
+
+func (c *PPConfig) defaults() {
+	if c.Depth == 0 {
+		c.Depth = 4
+	}
+	if c.BaseWidth == 0 {
+		c.BaseWidth = 16
+	}
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.SampleFrac == 0 {
+		c.SampleFrac = 0.25
+	}
+	if c.SAStrategies == nil {
+		c.SAStrategies = make([]ModuleStrategy, c.Depth)
+	}
+	if c.FPStrategies == nil {
+		c.FPStrategies = make([]ModuleStrategy, c.Depth)
+	}
+}
+
+func (c *PPConfig) validate() error {
+	if c.Classes < 2 {
+		return fmt.Errorf("model: need ≥2 classes, got %d", c.Classes)
+	}
+	if len(c.SAStrategies) != c.Depth || len(c.FPStrategies) != c.Depth {
+		return fmt.Errorf("model: strategies must match depth %d", c.Depth)
+	}
+	if c.SampleFrac <= 0 || c.SampleFrac > 1 {
+		return fmt.Errorf("model: sample fraction %v out of (0, 1]", c.SampleFrac)
+	}
+	return nil
+}
+
+// saWidth returns the SA output width at level L (1-based).
+func saWidth(base, l int) int { return base << (l - 1) }
+
+// dropoutP maps the config convention (0 → default, negative → disabled) to
+// a probability.
+func dropoutP(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return 0.3
+	default:
+		return v
+	}
+}
+
+// NewPointNetPP constructs the network.
+func NewPointNetPP(cfg PPConfig) (*PointNetPP, error) {
+	cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	net := &PointNetPP{Structurize: cfg.Structurize, extraFeatDim: cfg.ExtraFeatDim}
+	inC := 3 + cfg.ExtraFeatDim // level-0 features: coordinates ⊕ extras
+	for l := 1; l <= cfg.Depth; l++ {
+		w := saWidth(cfg.BaseWidth, l)
+		radius := 0.0
+		if cfg.Radius > 0 {
+			radius = cfg.Radius * float64(int(1)<<(l-1))
+		}
+		net.SA = append(net.SA, &SAModule{
+			Frac:   cfg.SampleFrac,
+			K:      cfg.K,
+			Radius: radius,
+			MLP:    nn.NewSharedMLP(fmt.Sprintf("sa%d", l), []int{3 + inC, w, w}, rng),
+			Strat:  cfg.SAStrategies[l-1],
+		})
+		inC = w
+	}
+	// FP chain: FP[i] produces level L = Depth−1−i.
+	coarseC := saWidth(cfg.BaseWidth, cfg.Depth)
+	for i := 0; i < cfg.Depth; i++ {
+		l := cfg.Depth - 1 - i
+		skipC := 3 + cfg.ExtraFeatDim
+		if l >= 1 {
+			skipC = saWidth(cfg.BaseWidth, l)
+		}
+		outC := cfg.BaseWidth
+		if l >= 1 {
+			outC = saWidth(cfg.BaseWidth, l)
+		}
+		net.FP = append(net.FP, &FPModule{
+			MLP:   nn.NewSharedMLP(fmt.Sprintf("fp%d", i), []int{coarseC + skipC, outC}, rng),
+			Strat: cfg.FPStrategies[i],
+		})
+		coarseC = outC
+	}
+	net.Head = nn.NewSequential(
+		nn.NewLinear("head.0", coarseC, cfg.BaseWidth, rng),
+		nn.NewBatchNorm("head.0.bn", cfg.BaseWidth),
+		&nn.ReLU{},
+		&nn.Dropout{P: dropoutP(cfg.Dropout), Rng: rand.New(rand.NewSource(cfg.Seed + 2))},
+		nn.NewLinear("head.1", cfg.BaseWidth, cfg.Classes, rng),
+	)
+	return net, nil
+}
+
+// Params returns all trainable parameters.
+func (n *PointNetPP) Params() []*nn.Param {
+	var out []*nn.Param
+	for _, m := range n.SA {
+		out = append(out, m.MLP.Params()...)
+	}
+	for _, m := range n.FP {
+		out = append(out, m.MLP.Params()...)
+	}
+	return append(out, n.Head.Params()...)
+}
+
+// Forward runs inference (or the training forward pass) on one cloud and
+// returns per-point logits aligned with Output.Labels.
+func (n *PointNetPP) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, error) {
+	if cloud.Len() == 0 {
+		return nil, fmt.Errorf("model: empty cloud")
+	}
+	pts := cloud.Points
+	feat, featDim := cloud.Feat, cloud.FeatDim
+	labels := cloud.Labels
+	var perm []int
+	sorted := false
+	if n.Structurize != nil {
+		start := time.Now()
+		s, err := core.Structurize(cloud, *n.Structurize)
+		if err != nil {
+			return nil, err
+		}
+		trace.Add(StageRecord{Stage: StageStructurize, Layer: 0, Algo: "morton", N: cloud.Len(), Dur: time.Since(start)})
+		pts = s.Cloud.Points
+		feat, featDim = s.Cloud.Feat, s.Cloud.FeatDim
+		labels = s.Cloud.Labels
+		perm = s.Perm
+		sorted = true
+	}
+	feats, err := inputFeatures(pts, feat, featDim, n.extraFeatDim)
+	if err != nil {
+		return nil, err
+	}
+	lv := &level{pts: pts, feats: feats, mortonSorted: sorted}
+	levels := []*level{lv}
+	for i, m := range n.SA {
+		next, err := m.forward(lv, i, trace, train)
+		if err != nil {
+			return nil, err
+		}
+		levels = append(levels, next)
+		lv = next
+	}
+	depth := len(n.SA)
+	feats = levels[depth].feats
+	for i, m := range n.FP {
+		fine := levels[depth-1-i]
+		coarse := levels[depth-i]
+		feats, err = m.forward(fine, coarse, feats, i, trace, train)
+		if err != nil {
+			return nil, err
+		}
+	}
+	logits, err := n.Head.Forward(feats, train)
+	if err != nil {
+		return nil, err
+	}
+	if train {
+		n.levels = levels
+	}
+	return &Output{Logits: logits, Labels: labels, Perm: perm}, nil
+}
+
+// Backward propagates the loss gradient (w.r.t. Forward's logits) through the
+// whole network, accumulating parameter gradients.
+func (n *PointNetPP) Backward(gradLogits *tensor.Matrix) error {
+	if n.levels == nil {
+		return fmt.Errorf("model: backward before forward(train)")
+	}
+	g, err := n.Head.Backward(gradLogits)
+	if err != nil {
+		return err
+	}
+	depth := len(n.SA)
+	// Grad accumulators for each level's features.
+	dlevel := make([]*tensor.Matrix, depth+1)
+	for i := depth - 1; i >= 0; i-- {
+		l := depth - 1 - i
+		dSkip, dCoarse, err := n.FP[i].backward(g)
+		if err != nil {
+			return err
+		}
+		dlevel[l] = dSkip
+		g = dCoarse
+	}
+	dlevel[depth] = g
+	for l := depth; l >= 1; l-- {
+		dParent, err := n.SA[l-1].backward(dlevel[l])
+		if err != nil {
+			return err
+		}
+		if dlevel[l-1] == nil {
+			dlevel[l-1] = dParent
+		} else {
+			for i, v := range dParent.Data {
+				dlevel[l-1].Data[i] += v
+			}
+		}
+	}
+	return nil
+}

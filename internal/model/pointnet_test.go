@@ -1,0 +1,97 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestPointNetVanillaForward(t *testing.T) {
+	net, err := NewPointNetVanilla(PointNetConfig{Classes: 4, BaseWidth: 4, Dropout: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud := testCloud(30, 1)
+	trace := &Trace{}
+	out, err := net.Forward(cloud, trace, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Logits.Rows != 1 || out.Logits.Cols != 4 {
+		t.Fatalf("logits %dx%d", out.Logits.Rows, out.Logits.Cols)
+	}
+	// The control property: no sample, neighbor or interp stages at all.
+	for _, r := range trace.Records {
+		if r.Stage != StageFeature {
+			t.Fatalf("vanilla PointNet emitted a %v stage", r.Stage)
+		}
+	}
+}
+
+func TestPointNetVanillaGradientCheck(t *testing.T) {
+	net, err := NewPointNetVanilla(PointNetConfig{Classes: 3, BaseWidth: 3, Dropout: -1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud := testCloud(16, 2)
+	cos := gradCosine(t, net, cloud, func(o *Output) []int32 { return []int32{1} })
+	if cos < 0.90 {
+		t.Fatalf("gradient cosine %v < 0.90", cos)
+	}
+}
+
+func TestPointNetVanillaTrainsOnToyTask(t *testing.T) {
+	net, err := NewPointNetVanilla(PointNetConfig{Classes: 2, BaseWidth: 6, Dropout: -1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := net.Params()
+	opt := nn.NewAdam(2e-3)
+	// Two-class toy task: small vs large sphere.
+	var losses []float64
+	for it := 0; it < 30; it++ {
+		var totalLoss float64
+		nn.ZeroGrads(params)
+		for label := int32(0); label < 2; label++ {
+			cloud := testCloud(24, int64(10+it*2)+int64(label))
+			if label == 1 {
+				cloud.Scale(3, 3, 3)
+			}
+			out, err := net.Forward(cloud, nil, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loss, grad, err := nn.CrossEntropy(out.Logits, []int32{label})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := net.Backward(grad); err != nil {
+				t.Fatal(err)
+			}
+			totalLoss += loss
+		}
+		opt.Step(params)
+		losses = append(losses, totalLoss)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("vanilla PointNet did not learn: %v → %v", losses[0], losses[len(losses)-1])
+	}
+}
+
+func TestPointNetVanillaErrors(t *testing.T) {
+	if _, err := NewPointNetVanilla(PointNetConfig{Classes: 1}); err == nil {
+		t.Fatal("1 class: want error")
+	}
+	net, err := NewPointNetVanilla(PointNetConfig{Classes: 2, BaseWidth: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Forward(geom.NewCloud(0, 0), nil, false); err == nil {
+		t.Fatal("empty cloud: want error")
+	}
+	if err := net.Backward(tensor.New(1, 2)); err == nil {
+		t.Fatal("backward before forward: want error")
+	}
+}

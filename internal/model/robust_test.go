@@ -1,0 +1,132 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// Failure-injection tests: degenerate inputs a deployed pipeline will
+// eventually see (LiDAR dropouts, duplicate returns, tiny clouds) must not
+// crash either architecture in either configuration.
+
+func degenerateClouds() map[string]*geom.Cloud {
+	identical := geom.NewCloud(32, 0)
+	for i := range identical.Points {
+		identical.Points[i] = geom.Point3{X: 1, Y: 2, Z: 3}
+	}
+	identical.Labels = make([]int32, 32)
+
+	line := geom.NewCloud(32, 0)
+	for i := range line.Points {
+		line.Points[i] = geom.Point3{X: float64(i)}
+	}
+	line.Labels = make([]int32, 32)
+
+	tiny := geom.NewCloud(3, 0)
+	tiny.Points = []geom.Point3{{X: 0}, {X: 1}, {Y: 1}}
+	tiny.Labels = []int32{0, 1, 0}
+
+	duplicates := geom.NewCloud(16, 0)
+	for i := range duplicates.Points {
+		duplicates.Points[i] = geom.Point3{X: float64(i % 3)}
+	}
+	duplicates.Labels = make([]int32, 16)
+
+	return map[string]*geom.Cloud{
+		"identical":  identical,
+		"collinear":  line,
+		"tiny":       tiny,
+		"duplicates": duplicates,
+	}
+}
+
+func TestPointNetPPDegenerateInputs(t *testing.T) {
+	for name, cloud := range degenerateClouds() {
+		for _, morton := range []bool{false, true} {
+			cfg := tinyPPConfig(morton)
+			net, err := NewPointNetPP(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := net.Forward(cloud, nil, false)
+			if err != nil {
+				t.Fatalf("%s morton=%v: %v", name, morton, err)
+			}
+			if out.Logits.Rows != cloud.Len() {
+				t.Fatalf("%s morton=%v: %d logit rows", name, morton, out.Logits.Rows)
+			}
+			for _, v := range out.Logits.Data {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					t.Fatalf("%s morton=%v: non-finite logits", name, morton)
+				}
+			}
+		}
+	}
+}
+
+func TestDGCNNDegenerateInputs(t *testing.T) {
+	for name, cloud := range degenerateClouds() {
+		for _, morton := range []bool{false, true} {
+			net, err := NewDGCNN(tinyDGCNNConfig(morton, TaskSegmentation))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := net.Forward(cloud, nil, false)
+			if err != nil {
+				t.Fatalf("%s morton=%v: %v", name, morton, err)
+			}
+			for _, v := range out.Logits.Data {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					t.Fatalf("%s morton=%v: non-finite logits", name, morton)
+				}
+			}
+		}
+	}
+}
+
+func TestTrainOnDegenerateCloud(t *testing.T) {
+	// Backward through duplicate/identical geometry must stay finite.
+	cloud := degenerateClouds()["duplicates"]
+	cfg := tinyPPConfig(true)
+	net, err := NewPointNetPP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := net.Forward(cloud, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := out.Logits.Clone()
+	for i := range grad.Data {
+		grad.Data[i] = 0.01
+	}
+	if err := net.Backward(grad); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range net.Params() {
+		for _, v := range p.Grad.Data {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("non-finite gradient in %s", p.Name)
+			}
+		}
+	}
+}
+
+func TestKClampedWhenCloudSmallerThanK(t *testing.T) {
+	cloud := degenerateClouds()["tiny"] // 3 points, K configured as 4
+	net, err := NewDGCNN(tinyDGCNNConfig(false, TaskClassification))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := &Trace{}
+	if _, err := net.Forward(cloud, trace, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range trace.Records {
+		if r.Stage == StageNeighbor && r.K > cloud.Len() {
+			t.Fatalf("k=%d exceeds %d points", r.K, cloud.Len())
+		}
+	}
+}

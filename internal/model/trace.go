@@ -1,0 +1,99 @@
+// Package model implements the two point-cloud CNN architectures the paper
+// evaluates — PointNet++ (SetAbstraction + FeaturePropagation modules) and
+// DGCNN (EdgeConv modules) — with forward *and* backward passes, and with the
+// sample / neighbor-search stage of every module individually switchable
+// between the SOTA algorithms (FPS, ball query, k-NN) and the EdgePC
+// Morton-code approximations.
+//
+// Every stage a model executes is recorded in a Trace: which algorithm ran,
+// over how many points/queries/neighbors, at which feature widths, and how
+// long it took. The edgesim package prices these records with the
+// edge-device cost model to regenerate the paper's latency and energy
+// figures; the records' wall-clock durations provide a second, directly
+// measured signal.
+package model
+
+import "time"
+
+// StageKind classifies pipeline stages, following the paper's breakdown
+// (Fig. 3 groups Sample+Neighbor vs Feature Compute; Fig. 9 and Fig. 11
+// split per layer).
+type StageKind int
+
+// Pipeline stage kinds.
+const (
+	StageSample      StageKind = iota // down-sampling (FPS / Morton uniform)
+	StageNeighbor                     // neighbor search (BQ / kNN / Morton window)
+	StageGroup                        // feature gathering into (q·k, C) matrices
+	StageFeature                      // shared-MLP feature computation
+	StageInterp                       // up-sampling interpolation (FP modules)
+	StageStructurize                  // Morton encode + sort (EdgePC only)
+)
+
+var stageNames = [...]string{"sample", "neighbor", "group", "feature", "interp", "structurize"}
+
+// String names the stage kind.
+func (k StageKind) String() string {
+	if k < 0 || int(k) >= len(stageNames) {
+		return "unknown"
+	}
+	return stageNames[k]
+}
+
+// StageRecord describes one executed stage: the operation shape the
+// edge-device cost model needs, plus the measured wall time.
+type StageRecord struct {
+	Stage StageKind
+	Layer int    // module index within the network (0-based)
+	Algo  string // algorithm name, e.g. "fps", "morton", "ball-query", "knn-brute", "morton-window"
+
+	N      int  // candidate point count
+	Q      int  // query / output point count
+	K      int  // neighbors per query
+	W      int  // window size (Morton window search) or candidate count (interp)
+	CIn    int  // input feature width (feature/group stages)
+	COut   int  // output feature width (feature stages)
+	Reused bool // true when the stage was skipped via neighbor-index reuse
+
+	Dur time.Duration // measured wall time of this stage
+}
+
+// Trace accumulates stage records for one inference. A nil *Trace is valid
+// and records nothing.
+type Trace struct {
+	Records []StageRecord
+}
+
+// Add appends a record. Safe on a nil receiver.
+func (t *Trace) Add(rec StageRecord) {
+	if t == nil {
+		return
+	}
+	t.Records = append(t.Records, rec)
+}
+
+// timed runs f and returns its wall-clock duration.
+func timed(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}
+
+// DurByStage sums measured durations per stage kind.
+func (t *Trace) DurByStage() map[StageKind]time.Duration {
+	out := make(map[StageKind]time.Duration)
+	if t == nil {
+		return out
+	}
+	for _, r := range t.Records {
+		out[r.Stage] += r.Dur
+	}
+	return out
+}
+
+// Reset clears the trace for reuse across frames.
+func (t *Trace) Reset() {
+	if t != nil {
+		t.Records = t.Records[:0]
+	}
+}

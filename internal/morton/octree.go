@@ -1,0 +1,177 @@
+package morton
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Linear octree: the octree that Morton codes implicitly define. A node at
+// depth d is a d×3-bit code prefix; its eight children extend the prefix by
+// one bit per axis. Because sorted Morton codes group every subtree into a
+// contiguous run, the whole tree can be represented as ranges over the
+// sorted code array — no pointers, no per-node allocation, built in O(N)
+// after the sort the EdgePC pipeline already performs.
+//
+// This is the structure the hardware-accelerator prior works traverse
+// explicitly (PointAcc's mapping unit, Crescent's k-d trees); here it serves
+// as another exact-search baseline and as the index behind ball queries with
+// data-adaptive early termination.
+
+// Octree is a linear octree over a sorted Morton code sequence.
+type Octree struct {
+	codes       []uint64
+	bitsPerAxis int
+	// nodes[d] holds the node list at depth d (root at depth 0).
+	nodes [][]octNode
+}
+
+type octNode struct {
+	prefix uint64 // code prefix, shifted to full-code position
+	lo, hi int32  // sorted-code index range [lo, hi)
+}
+
+// NewOctree builds the linear octree for sorted codes produced by an encoder
+// with the given bits per axis. maxDepth ≤ bitsPerAxis bounds the tree; 0
+// uses bitsPerAxis.
+func NewOctree(codes []uint64, bitsPerAxis, maxDepth int) (*Octree, error) {
+	if bitsPerAxis < 1 || bitsPerAxis > MaxBitsPerAxis {
+		return nil, fmt.Errorf("morton: octree bits per axis %d out of [1, %d]", bitsPerAxis, MaxBitsPerAxis)
+	}
+	if !sort.SliceIsSorted(codes, func(a, b int) bool { return codes[a] < codes[b] }) {
+		return nil, fmt.Errorf("morton: octree requires sorted codes")
+	}
+	if maxDepth <= 0 || maxDepth > bitsPerAxis {
+		maxDepth = bitsPerAxis
+	}
+	t := &Octree{codes: codes, bitsPerAxis: bitsPerAxis}
+	t.nodes = make([][]octNode, maxDepth+1)
+	t.nodes[0] = []octNode{{prefix: 0, lo: 0, hi: int32(len(codes))}}
+	for d := 1; d <= maxDepth; d++ {
+		shift := uint(3 * (bitsPerAxis - d))
+		var level []octNode
+		for _, parent := range t.nodes[d-1] {
+			if parent.hi <= parent.lo {
+				continue
+			}
+			// Split the parent's range by the next 3 bits.
+			lo := parent.lo
+			for lo < parent.hi {
+				child := t.codes[lo] >> shift
+				// Find the end of this child's run.
+				hi := int32(sort.Search(int(parent.hi-lo), func(i int) bool {
+					return t.codes[lo+int32(i)]>>shift > child
+				})) + lo
+				level = append(level, octNode{prefix: child << shift, lo: lo, hi: hi})
+				lo = hi
+			}
+		}
+		t.nodes[d] = level
+	}
+	return t, nil
+}
+
+// Depth returns the built depth of the tree.
+func (t *Octree) Depth() int { return len(t.nodes) - 1 }
+
+// NodeCount returns the number of (occupied) nodes at the given depth.
+func (t *Octree) NodeCount(depth int) int {
+	if depth < 0 || depth >= len(t.nodes) {
+		return 0
+	}
+	return len(t.nodes[depth])
+}
+
+// Len returns the number of indexed codes.
+func (t *Octree) Len() int { return len(t.codes) }
+
+// CellRange returns the sorted-code index range [lo, hi) of the octree cell
+// containing code at the given depth. An unoccupied cell yields an empty
+// range.
+func (t *Octree) CellRange(code uint64, depth int) (lo, hi int) {
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > t.Depth() {
+		depth = t.Depth()
+	}
+	shift := uint(3 * (t.bitsPerAxis - depth))
+	prefix := code >> shift
+	l := sort.Search(len(t.codes), func(i int) bool { return t.codes[i]>>shift >= prefix })
+	h := sort.Search(len(t.codes), func(i int) bool { return t.codes[i]>>shift > prefix })
+	return l, h
+}
+
+// VisitBox walks the tree and calls visit(lo, hi) for every maximal run of
+// sorted-code indexes whose cells intersect the voxel box [zmin, zmax].
+// Subtrees fully inside the box are emitted as single runs without
+// descending; subtrees fully outside are pruned. Points in partially
+// overlapping leaves are emitted individually after an exact InBox test.
+func (t *Octree) VisitBox(zmin, zmax uint64, visit func(lo, hi int) bool) {
+	t.visitBox(0, 0, zmin, zmax, visit)
+}
+
+// visitBox returns false when the walk should stop entirely.
+func (t *Octree) visitBox(depth, nodeIdx int, zmin, zmax uint64, visit func(lo, hi int) bool) bool {
+	node := t.nodes[depth][nodeIdx]
+	rel := boxRelation(node.prefix, uint(3*(t.bitsPerAxis-depth)), zmin, zmax)
+	switch rel {
+	case relOutside:
+		return true
+	case relInside:
+		return visit(int(node.lo), int(node.hi))
+	}
+	// Partial overlap: descend, or test points at the leaf level.
+	if depth == t.Depth() {
+		for i := node.lo; i < node.hi; i++ {
+			if InBox(t.codes[i], zmin, zmax) {
+				if !visit(int(i), int(i)+1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// Children of this node are the next-level nodes whose ranges lie
+	// within [node.lo, node.hi). Locate them by binary search on lo.
+	next := t.nodes[depth+1]
+	start := sort.Search(len(next), func(i int) bool { return next[i].lo >= node.lo })
+	for i := start; i < len(next) && next[i].lo < node.hi; i++ {
+		if !t.visitBox(depth+1, i, zmin, zmax, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+type relation int
+
+const (
+	relOutside relation = iota
+	relPartial
+	relInside
+)
+
+// boxRelation classifies the cell with the given prefix (shift = bits below
+// the prefix) against the query box.
+func boxRelation(prefix uint64, shift uint, zmin, zmax uint64) relation {
+	// Cell bounds per axis: prefix bits fixed, lower bits all-0 (min) or
+	// all-1 (max).
+	cellMin := prefix
+	cellMax := prefix | (uint64(1)<<shift - 1)
+	inside := true
+	for d := uint(0); d < 3; d++ {
+		m := dimMask(d)
+		cLo, cHi := cellMin&m, cellMax&m
+		qLo, qHi := zmin&m, zmax&m
+		if cHi < qLo || cLo > qHi {
+			return relOutside
+		}
+		if cLo < qLo || cHi > qHi {
+			inside = false
+		}
+	}
+	if inside {
+		return relInside
+	}
+	return relPartial
+}

@@ -1,0 +1,183 @@
+package morton
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func sortedRandomCodes(n, coordMax int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	codes := make([]uint64, n)
+	for i := range codes {
+		codes[i] = Encode3(uint32(rng.Intn(coordMax)), uint32(rng.Intn(coordMax)), uint32(rng.Intn(coordMax)))
+	}
+	sort.Slice(codes, func(a, b int) bool { return codes[a] < codes[b] })
+	return codes
+}
+
+func TestOctreeBuildInvariants(t *testing.T) {
+	codes := sortedRandomCodes(500, 64, 1)
+	tree, err := NewOctree(codes, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 6 {
+		t.Fatalf("depth = %d", tree.Depth())
+	}
+	// Each level's node ranges partition [0, N) in order.
+	for d := 0; d <= tree.Depth(); d++ {
+		pos := int32(0)
+		for _, n := range tree.nodes[d] {
+			if n.lo != pos {
+				t.Fatalf("depth %d: gap at %d (node starts %d)", d, pos, n.lo)
+			}
+			if n.hi < n.lo {
+				t.Fatalf("depth %d: inverted node", d)
+			}
+			pos = n.hi
+		}
+		if pos != int32(len(codes)) {
+			t.Fatalf("depth %d: covers %d of %d", d, pos, len(codes))
+		}
+	}
+	// Node counts grow (or stay) with depth and never exceed N.
+	prev := 1
+	for d := 1; d <= tree.Depth(); d++ {
+		c := tree.NodeCount(d)
+		if c < prev/8 || c > len(codes) {
+			t.Fatalf("depth %d: %d nodes", d, c)
+		}
+		prev = c
+	}
+}
+
+func TestOctreeRejectsBadInput(t *testing.T) {
+	if _, err := NewOctree([]uint64{3, 1, 2}, 4, 0); err == nil {
+		t.Fatal("unsorted codes: want error")
+	}
+	if _, err := NewOctree([]uint64{1, 2}, 0, 0); err == nil {
+		t.Fatal("0 bits: want error")
+	}
+	if _, err := NewOctree([]uint64{1, 2}, 25, 0); err == nil {
+		t.Fatal("25 bits: want error")
+	}
+}
+
+func TestOctreeCellRange(t *testing.T) {
+	codes := sortedRandomCodes(300, 32, 2)
+	tree, err := NewOctree(codes, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []uint64{codes[0], codes[150], codes[299]} {
+		for d := 0; d <= 5; d++ {
+			lo, hi := tree.CellRange(probe, d)
+			if lo > hi || lo < 0 || hi > len(codes) {
+				t.Fatalf("depth %d: bad range [%d,%d)", d, lo, hi)
+			}
+			// The probe itself is in its own cell.
+			found := false
+			for i := lo; i < hi; i++ {
+				if codes[i] == probe {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("depth %d: probe %d not in its cell range", d, probe)
+			}
+			// Depth 0 covers everything.
+			if d == 0 && (lo != 0 || hi != len(codes)) {
+				t.Fatalf("root range [%d,%d)", lo, hi)
+			}
+		}
+	}
+}
+
+func TestOctreeVisitBoxMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	codes := sortedRandomCodes(400, 32, 3)
+	tree, err := NewOctree(codes, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 60; trial++ {
+		x0, y0, z0 := uint32(rng.Intn(28)), uint32(rng.Intn(28)), uint32(rng.Intn(28))
+		zmin := Encode3(x0, y0, z0)
+		zmax := Encode3(x0+uint32(rng.Intn(6)), y0+uint32(rng.Intn(6)), z0+uint32(rng.Intn(6)))
+		var got []int
+		tree.VisitBox(zmin, zmax, func(lo, hi int) bool {
+			for i := lo; i < hi; i++ {
+				got = append(got, i)
+			}
+			return true
+		})
+		var want []int
+		for i, c := range codes {
+			if InBox(c, zmin, zmax) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d hits, want %d", trial, len(got), len(want))
+		}
+		sort.Ints(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: hit %d = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOctreeVisitBoxEarlyStop(t *testing.T) {
+	codes := sortedRandomCodes(200, 16, 4)
+	tree, err := NewOctree(codes, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	tree.VisitBox(0, Encode3(15, 15, 15), func(lo, hi int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early stop visited %d runs", calls)
+	}
+}
+
+func TestOctreeVisitBoxAgreesWithRangeQuery(t *testing.T) {
+	// The two exact range mechanisms (BigMin scan vs octree walk) must
+	// agree on every box.
+	rng := rand.New(rand.NewSource(5))
+	codes := sortedRandomCodes(600, 64, 5)
+	tree, err := NewOctree(codes, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		x0, y0, z0 := uint32(rng.Intn(56)), uint32(rng.Intn(56)), uint32(rng.Intn(56))
+		zmin := Encode3(x0, y0, z0)
+		zmax := Encode3(x0+uint32(rng.Intn(8)), y0+uint32(rng.Intn(8)), z0+uint32(rng.Intn(8)))
+		var a, b []int
+		tree.VisitBox(zmin, zmax, func(lo, hi int) bool {
+			for i := lo; i < hi; i++ {
+				a = append(a, i)
+			}
+			return true
+		})
+		RangeQuery(codes, zmin, zmax, func(j int) bool {
+			b = append(b, j)
+			return true
+		})
+		sort.Ints(a)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: octree %d vs bigmin %d hits", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: disagree at %d", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package morton
+
+// Z-order range search (Tropf & Herzog 1981): given an axis-aligned voxel
+// box, the Morton codes inside it form a set of contiguous runs of the
+// Z-curve. BigMin computes, for a code z that has wandered outside the box,
+// the smallest in-box code greater than z — letting a scan over *sorted*
+// codes skip the out-of-box gaps entirely.
+//
+// This is the machinery behind the "non-approximate" Morton/grid neighbor
+// searchers the paper contrasts itself against (§3.2: cuNSearch, FRNN,
+// fixed-radius GPU search): an exact ball query that touches only the
+// Z-curve runs intersecting the ball's voxel box. EdgePC's window search
+// trades this exactness for a fixed O(W) cost; having both in one codebase
+// makes the comparison direct (see core.RangeBall and the benchmarks).
+
+// dimMask returns the mask of all code bits belonging to dimension d
+// (d = 0 → x, bits 0, 3, 6, …).
+func dimMask(d uint) uint64 {
+	return 0x1249249249249249 << d & ((1 << 63) - 1)
+}
+
+// InBox reports whether code lies inside the voxel box [min, max] (per-axis
+// inclusive bounds given as Morton codes of the corner voxels).
+func InBox(code, zmin, zmax uint64) bool {
+	for d := uint(0); d < 3; d++ {
+		m := dimMask(d)
+		v := code & m
+		if v < zmin&m || v > zmax&m {
+			return false
+		}
+	}
+	return true
+}
+
+// BigMin returns the smallest Morton code ≥ z that lies inside the box
+// [zmin, zmax], and whether such a code exists. z itself may be in the box,
+// in which case it is returned unchanged.
+func BigMin(z, zmin, zmax uint64) (uint64, bool) {
+	if InBox(z, zmin, zmax) {
+		return z, true
+	}
+	var bigmin uint64
+	haveBigmin := false
+	// Scan bit positions from most significant to least.
+	for i := 62; i >= 0; i-- {
+		bit := uint64(1) << uint(i)
+		zb := z & bit
+		minb := zmin & bit
+		maxb := zmax & bit
+		switch {
+		case zb == 0 && minb == 0 && maxb == 0:
+			// stay
+		case zb == 0 && minb == 0 && maxb != 0:
+			// The box splits at this bit: remember the smallest code in
+			// the upper half, continue searching the lower half.
+			bigmin = loadOneZeros(zmin, uint(i))
+			haveBigmin = true
+			zmax = loadZeroOnes(zmax, uint(i))
+		case zb == 0 && minb != 0 && maxb != 0:
+			// z is below the whole box.
+			return zmin, true
+		case zb != 0 && minb == 0 && maxb == 0:
+			// z is above the whole (remaining) box.
+			if haveBigmin {
+				return bigmin, true
+			}
+			return 0, false
+		case zb != 0 && minb == 0 && maxb != 0:
+			zmin = loadOneZeros(zmin, uint(i))
+		case zb != 0 && minb != 0 && maxb != 0:
+			// stay
+		default:
+			// minb set while maxb clear would mean min > max: invalid box.
+			return 0, false
+		}
+	}
+	// z ≤ zmax along every prefix: zmin has been narrowed onto z's path.
+	return zmin, true
+}
+
+// loadOneZeros returns v with bit i set and all lower bits of the same
+// dimension cleared (the Tropf–Herzog LOAD(1000…) operation).
+func loadOneZeros(v uint64, i uint) uint64 {
+	under := dimMask(i%3) & (uint64(1)<<i - 1)
+	return (v &^ under) | uint64(1)<<i
+}
+
+// loadZeroOnes returns v with bit i cleared and all lower bits of the same
+// dimension set (LOAD(0111…)).
+func loadZeroOnes(v uint64, i uint) uint64 {
+	under := dimMask(i%3) & (uint64(1)<<i - 1)
+	return (v | under) &^ (uint64(1) << i)
+}
+
+// RangeQuery visits every position j of the sorted code sequence whose code
+// lies inside the voxel box [zmin, zmax], in ascending order. codes must be
+// sorted ascending. visit returning false stops the scan early.
+//
+// Complexity: O(runs × log N + hits); out-of-box gaps are skipped with
+// BigMin + binary search instead of being scanned.
+func RangeQuery(codes []uint64, zmin, zmax uint64, visit func(j int) bool) {
+	j := lowerBound(codes, zmin)
+	for j < len(codes) {
+		c := codes[j]
+		if c > zmax {
+			return
+		}
+		if InBox(c, zmin, zmax) {
+			if !visit(j) {
+				return
+			}
+			j++
+			continue
+		}
+		next, ok := BigMin(c, zmin, zmax)
+		if !ok || next <= c {
+			return
+		}
+		j = lowerBoundFrom(codes, next, j+1)
+	}
+}
+
+// lowerBound returns the first index with codes[i] >= target.
+func lowerBound(codes []uint64, target uint64) int {
+	return lowerBoundFrom(codes, target, 0)
+}
+
+func lowerBoundFrom(codes []uint64, target uint64, from int) int {
+	lo, hi := from, len(codes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if codes[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,150 @@
+package morton
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInBox(t *testing.T) {
+	zmin := Encode3(1, 2, 3)
+	zmax := Encode3(4, 5, 6)
+	if !InBox(Encode3(2, 3, 4), zmin, zmax) {
+		t.Fatal("interior voxel reported outside")
+	}
+	if InBox(Encode3(0, 3, 4), zmin, zmax) {
+		t.Fatal("x below min reported inside")
+	}
+	if InBox(Encode3(2, 6, 4), zmin, zmax) {
+		t.Fatal("y above max reported inside")
+	}
+	if !InBox(zmin, zmin, zmax) || !InBox(zmax, zmin, zmax) {
+		t.Fatal("corners must be inside")
+	}
+}
+
+// bruteNextInBox finds the smallest code ≥ z inside the box by scanning.
+func bruteNextInBox(z, zmin, zmax uint64, limit uint64) (uint64, bool) {
+	for c := z; c <= limit; c++ {
+		if InBox(c, zmin, zmax) {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+func TestBigMinAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 3000; trial++ {
+		// Small coordinate ranges keep the brute-force scan affordable.
+		x0, y0, z0 := uint32(rng.Intn(8)), uint32(rng.Intn(8)), uint32(rng.Intn(8))
+		x1 := x0 + uint32(rng.Intn(4))
+		y1 := y0 + uint32(rng.Intn(4))
+		z1 := z0 + uint32(rng.Intn(4))
+		zmin := Encode3(x0, y0, z0)
+		zmax := Encode3(x1, y1, z1)
+		z := uint64(rng.Intn(1 << 12))
+		got, ok := BigMin(z, zmin, zmax)
+		want, wantOK := bruteNextInBox(z, zmin, zmax, 1<<12)
+		if ok != wantOK {
+			t.Fatalf("trial %d: BigMin(%d, [%d,%d]) ok=%v want %v", trial, z, zmin, zmax, ok, wantOK)
+		}
+		if ok && got != want {
+			t.Fatalf("trial %d: BigMin(%d, [%d,%d]) = %d, want %d", trial, z, zmin, zmax, got, want)
+		}
+	}
+}
+
+func TestBigMinIdentityInsideBox(t *testing.T) {
+	f := func(x, y, z uint8) bool {
+		zmin := Encode3(0, 0, 0)
+		zmax := Encode3(255, 255, 255)
+		c := Encode3(uint32(x), uint32(y), uint32(z))
+		got, ok := BigMin(c, zmin, zmax)
+		return ok && got == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeQueryMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 200 + rng.Intn(300)
+		codes := make([]uint64, n)
+		for i := range codes {
+			codes[i] = Encode3(uint32(rng.Intn(32)), uint32(rng.Intn(32)), uint32(rng.Intn(32)))
+		}
+		sort.Slice(codes, func(a, b int) bool { return codes[a] < codes[b] })
+		x0, y0, z0 := uint32(rng.Intn(28)), uint32(rng.Intn(28)), uint32(rng.Intn(28))
+		zmin := Encode3(x0, y0, z0)
+		zmax := Encode3(x0+uint32(rng.Intn(5)), y0+uint32(rng.Intn(5)), z0+uint32(rng.Intn(5)))
+
+		var got []int
+		RangeQuery(codes, zmin, zmax, func(j int) bool {
+			got = append(got, j)
+			return true
+		})
+		var want []int
+		for j, c := range codes {
+			if InBox(c, zmin, zmax) {
+				want = append(want, j)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d hits, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: hit %d = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRangeQueryEarlyStop(t *testing.T) {
+	codes := []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+	count := 0
+	RangeQuery(codes, 0, 7, func(j int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestRangeQueryEmptyInputs(t *testing.T) {
+	RangeQuery(nil, 0, 100, func(j int) bool { t.Fatal("visited empty"); return false })
+	// Inverted box: no panic, no hits.
+	codes := []uint64{1, 2, 3}
+	RangeQuery(codes, Encode3(5, 5, 5), Encode3(1, 1, 1), func(j int) bool {
+		t.Fatal("visited inverted box")
+		return false
+	})
+}
+
+func TestRangeQuerySkipsGaps(t *testing.T) {
+	// Codes along x at y=z=0 plus a far cluster: a box around the far
+	// cluster must not visit the near points.
+	var codes []uint64
+	for x := uint32(0); x < 16; x++ {
+		codes = append(codes, Encode3(x, 0, 0))
+	}
+	far := Encode3(100, 100, 100)
+	codes = append(codes, far)
+	sort.Slice(codes, func(a, b int) bool { return codes[a] < codes[b] })
+	visited := 0
+	RangeQuery(codes, Encode3(99, 99, 99), Encode3(101, 101, 101), func(j int) bool {
+		visited++
+		if codes[j] != far {
+			t.Fatalf("visited near point %d", codes[j])
+		}
+		return true
+	})
+	if visited != 1 {
+		t.Fatalf("visited %d, want 1", visited)
+	}
+}

@@ -1,0 +1,98 @@
+package morton
+
+import "sort"
+
+// Sorting Morton codes is Algorithm 1, line 10: it produces the new index
+// array I' = [i_0, ..., i_{N-1}] such that codes[I'[0]] ≤ codes[I'[1]] ≤ ….
+// Two implementations are provided — an LSD radix sort (the default: O(N)
+// passes over fixed-width integer keys, the natural choice for 32/63-bit
+// codes) and a comparison sort (the reference, and the subject of the
+// sort-algorithm ablation bench).
+
+// Order returns the stable sorted order of codes: a permutation perm such
+// that codes[perm[j]] is non-decreasing in j, with ties broken by original
+// index. It is the package's default (radix) implementation.
+func Order(codes []uint64) []int {
+	return RadixOrder(codes)
+}
+
+// RadixOrder computes the sorted order with an LSD radix sort over 8-bit
+// digits. Passes whose digit is constant across all keys are skipped, so a
+// 32-bit code pays only four passes.
+func RadixOrder(codes []uint64) []int {
+	n := len(codes)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	if n < 2 {
+		return perm
+	}
+	// Determine which byte positions vary.
+	var orAll, andAll uint64
+	andAll = ^uint64(0)
+	for _, c := range codes {
+		orAll |= c
+		andAll &= c
+	}
+	varying := orAll ^ andAll
+
+	buf := make([]int, n)
+	var count [256]int
+	for shift := uint(0); shift < 64; shift += 8 {
+		if (varying>>shift)&0xff == 0 {
+			continue
+		}
+		for i := range count {
+			count[i] = 0
+		}
+		for _, p := range perm {
+			count[(codes[p]>>shift)&0xff]++
+		}
+		sum := 0
+		for i := 0; i < 256; i++ {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for _, p := range perm {
+			d := (codes[p] >> shift) & 0xff
+			buf[count[d]] = p
+			count[d]++
+		}
+		perm, buf = buf, perm
+	}
+	return perm
+}
+
+// StdOrder computes the sorted order with the standard library's stable
+// comparison sort. Used as the reference implementation in tests and as the
+// comparison point in the sort ablation bench.
+func StdOrder(codes []uint64) []int {
+	perm := make([]int, len(codes))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return codes[perm[a]] < codes[perm[b]] })
+	return perm
+}
+
+// SortedCodes applies perm to codes, returning the code sequence in sorted
+// order.
+func SortedCodes(codes []uint64, perm []int) []uint64 {
+	out := make([]uint64, len(perm))
+	for j, i := range perm {
+		out[j] = codes[i]
+	}
+	return out
+}
+
+// IsSorted reports whether codes[perm[j]] is non-decreasing.
+func IsSorted(codes []uint64, perm []int) bool {
+	for j := 1; j < len(perm); j++ {
+		if codes[perm[j-1]] > codes[perm[j]] {
+			return false
+		}
+	}
+	return true
+}

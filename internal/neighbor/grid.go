@@ -1,0 +1,247 @@
+package neighbor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+// GridSearch is a uniform-grid ("cell list") searcher in the style of
+// cuNSearch/FRNN (the paper's §3.2 "grid-based solution strategies"): points
+// are hashed into cubic cells of side CellSize; a k-NN query inspects the
+// query's cell ring by ring, stopping once the k-th best distance is closed
+// out; a radius query inspects the ⌈R/cell⌉ ring. Exact results, much better
+// average complexity than brute force, but with data-dependent control flow —
+// the property that motivates the paper's fixed-window approximation.
+type GridSearch struct {
+	// CellSize is the cell edge. If 0, a heuristic (targeting ~2 points per
+	// cell) is used per Search call.
+	CellSize float64
+	// R, when positive, makes Search behave as a fixed-radius query (ball
+	// query semantics); otherwise Search is exact k-NN.
+	R float64
+}
+
+// Name implements Searcher.
+func (g GridSearch) Name() string {
+	if g.R > 0 {
+		return "ball-grid"
+	}
+	return "knn-grid"
+}
+
+type grid struct {
+	min   geom.Point3
+	cell  float64
+	dims  [3]int
+	cells map[int64][]int32
+}
+
+func buildGrid(points []geom.Point3, cellSize float64) *grid {
+	b := geom.EmptyAABB()
+	for _, p := range points {
+		b.Extend(p)
+	}
+	if cellSize <= 0 {
+		// Target roughly 2 points per occupied cell for a surface-like cloud.
+		d := b.MaxDim()
+		if d <= 0 {
+			d = 1
+		}
+		cellsPerAxis := math.Cbrt(float64(len(points)) / 2)
+		if cellsPerAxis < 1 {
+			cellsPerAxis = 1
+		}
+		cellSize = d / cellsPerAxis
+	}
+	g := &grid{min: b.Min, cell: cellSize, cells: make(map[int64][]int32)}
+	size := b.Size()
+	g.dims[0] = int(size.X/cellSize) + 1
+	g.dims[1] = int(size.Y/cellSize) + 1
+	g.dims[2] = int(size.Z/cellSize) + 1
+	for i, p := range points {
+		key := g.key(g.coords(p))
+		g.cells[key] = append(g.cells[key], int32(i))
+	}
+	return g
+}
+
+func (g *grid) coords(p geom.Point3) [3]int {
+	c := [3]int{
+		int((p.X - g.min.X) / g.cell),
+		int((p.Y - g.min.Y) / g.cell),
+		int((p.Z - g.min.Z) / g.cell),
+	}
+	for a := 0; a < 3; a++ {
+		if c[a] < 0 {
+			c[a] = 0
+		}
+		if c[a] >= g.dims[a] {
+			c[a] = g.dims[a] - 1
+		}
+	}
+	return c
+}
+
+func (g *grid) key(c [3]int) int64 {
+	return int64(c[0]) + int64(g.dims[0])*(int64(c[1])+int64(g.dims[1])*int64(c[2]))
+}
+
+// ring visits all points in cells at Chebyshev distance exactly `ring` from
+// center, calling visit for each point index.
+func (g *grid) ring(center [3]int, ring int, visit func(i int32)) {
+	lo := [3]int{center[0] - ring, center[1] - ring, center[2] - ring}
+	hi := [3]int{center[0] + ring, center[1] + ring, center[2] + ring}
+	for x := lo[0]; x <= hi[0]; x++ {
+		if x < 0 || x >= g.dims[0] {
+			continue
+		}
+		for y := lo[1]; y <= hi[1]; y++ {
+			if y < 0 || y >= g.dims[1] {
+				continue
+			}
+			for z := lo[2]; z <= hi[2]; z++ {
+				if z < 0 || z >= g.dims[2] {
+					continue
+				}
+				// Only the shell, not the interior.
+				if ring > 0 && x != lo[0] && x != hi[0] && y != lo[1] && y != hi[1] && z != lo[2] && z != hi[2] {
+					continue
+				}
+				for _, i := range g.cells[g.key([3]int{x, y, z})] {
+					visit(i)
+				}
+			}
+		}
+	}
+}
+
+func (g *grid) maxRing() int {
+	m := g.dims[0]
+	if g.dims[1] > m {
+		m = g.dims[1]
+	}
+	if g.dims[2] > m {
+		m = g.dims[2]
+	}
+	return m
+}
+
+// Search implements Searcher.
+func (g GridSearch) Search(points, queries []geom.Point3, k int) ([]int, error) {
+	if err := checkSearch(points, k); err != nil {
+		return nil, err
+	}
+	cell := g.CellSize
+	if g.R > 0 && cell <= 0 {
+		cell = g.R
+	}
+	gr := buildGrid(points, cell)
+	out := make([]int, len(queries)*k)
+	kk := k
+	if kk > len(points) {
+		kk = len(points)
+	}
+	parallel.ForChunks(len(queries), func(lo, hi int) {
+		idx := make([]int, kk)
+		d := make([]float64, kk)
+		found := make([]int, 0, k)
+		for q := lo; q < hi; q++ {
+			if g.R > 0 {
+				found = found[:0]
+				g.radiusQuery(gr, points, queries[q], k, &found)
+				writePadded(out[q*k:(q+1)*k], found)
+			} else {
+				gridKNN(gr, points, queries[q], idx, d)
+				writePadded(out[q*k:(q+1)*k], idx)
+			}
+		}
+	})
+	return out, nil
+}
+
+func (g GridSearch) radiusQuery(gr *grid, points []geom.Point3, p geom.Point3, k int, found *[]int) {
+	r2 := g.R * g.R
+	rings := int(g.R/gr.cell) + 1
+	center := gr.coords(p)
+	nearest, nearestD := 0, inf
+	for ring := 0; ring <= rings; ring++ {
+		gr.ring(center, ring, func(i int32) {
+			if len(*found) >= k {
+				return
+			}
+			dist := p.DistSq(points[i])
+			if dist < nearestD {
+				nearest, nearestD = int(i), dist
+			}
+			if dist <= r2 {
+				*found = append(*found, int(i))
+			}
+		})
+		if len(*found) >= k {
+			return
+		}
+	}
+	if len(*found) == 0 {
+		// Fall back to the nearest point seen; if the rings were all empty,
+		// widen until something is found (the cloud is non-empty).
+		if nearestD == inf {
+			for ring := rings + 1; ring <= gr.maxRing(); ring++ {
+				gr.ring(center, ring, func(i int32) {
+					dist := p.DistSq(points[i])
+					if dist < nearestD {
+						nearest, nearestD = int(i), dist
+					}
+				})
+				if nearestD < inf {
+					break
+				}
+			}
+		}
+		*found = append(*found, nearest)
+	}
+}
+
+// gridKNN performs exact k-NN via expanding rings: it keeps visiting rings
+// until the k-th best squared distance is smaller than the closest possible
+// point in the next unvisited ring.
+func gridKNN(gr *grid, points []geom.Point3, p geom.Point3, idx []int, d []float64) {
+	k := len(idx)
+	for i := range d {
+		d[i] = inf
+		idx[i] = -1
+	}
+	center := gr.coords(p)
+	maxRing := gr.maxRing()
+	for ring := 0; ring <= maxRing; ring++ {
+		if ring > 0 {
+			// Closest possible squared distance to any point in this ring.
+			minDist := float64(ring-1) * gr.cell
+			if minDist*minDist > d[k-1] {
+				break
+			}
+		}
+		gr.ring(center, ring, func(i int32) {
+			dist := p.DistSq(points[i])
+			if dist >= d[k-1] {
+				return
+			}
+			j := k - 1
+			for j > 0 && d[j-1] > dist {
+				d[j] = d[j-1]
+				idx[j] = idx[j-1]
+				j--
+			}
+			d[j] = dist
+			idx[j] = int(i)
+		})
+	}
+	// Guard: if any slot is unfilled (k > points in grid), compact.
+	for i := range idx {
+		if idx[i] < 0 {
+			panic(fmt.Sprintf("neighbor: grid kNN underfilled: %d points, k=%d", len(points), k))
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package neighbor
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+// KDTree is a median-split k-d tree over the candidate points: the classical
+// O(N log N) neighbor-search structure (the paper's footnote 1 and the
+// subject of Crescent's memory-irregularity analysis). Build once per
+// candidate set, then answer k-NN or radius queries.
+//
+// Stored as a flat node array (children at implicit offsets recorded per
+// node) so traversal is pointer-free.
+type KDTree struct {
+	pts   []geom.Point3
+	nodes []kdNode
+	root  int
+}
+
+type kdNode struct {
+	point       int // index into pts
+	axis        int8
+	left, right int32 // node indexes; -1 if absent
+}
+
+// NewKDTree builds a tree over points. The points slice is retained (not
+// copied); callers must not mutate it while the tree is in use.
+func NewKDTree(points []geom.Point3) *KDTree {
+	t := &KDTree{pts: points}
+	if len(points) == 0 {
+		t.root = -1
+		return t
+	}
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.nodes = make([]kdNode, 0, len(points))
+	t.root = t.build(idx, 0)
+	return t
+}
+
+func coord(p geom.Point3, axis int8) float64 {
+	switch axis {
+	case 0:
+		return p.X
+	case 1:
+		return p.Y
+	default:
+		return p.Z
+	}
+}
+
+func (t *KDTree) build(idx []int, depth int) int {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := int8(depth % 3)
+	sort.Slice(idx, func(a, b int) bool {
+		return coord(t.pts[idx[a]], axis) < coord(t.pts[idx[b]], axis)
+	})
+	mid := len(idx) / 2
+	node := kdNode{point: idx[mid], axis: axis}
+	me := len(t.nodes)
+	t.nodes = append(t.nodes, node)
+	left := t.build(idx[:mid], depth+1)
+	right := t.build(idx[mid+1:], depth+1)
+	t.nodes[me].left = int32(left)
+	t.nodes[me].right = int32(right)
+	return me
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// KNN returns the k nearest indexed points to p, ascending by distance.
+func (t *KDTree) KNN(p geom.Point3, k int) []int {
+	if k > len(t.pts) {
+		k = len(t.pts)
+	}
+	if k <= 0 || t.root < 0 {
+		return nil
+	}
+	idx := make([]int, k)
+	d := make([]float64, k)
+	for i := range d {
+		d[i] = inf
+		idx[i] = -1
+	}
+	t.knn(t.root, p, idx, d)
+	return idx
+}
+
+func (t *KDTree) knn(node int, p geom.Point3, idx []int, d []float64) {
+	if node < 0 {
+		return
+	}
+	n := &t.nodes[node]
+	dist := p.DistSq(t.pts[n.point])
+	k := len(idx)
+	if dist < d[k-1] {
+		j := k - 1
+		for j > 0 && d[j-1] > dist {
+			d[j] = d[j-1]
+			idx[j] = idx[j-1]
+			j--
+		}
+		d[j] = dist
+		idx[j] = n.point
+	}
+	delta := coord(p, n.axis) - coord(t.pts[n.point], n.axis)
+	near, far := int(n.left), int(n.right)
+	if delta > 0 {
+		near, far = far, near
+	}
+	t.knn(near, p, idx, d)
+	if delta*delta < d[k-1] {
+		t.knn(far, p, idx, d)
+	}
+}
+
+// Radius returns up to maxCount indexed points within radius r of p, in
+// traversal order. maxCount ≤ 0 means unlimited.
+func (t *KDTree) Radius(p geom.Point3, r float64, maxCount int) []int {
+	if t.root < 0 || r <= 0 {
+		return nil
+	}
+	var out []int
+	t.radius(t.root, p, r*r, r, maxCount, &out)
+	return out
+}
+
+func (t *KDTree) radius(node int, p geom.Point3, r2, r float64, maxCount int, out *[]int) {
+	if node < 0 || (maxCount > 0 && len(*out) >= maxCount) {
+		return
+	}
+	n := &t.nodes[node]
+	if p.DistSq(t.pts[n.point]) <= r2 {
+		*out = append(*out, n.point)
+	}
+	delta := coord(p, n.axis) - coord(t.pts[n.point], n.axis)
+	near, far := int(n.left), int(n.right)
+	if delta > 0 {
+		near, far = far, near
+	}
+	t.radius(near, p, r2, r, maxCount, out)
+	if delta < 0 {
+		delta = -delta
+	}
+	if delta <= r {
+		t.radius(far, p, r2, r, maxCount, out)
+	}
+}
+
+// KDTreeKNN adapts KDTree to the Searcher interface, rebuilding the tree per
+// candidate set (the build cost is part of what the paper charges kd-tree
+// approaches with).
+type KDTreeKNN struct{}
+
+// Name implements Searcher.
+func (KDTreeKNN) Name() string { return "knn-kdtree" }
+
+// Search implements Searcher.
+func (KDTreeKNN) Search(points, queries []geom.Point3, k int) ([]int, error) {
+	if err := checkSearch(points, k); err != nil {
+		return nil, err
+	}
+	tree := NewKDTree(points)
+	out := make([]int, len(queries)*k)
+	parallel.ForChunks(len(queries), func(lo, hi int) {
+		for q := lo; q < hi; q++ {
+			writePadded(out[q*k:(q+1)*k], tree.KNN(queries[q], k))
+		}
+	})
+	return out, nil
+}
+
+// KDTreeBall adapts KDTree radius search to the Searcher interface.
+type KDTreeBall struct {
+	R float64
+}
+
+// Name implements Searcher.
+func (KDTreeBall) Name() string { return "ball-kdtree" }
+
+// Search implements Searcher.
+func (b KDTreeBall) Search(points, queries []geom.Point3, k int) ([]int, error) {
+	if err := checkSearch(points, k); err != nil {
+		return nil, err
+	}
+	tree := NewKDTree(points)
+	out := make([]int, len(queries)*k)
+	parallel.ForChunks(len(queries), func(lo, hi int) {
+		for q := lo; q < hi; q++ {
+			found := tree.Radius(queries[q], b.R, k)
+			if len(found) == 0 {
+				found = tree.KNN(queries[q], 1)
+			}
+			writePadded(out[q*k:(q+1)*k], found)
+		}
+	})
+	return out, nil
+}

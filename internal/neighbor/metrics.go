@@ -1,0 +1,48 @@
+package neighbor
+
+import "fmt"
+
+// FalseNeighborRatio computes the paper's Fig. 6 metric: the fraction of
+// neighbors picked by an approximate scheme that are *not* identified as
+// neighbors by the exact (SOTA) scheme, averaged over queries. Both inputs
+// are flat q×k index arrays as produced by Searcher.Search. Duplicate indexes
+// inside one query's exact set (ball-query padding) are counted once.
+func FalseNeighborRatio(approx, exact []int, k int) (float64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("%w: k=%d", ErrBadK, k)
+	}
+	if len(approx) != len(exact) || len(approx)%k != 0 {
+		return 0, fmt.Errorf("neighbor: mismatched result shapes: %d vs %d (k=%d)",
+			len(approx), len(exact), k)
+	}
+	q := len(approx) / k
+	if q == 0 {
+		return 0, nil
+	}
+	falseTotal := 0
+	set := make(map[int]struct{}, k)
+	for i := 0; i < q; i++ {
+		for j := range set {
+			delete(set, j)
+		}
+		for _, e := range exact[i*k : (i+1)*k] {
+			set[e] = struct{}{}
+		}
+		for _, a := range approx[i*k : (i+1)*k] {
+			if _, ok := set[a]; !ok {
+				falseTotal++
+			}
+		}
+	}
+	return float64(falseTotal) / float64(q*k), nil
+}
+
+// RecallAtK computes the complementary metric: the fraction of exact
+// neighbors that the approximate scheme recovered.
+func RecallAtK(approx, exact []int, k int) (float64, error) {
+	fnr, err := FalseNeighborRatio(exact, approx, k)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - fnr, nil
+}

@@ -1,0 +1,60 @@
+package neighbor
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+// EstimateNormals computes a unit surface normal per point as the smallest
+// covariance eigenvector of its k-neighborhood (the classical PCA normal
+// estimator) using exact k-NN. Normal signs are ambiguous by construction;
+// each is oriented to point away from the neighborhood centroid's side of
+// the cloud centroid (consistent for convex-ish surfaces; callers needing a
+// globally consistent orientation should propagate signs themselves).
+func EstimateNormals(points []geom.Point3, k int) ([]geom.Point3, error) {
+	if err := checkSearch(points, k); err != nil {
+		return nil, err
+	}
+	if k < 3 {
+		return nil, fmt.Errorf("neighbor: normal estimation needs k ≥ 3, got %d", k)
+	}
+	nbr, err := BruteKNN{}.Search(points, points, k)
+	if err != nil {
+		return nil, err
+	}
+	return NormalsFromNeighbors(points, nbr, k)
+}
+
+// NormalsFromNeighbors computes PCA normals from a precomputed flat q×k
+// neighbor result over the same point set — this is where an approximate
+// searcher (e.g. the Morton window) plugs in.
+func NormalsFromNeighbors(points []geom.Point3, nbr []int, k int) ([]geom.Point3, error) {
+	if len(nbr) != len(points)*k {
+		return nil, fmt.Errorf("neighbor: %d neighbor entries for %d points × k=%d", len(nbr), len(points), k)
+	}
+	centroid := geom.Point3{}
+	for _, p := range points {
+		centroid = centroid.Add(p)
+	}
+	centroid = centroid.Scale(1 / float64(len(points)))
+
+	normals := make([]geom.Point3, len(points))
+	parallel.ForChunks(len(points), func(lo, hi int) {
+		hood := make([]geom.Point3, 0, k)
+		for i := lo; i < hi; i++ {
+			hood = hood[:0]
+			for _, j := range nbr[i*k : (i+1)*k] {
+				hood = append(hood, points[j])
+			}
+			n := geom.Covariance3(hood).EigenSmallest()
+			// Orient outward relative to the cloud centroid.
+			if n.Dot(points[i].Sub(centroid)) < 0 {
+				n = n.Scale(-1)
+			}
+			normals[i] = n
+		}
+	})
+	return normals, nil
+}

@@ -1,0 +1,81 @@
+package neighbor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestEstimateNormalsPlane(t *testing.T) {
+	// A z=0 plane: every normal must be ±z.
+	c := geom.GenerateShape(geom.ShapePlane, geom.ShapeOptions{N: 300, Seed: 1})
+	normals, err := EstimateNormals(c.Points, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range normals {
+		if math.Abs(math.Abs(n.Z)-1) > 1e-6 {
+			t.Fatalf("point %d: plane normal %v not ±z", i, n)
+		}
+		if math.Abs(n.Norm()-1) > 1e-9 {
+			t.Fatalf("point %d: normal not unit: %v", i, n.Norm())
+		}
+	}
+}
+
+func TestEstimateNormalsSphereRadial(t *testing.T) {
+	c := geom.GenerateShape(geom.ShapeSphere, geom.ShapeOptions{N: 2000, Seed: 2})
+	normals, err := EstimateNormals(c.Points, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumAbsCos float64
+	outward := 0
+	for i, n := range normals {
+		radial := c.Points[i] // unit sphere: the point IS the outward normal
+		cos := n.Dot(radial)
+		sumAbsCos += math.Abs(cos)
+		if cos > 0 {
+			outward++
+		}
+	}
+	meanAbs := sumAbsCos / float64(len(normals))
+	if meanAbs < 0.97 {
+		t.Fatalf("mean |cos(normal, radial)| = %.4f, want ≥ 0.97", meanAbs)
+	}
+	// Centroid-based orientation must make the sphere consistently outward.
+	if frac := float64(outward) / float64(len(normals)); frac < 0.99 {
+		t.Fatalf("only %.1f%% of sphere normals point outward", 100*frac)
+	}
+}
+
+func TestEstimateNormalsErrors(t *testing.T) {
+	pts := []geom.Point3{{X: 1}, {X: 2}, {X: 3}, {X: 4}}
+	if _, err := EstimateNormals(pts, 2); err == nil {
+		t.Fatal("k<3: want error")
+	}
+	if _, err := EstimateNormals(nil, 4); err == nil {
+		t.Fatal("empty points: want error")
+	}
+	if _, err := NormalsFromNeighbors(pts, []int{0, 1}, 3); err == nil {
+		t.Fatal("shape mismatch: want error")
+	}
+}
+
+func TestCovarianceEigenKnownMatrix(t *testing.T) {
+	// Points spread along x and y only: smallest-variance direction is z.
+	pts := []geom.Point3{
+		{X: -1, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: -2}, {X: 0, Y: 2},
+		{X: 1, Y: 1}, {X: -1, Y: -1},
+	}
+	n := geom.Covariance3(pts).EigenSmallest()
+	if math.Abs(math.Abs(n.Z)-1) > 1e-9 {
+		t.Fatalf("smallest eigenvector %v, want ±z", n)
+	}
+	// Degenerate (zero) covariance → deterministic fallback.
+	zero := geom.Symmetric3{}
+	if v := zero.EigenSmallest(); math.Abs(v.Norm()-1) > 1e-12 {
+		t.Fatalf("degenerate eigenvector %v not unit", v)
+	}
+}

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// MergeSplit implements the paper's §5.4.1 feature-merging transform: to
+// push a narrow-channel shared MLP over the tensor-core engagement
+// threshold, the features of T consecutive (Morton-adjacent, hence spatially
+// close) points are concatenated into one row of T·C channels, the inner
+// layer runs on N/T such rows, and the result is split back by assigning the
+// group output to each of its T points.
+//
+// The transform keeps the FLOP count while multiplying the channel width by
+// T and dividing the row count by T; its approximation error is small
+// exactly when consecutive rows are spatially coherent — i.e. after Morton
+// structurization (quantified in the sec541 experiment).
+type MergeSplit struct {
+	T     int
+	Inner Layer
+
+	rows int // cached input row count for backward
+}
+
+// Forward implements Layer. The input row count must be divisible by T.
+func (m *MergeSplit) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	if m.T < 1 {
+		return nil, fmt.Errorf("nn: merge factor %d", m.T)
+	}
+	if x.Rows%m.T != 0 {
+		return nil, fmt.Errorf("nn: %d rows not divisible by merge factor %d", x.Rows, m.T)
+	}
+	groups := x.Rows / m.T
+	// Rows are contiguous in memory, so merging T consecutive rows into one
+	// wider row is a pure reshape.
+	merged := &tensor.Matrix{Rows: groups, Cols: x.Cols * m.T, Data: x.Data}
+	y, err := m.Inner.Forward(merged, train)
+	if err != nil {
+		return nil, err
+	}
+	if train {
+		m.rows = x.Rows
+	}
+	// Split by replication: every point of a group receives the group's
+	// output (the paper's "split the convolution result back ... e.g., by
+	// averaging" — replication is the adjoint-consistent choice for the
+	// forward direction; averaging appears in the backward pass).
+	out := tensor.New(x.Rows, y.Cols)
+	for g := 0; g < groups; g++ {
+		src := y.Row(g)
+		for j := 0; j < m.T; j++ {
+			copy(out.Row(g*m.T+j), src)
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (m *MergeSplit) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
+	if m.rows == 0 || grad.Rows != m.rows {
+		return nil, fmt.Errorf("nn: merge-split backward before forward(train)")
+	}
+	groups := grad.Rows / m.T
+	// Adjoint of replication: sum the group's gradients.
+	summed := tensor.New(groups, grad.Cols)
+	for g := 0; g < groups; g++ {
+		dst := summed.Row(g)
+		for j := 0; j < m.T; j++ {
+			for c, v := range grad.Row(g*m.T + j) {
+				dst[c] += v
+			}
+		}
+	}
+	gIn, err := m.Inner.Backward(summed)
+	if err != nil {
+		return nil, err
+	}
+	// Adjoint of the merge reshape: reinterpret the wide rows as T rows.
+	return &tensor.Matrix{Rows: m.rows, Cols: gIn.Cols / m.T, Data: gIn.Data}, nil
+}
+
+// Params implements Layer.
+func (m *MergeSplit) Params() []*Param { return m.Inner.Params() }

@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestMergeSplitShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := &MergeSplit{T: 4, Inner: NewLinear("inner", 4*3, 5, rng)}
+	x := tensor.New(12, 3)
+	y, err := m.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Rows != 12 || y.Cols != 5 {
+		t.Fatalf("output %dx%d, want 12x5", y.Rows, y.Cols)
+	}
+	// All rows of a group are identical (split-by-replication).
+	for g := 0; g < 3; g++ {
+		base := y.Row(g * 4)
+		for j := 1; j < 4; j++ {
+			row := y.Row(g*4 + j)
+			for c := range base {
+				if row[c] != base[c] {
+					t.Fatalf("group %d rows differ", g)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeSplitGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	layer := &MergeSplit{T: 2, Inner: NewLinear("inner", 2*3, 4, rng)}
+	checkLayerGradients(t, layer, 6, 3, 3, 1e-2)
+}
+
+func TestMergeSplitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := &MergeSplit{T: 4, Inner: NewLinear("inner", 4*3, 5, rng)}
+	if _, err := m.Forward(tensor.New(10, 3), false); err == nil {
+		t.Fatal("10 rows with T=4: want error")
+	}
+	if _, err := m.Backward(tensor.New(12, 5)); err == nil {
+		t.Fatal("backward before forward: want error")
+	}
+	bad := &MergeSplit{T: 0, Inner: NewLinear("inner", 3, 5, rng)}
+	if _, err := bad.Forward(tensor.New(4, 3), false); err == nil {
+		t.Fatal("T=0: want error")
+	}
+}
+
+func TestMergeSplitWidensChannels(t *testing.T) {
+	// The purpose of the transform: the inner layer sees T× the channels
+	// over 1/T the rows — the §5.4.1 reshape with identical FLOPs.
+	probe := &probeLayer{}
+	m := &MergeSplit{T: 4, Inner: probe}
+	if _, err := m.Forward(tensor.New(32, 12), false); err != nil {
+		t.Fatal(err)
+	}
+	if probe.rows != 8 || probe.cols != 48 {
+		t.Fatalf("inner saw %dx%d, want 8x48", probe.rows, probe.cols)
+	}
+}
+
+type probeLayer struct{ rows, cols int }
+
+func (p *probeLayer) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	p.rows, p.cols = x.Rows, x.Cols
+	return x, nil
+}
+func (p *probeLayer) Backward(g *tensor.Matrix) (*tensor.Matrix, error) { return g, nil }
+func (p *probeLayer) Params() []*Param                                  { return nil }

@@ -1,0 +1,70 @@
+// Package nn is a small neural-network library with explicit forward and
+// backward passes over tensor.Matrix activations. It exists because
+// reproducing EdgePC's accuracy experiments requires *retraining* the
+// point-cloud CNNs with the Morton approximations in the loop (§5.3) — a
+// pretrained-weights path would not exercise the paper's central claim that
+// retraining recovers the accuracy lost to approximate sampling and false
+// neighbors.
+//
+// Activations are (items × channels) matrices; a "shared MLP" (the 1×1
+// convolution of PointNet-family networks) is therefore an ordinary Linear
+// layer applied to every point row independently.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Param is a trainable parameter with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// NewParam allocates a parameter and its gradient of the given shape.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, Value: tensor.New(rows, cols), Grad: tensor.New(rows, cols)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable computation. Backward must be called with the
+// gradient of the loss w.r.t. the layer's most recent Forward output and
+// returns the gradient w.r.t. that Forward's input, accumulating parameter
+// gradients along the way.
+type Layer interface {
+	Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error)
+	Backward(grad *tensor.Matrix) (*tensor.Matrix, error)
+	Params() []*Param
+}
+
+// InitHe fills the parameter with He-normal values scaled by the fan-in
+// (suitable ahead of ReLU).
+func InitHe(p *Param, fanIn int, rng *rand.Rand) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	for i := range p.Value.Data {
+		p.Value.Data[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// InitXavier fills the parameter with Xavier-uniform values.
+func InitXavier(p *Param, fanIn, fanOut int, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range p.Value.Data {
+		p.Value.Data[i] = float32((rng.Float64()*2 - 1) * limit)
+	}
+}
+
+// CollectParams gathers the parameters of several layers.
+func CollectParams(layers ...Layer) []*Param {
+	var out []*Param
+	for _, l := range layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}

@@ -1,0 +1,374 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// numericGrad estimates d(loss)/d(x[i]) by central differences, where loss is
+// computed by f on a fresh forward pass.
+func numericGrad(f func() float64, v *float32, eps float32) float64 {
+	orig := *v
+	*v = orig + eps
+	up := f()
+	*v = orig - eps
+	down := f()
+	*v = orig
+	return (up - down) / float64(2*eps)
+}
+
+// scalarLoss reduces a matrix to Σ w_i·y_i with fixed pseudo-random weights,
+// giving a deterministic scalar objective for gradient checking.
+func scalarLoss(m *tensor.Matrix, weights []float32) float64 {
+	var s float64
+	for i, v := range m.Data {
+		s += float64(weights[i]) * float64(v)
+	}
+	return s
+}
+
+// checkLayerGradients verifies both input and parameter gradients of a layer
+// against finite differences.
+func checkLayerGradients(t *testing.T, layer Layer, rows, cols int, seed int64, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	// Probe forward once to learn the output shape.
+	y0, err := layer.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float32, len(y0.Data))
+	for i := range w {
+		w[i] = float32(rng.NormFloat64())
+	}
+	forward := func() float64 {
+		y, err := layer.Forward(x, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scalarLoss(y, w)
+	}
+	// Analytic gradients: one forward + backward with dL/dy = w.
+	y, err := layer.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := tensor.New(y.Rows, y.Cols)
+	copy(grad.Data, w)
+	for _, p := range layer.Params() {
+		p.ZeroGrad()
+	}
+	dx, err := layer.Backward(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check input gradient.
+	for i := 0; i < len(x.Data); i += 1 + len(x.Data)/8 {
+		num := numericGrad(forward, &x.Data[i], 1e-2)
+		got := float64(dx.Data[i])
+		if math.Abs(num-got) > tol*(1+math.Abs(num)) {
+			t.Fatalf("input grad [%d]: analytic %v vs numeric %v", i, got, num)
+		}
+	}
+	// Check parameter gradients. Note: each forward() call accumulates into
+	// p.Grad, but we saved analytic grads first.
+	analytic := map[*Param][]float32{}
+	for _, p := range layer.Params() {
+		analytic[p] = append([]float32(nil), p.Grad.Data...)
+	}
+	for _, p := range layer.Params() {
+		for i := 0; i < len(p.Value.Data); i += 1 + len(p.Value.Data)/6 {
+			num := numericGrad(forward, &p.Value.Data[i], 1e-2)
+			got := float64(analytic[p][i])
+			if math.Abs(num-got) > tol*(1+math.Abs(num)) {
+				t.Fatalf("param %s grad [%d]: analytic %v vs numeric %v", p.Name, i, got, num)
+			}
+		}
+	}
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	checkLayerGradients(t, NewLinear("l", 4, 3, rng), 5, 4, 2, 1e-2)
+}
+
+func TestReLUGradients(t *testing.T) {
+	checkLayerGradients(t, &ReLU{}, 6, 4, 3, 1e-2)
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	checkLayerGradients(t, NewBatchNorm("bn", 3), 8, 3, 4, 5e-2)
+}
+
+func TestSequentialGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	seq := NewSequential(
+		NewLinear("a", 4, 6, rng),
+		NewBatchNorm("a.bn", 6),
+		&ReLU{},
+		NewLinear("b", 6, 2, rng),
+	)
+	checkLayerGradients(t, seq, 7, 4, 6, 5e-2)
+}
+
+func TestSharedMLPStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mlp := NewSharedMLP("m", []int{3, 8, 16}, rng)
+	// 2 blocks × (Linear + BN + ReLU) = 6 layers; params = 2×(W+b+γ+β) = 8.
+	if len(mlp.Layers) != 6 {
+		t.Fatalf("layers = %d, want 6", len(mlp.Layers))
+	}
+	if len(mlp.Params()) != 8 {
+		t.Fatalf("params = %d, want 8", len(mlp.Params()))
+	}
+	x := tensor.New(5, 3)
+	y, err := mlp.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Rows != 5 || y.Cols != 16 {
+		t.Fatalf("output %dx%d, want 5x16", y.Rows, y.Cols)
+	}
+}
+
+func TestDropoutTrainVsEval(t *testing.T) {
+	d := &Dropout{P: 0.5, Rng: rand.New(rand.NewSource(2))}
+	x := tensor.New(10, 10)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	yEval, err := d.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yEval.Equal(x) {
+		t.Fatal("eval dropout must be identity")
+	}
+	yTrain, err := d.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, v := range yTrain.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2: // 1 / (1-0.5)
+		default:
+			t.Fatalf("unexpected dropout value %v", v)
+		}
+	}
+	if zeros == 0 || zeros == len(yTrain.Data) {
+		t.Fatalf("dropout zeroed %d of %d", zeros, len(yTrain.Data))
+	}
+	// Backward masks the same entries.
+	g := tensor.New(10, 10)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	back, err := d.Backward(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range yTrain.Data {
+		if (v == 0) != (back.Data[i] == 0) {
+			t.Fatal("backward mask mismatch")
+		}
+	}
+}
+
+func TestBatchNormRunningStats(t *testing.T) {
+	bn := NewBatchNorm("bn", 1)
+	x := tensor.New(100, 1)
+	rng := rand.New(rand.NewSource(3))
+	for i := range x.Data {
+		x.Data[i] = float32(5 + 2*rng.NormFloat64())
+	}
+	for it := 0; it < 200; it++ {
+		if _, err := bn.Forward(x, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(float64(bn.RunningMean[0])-5) > 0.5 {
+		t.Fatalf("running mean = %v, want ≈5", bn.RunningMean[0])
+	}
+	if math.Abs(float64(bn.RunningVar[0])-4) > 1.5 {
+		t.Fatalf("running var = %v, want ≈4", bn.RunningVar[0])
+	}
+	// Eval output is standardized around (x−5)/2.
+	y, err := bn.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Rows != 100 {
+		t.Fatal("eval shape wrong")
+	}
+}
+
+func TestCrossEntropy(t *testing.T) {
+	logits, _ := tensor.FromSlice(2, 3, []float32{10, 0, 0, 0, 10, 0})
+	loss, grad, err := CrossEntropy(logits, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 1e-3 {
+		t.Fatalf("confident correct loss = %v", loss)
+	}
+	if grad.Rows != 2 || grad.Cols != 3 {
+		t.Fatal("grad shape")
+	}
+	// Wrong label → large loss, gradient pushes toward the label.
+	loss2, grad2, err := CrossEntropy(logits, []int32{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss2 < 1 {
+		t.Fatalf("wrong-label loss = %v", loss2)
+	}
+	if grad2.At(0, 1) >= 0 {
+		t.Fatal("gradient does not favor the true class")
+	}
+}
+
+func TestCrossEntropyGradientNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	logits := tensor.New(3, 4)
+	for i := range logits.Data {
+		logits.Data[i] = float32(rng.NormFloat64())
+	}
+	labels := []int32{2, 0, 3}
+	_, grad, err := CrossEntropy(logits, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range logits.Data {
+		num := numericGrad(func() float64 {
+			l, _, _ := CrossEntropy(logits, labels)
+			return l
+		}, &logits.Data[i], 1e-3)
+		if math.Abs(num-float64(grad.Data[i])) > 1e-2 {
+			t.Fatalf("grad[%d]: analytic %v vs numeric %v", i, grad.Data[i], num)
+		}
+	}
+}
+
+func TestCrossEntropyIgnoreLabel(t *testing.T) {
+	logits, _ := tensor.FromSlice(2, 2, []float32{5, 0, 0, 5})
+	loss, grad, err := CrossEntropy(logits, []int32{0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.1 {
+		t.Fatalf("loss = %v", loss)
+	}
+	for _, v := range grad.Row(1) {
+		if v != 0 {
+			t.Fatal("ignored row received gradient")
+		}
+	}
+	// All ignored.
+	loss, grad, err = CrossEntropy(logits, []int32{-1, -1})
+	if err != nil || loss != 0 {
+		t.Fatalf("all-ignored: loss=%v err=%v", loss, err)
+	}
+	_ = grad
+}
+
+func TestCrossEntropyErrors(t *testing.T) {
+	logits := tensor.New(2, 2)
+	if _, _, err := CrossEntropy(logits, []int32{0}); err == nil {
+		t.Fatal("label count mismatch: want error")
+	}
+	if _, _, err := CrossEntropy(logits, []int32{0, 5}); err == nil {
+		t.Fatal("label out of range: want error")
+	}
+}
+
+func TestAccuracyAndArgmax(t *testing.T) {
+	logits, _ := tensor.FromSlice(3, 2, []float32{1, 0, 0, 1, 1, 0})
+	if got := Accuracy(logits, []int32{0, 1, 1}); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got := Accuracy(logits, []int32{-1, -1, -1}); got != 0 {
+		t.Fatalf("all-ignored accuracy = %v", got)
+	}
+	if Argmax([]float32{3, 1, 7, 2}) != 2 {
+		t.Fatal("argmax wrong")
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	// Minimize ||w - target||² with gradients fed manually.
+	p := NewParam("w", 1, 3)
+	target := []float32{1, -2, 3}
+	opt := &SGD{LR: 0.1, Momentum: 0.9}
+	for it := 0; it < 200; it++ {
+		p.ZeroGrad()
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = 2 * (p.Value.Data[i] - target[i])
+		}
+		opt.Step([]*Param{p})
+	}
+	for i, tgt := range target {
+		if math.Abs(float64(p.Value.Data[i]-tgt)) > 1e-3 {
+			t.Fatalf("SGD w[%d] = %v, want %v", i, p.Value.Data[i], tgt)
+		}
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	p := NewParam("w", 1, 3)
+	target := []float32{0.5, -1.5, 2.5}
+	opt := NewAdam(0.05)
+	for it := 0; it < 500; it++ {
+		p.ZeroGrad()
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = 2 * (p.Value.Data[i] - target[i])
+		}
+		opt.Step([]*Param{p})
+	}
+	for i, tgt := range target {
+		if math.Abs(float64(p.Value.Data[i]-tgt)) > 1e-2 {
+			t.Fatalf("Adam w[%d] = %v, want %v", i, p.Value.Data[i], tgt)
+		}
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	p := NewParam("w", 1, 1)
+	p.Value.Data[0] = 1
+	opt := &SGD{LR: 0.1, WeightDecay: 0.5}
+	p.ZeroGrad()
+	opt.Step([]*Param{p})
+	if p.Value.Data[0] >= 1 {
+		t.Fatalf("weight decay did not shrink: %v", p.Value.Data[0])
+	}
+}
+
+func TestInitializers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewParam("w", 64, 64)
+	InitHe(p, 64, rng)
+	var sumSq float64
+	for _, v := range p.Value.Data {
+		sumSq += float64(v) * float64(v)
+	}
+	variance := sumSq / float64(len(p.Value.Data))
+	if variance < 0.01 || variance > 0.1 { // expect ≈ 2/64 ≈ 0.031
+		t.Fatalf("He variance = %v", variance)
+	}
+	InitXavier(p, 64, 64, rng)
+	limit := math.Sqrt(6.0 / 128)
+	for _, v := range p.Value.Data {
+		if float64(v) > limit || float64(v) < -limit {
+			t.Fatalf("Xavier value %v beyond limit %v", v, limit)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Parameter serialization: a minimal, versioned binary format so trained
+// models survive process restarts (train once with cmd/edgepc-train, deploy
+// into the inference pipeline). Format (little-endian):
+//
+//	magic   [4]byte "EPNN"
+//	version byte    1
+//	count   uvarint
+//	per parameter:
+//	  nameLen uvarint, name bytes
+//	  rows, cols uvarint
+//	  rows×cols float32 (IEEE-754 bits, little-endian)
+
+var paramMagic = [4]byte{'E', 'P', 'N', 'N'}
+
+const paramVersion = 1
+
+// ErrFormat reports an undecodable or mismatched parameter stream.
+var ErrFormat = errors.New("nn: bad parameter stream")
+
+// SaveParams writes the parameters' values (not gradients) to w.
+func SaveParams(w io.Writer, params []*Param) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(paramMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(paramVersion); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeUvarint(uint64(len(p.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(p.Value.Rows)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(p.Value.Cols)); err != nil {
+			return err
+		}
+		var b [4]byte
+		for _, v := range p.Value.Data {
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+			if _, err := bw.Write(b[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams reads a stream written by SaveParams into params, verifying
+// that names and shapes match in order — loading into a differently
+// constructed network is an error, not silent corruption.
+func LoadParams(r io.Reader, params []*Param) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if magic != paramMagic {
+		return fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if version != paramVersion {
+		return fmt.Errorf("nn: unsupported parameter version %d", version)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("%w: count: %v", ErrFormat, err)
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("%w: stream has %d parameters, network has %d", ErrFormat, count, len(params))
+	}
+	for _, p := range params {
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil || nameLen > 4096 {
+			return fmt.Errorf("%w: name length", ErrFormat)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return fmt.Errorf("%w: name: %v", ErrFormat, err)
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("%w: parameter %q in stream, %q in network", ErrFormat, name, p.Name)
+		}
+		rows, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: rows: %v", ErrFormat, err)
+		}
+		cols, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: cols: %v", ErrFormat, err)
+		}
+		if int(rows) != p.Value.Rows || int(cols) != p.Value.Cols {
+			return fmt.Errorf("%w: %s is %dx%d in stream, %dx%d in network",
+				ErrFormat, p.Name, rows, cols, p.Value.Rows, p.Value.Cols)
+		}
+		buf := make([]byte, 4*rows*cols)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("%w: %s data: %v", ErrFormat, p.Name, err)
+		}
+		for i := range p.Value.Data {
+			p.Value.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := NewSequential(
+		NewLinear("a", 3, 5, rng),
+		NewBatchNorm("a.bn", 5),
+		NewLinear("b", 5, 2, rng),
+	)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewSequential(
+		NewLinear("a", 3, 5, rand.New(rand.NewSource(99))),
+		NewBatchNorm("a.bn", 5),
+		NewLinear("b", 5, 2, rand.New(rand.NewSource(98))),
+	)
+	if err := LoadParams(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		for j, v := range sp[i].Value.Data {
+			if dp[i].Value.Data[j] != v {
+				t.Fatalf("param %s[%d] = %v, want %v", dp[i].Name, j, dp[i].Value.Data[j], v)
+			}
+		}
+	}
+}
+
+func TestLoadParamsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := NewLinear("a", 3, 5, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	wrongShape := NewLinear("a", 3, 6, rng)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), wrongShape.Params()); err == nil {
+		t.Fatal("shape mismatch: want error")
+	}
+	wrongName := NewLinear("z", 3, 5, rng)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), wrongName.Params()); err == nil {
+		t.Fatal("name mismatch: want error")
+	}
+	wrongCount := NewSequential(NewLinear("a", 3, 5, rng), NewLinear("b", 5, 5, rng))
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), wrongCount.Params()); err == nil {
+		t.Fatal("count mismatch: want error")
+	}
+}
+
+func TestLoadParamsCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := NewLinear("a", 3, 5, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXX"), data[4:]...),
+		"version":   append(append([]byte{}, data[:4]...), append([]byte{9}, data[5:]...)...),
+		"truncated": data[:len(data)-5],
+	}
+	for name, bad := range cases {
+		if err := LoadParams(bytes.NewReader(bad), src.Params()); err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package parallel provides small helpers for data-parallel loops.
+//
+// The EdgePC kernels (Morton code generation, uniform index sampling,
+// window-based neighbor search) are "fully parallel" in the paper's terms:
+// every iteration is independent. On the GPU these map to one CUDA thread per
+// point; here they map onto a goroutine worker pool sized to GOMAXPROCS.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minParallelWork is the smallest slice length worth spawning goroutines for.
+// Below this, scheduling overhead dominates and we run serially.
+const minParallelWork = 2048
+
+// For runs body(i) for every i in [0, n) using up to GOMAXPROCS workers.
+// Iterations must be independent. For small n the loop runs serially.
+func For(n int, body func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < minParallelWork || workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	ForChunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunks splits [0, n) into contiguous chunks, one per worker, and runs
+// body(lo, hi) on each chunk concurrently. Chunked iteration amortizes the
+// per-call overhead when the body is only a few instructions (e.g. one Morton
+// encode per point).
+func ForChunks(n int, body func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n < minParallelWork {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Workers reports the number of workers For would use for a loop of length n.
+// Exposed so the edge-device cost model can charge the same parallel split
+// the real code executes.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if n < minParallelWork {
+		return 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}

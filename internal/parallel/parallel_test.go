@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndexes(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 2048, 10000} {
+		var count int64
+		seen := make([]int32, n)
+		For(n, func(i int) {
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt32(&seen[i], 1)
+		})
+		if count != int64(n) {
+			t.Fatalf("n=%d: %d calls", n, count)
+		}
+		for i, s := range seen {
+			if s != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, s)
+			}
+		}
+	}
+}
+
+func TestForChunksCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 4096} {
+		covered := make([]int32, n)
+		ForChunks(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelPathsWithMultipleWorkers(t *testing.T) {
+	// Single-CPU machines never take the goroutine paths at the default
+	// GOMAXPROCS; force a multi-worker setting to exercise them.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	const n = 10000
+	var count int64
+	seen := make([]int32, n)
+	For(n, func(i int) {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt32(&seen[i], 1)
+	})
+	if count != n {
+		t.Fatalf("%d calls", count)
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("index %d visited %d times", i, s)
+		}
+	}
+	covered := make([]int32, n)
+	ForChunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("chunked index %d covered %d times", i, c)
+		}
+	}
+	if w := Workers(n); w < 2 {
+		t.Fatalf("Workers(%d) = %d with GOMAXPROCS=4", n, w)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(10); w != 1 {
+		t.Fatalf("Workers(10) = %d, want 1 (below parallel threshold)", w)
+	}
+	if w := Workers(1 << 20); w < 1 {
+		t.Fatalf("Workers(1M) = %d", w)
+	}
+}

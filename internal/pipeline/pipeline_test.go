@@ -1,0 +1,266 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+func TestWorkloadTable(t *testing.T) {
+	if len(Workloads) != 6 {
+		t.Fatalf("Table 1 has 6 workloads, got %d", len(Workloads))
+	}
+	// Spot-check the Table 1 rows.
+	w1, err := WorkloadByID("W1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Points != 8192 || w1.Batch != 32 || w1.Arch != ArchPointNetPP {
+		t.Fatalf("W1 = %+v", w1)
+	}
+	w3, _ := WorkloadByID("W3")
+	if w3.Points != 1024 || w3.Task != model.TaskClassification {
+		t.Fatalf("W3 = %+v", w3)
+	}
+	if _, err := WorkloadByID("W9"); err == nil {
+		t.Fatal("unknown workload: want error")
+	}
+}
+
+// smallOpts shrinks the pipeline for test speed while keeping the structure.
+func smallOpts() Options {
+	return Options{BaseWidth: 4, Depth: 2, Modules: 3, Seed: 1}
+}
+
+func smallWorkload(w Workload) Workload {
+	w.Points = 256
+	w.Batch = 2
+	return w
+}
+
+func TestBuildAndRunAllWorkloadsAllConfigs(t *testing.T) {
+	dev := edgesim.JetsonAGXXavier()
+	for _, wl := range Workloads {
+		w := smallWorkload(wl)
+		cloud, err := Frame(w, 7)
+		if err != nil {
+			t.Fatalf("%s: frame: %v", w.ID, err)
+		}
+		for _, kind := range []ConfigKind{Baseline, SN, SNF} {
+			net, err := Build(w, kind, smallOpts())
+			if err != nil {
+				t.Fatalf("%s/%s: build: %v", w.ID, kind, err)
+			}
+			trace, rep, out, err := Run(net, cloud, dev, SimConfig(w, kind, smallOpts()))
+			if err != nil {
+				t.Fatalf("%s/%s: run: %v", w.ID, kind, err)
+			}
+			if len(trace.Records) == 0 || rep.Total <= 0 {
+				t.Fatalf("%s/%s: empty trace or zero latency", w.ID, kind)
+			}
+			wantRows := cloud.Len()
+			if w.Task == model.TaskClassification {
+				wantRows = 1
+			}
+			if out.Logits.Rows != wantRows {
+				t.Fatalf("%s/%s: logits rows %d", w.ID, kind, out.Logits.Rows)
+			}
+		}
+	}
+}
+
+func TestSNFasterThanBaseline(t *testing.T) {
+	// The headline direction of Fig. 13a/b at full workload scale (priced
+	// by the cost model from real stage traces at reduced width).
+	dev := edgesim.JetsonAGXXavier()
+	w := smallWorkload(Workloads[0]) // W1 shape, shrunk
+	w.Points = 1024
+	cloud, err := Frame(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Build(w, Baseline, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := Build(w, SN, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repB, _, err := Run(base, cloud, dev, SimConfig(w, Baseline, smallOpts()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repS, _, err := Run(sn, cloud, dev, SimConfig(w, SN, smallOpts()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repS.SampleNeighbor >= repB.SampleNeighbor {
+		t.Fatalf("S+N sample+NS %v not faster than baseline %v", repS.SampleNeighbor, repB.SampleNeighbor)
+	}
+	if repS.Total >= repB.Total {
+		t.Fatalf("S+N total %v not faster than baseline %v", repS.Total, repB.Total)
+	}
+	if repS.EnergyJ >= repB.EnergyJ {
+		t.Fatalf("S+N energy %v J not lower than baseline %v J", repS.EnergyJ, repB.EnergyJ)
+	}
+}
+
+func TestSNFBeatsOrMatchesSN(t *testing.T) {
+	dev := edgesim.JetsonAGXXavier()
+	w := smallWorkload(Workloads[5]) // W6: DGCNN(s), the paper's best +F case
+	opts := smallOpts()
+	opts.BaseWidth = 32 // wide enough for tensor cores to engage
+	cloud, err := Frame(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := Build(w, SN, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repSN, _, err := Run(sn, cloud, dev, SimConfig(w, SN, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snf, err := Build(w, SNF, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repSNF, _, err := Run(snf, cloud, dev, SimConfig(w, SNF, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repSNF.Total > repSN.Total {
+		t.Fatalf("S+N+F (%v) slower than S+N (%v)", repSNF.Total, repSN.Total)
+	}
+}
+
+func TestFrameDatasets(t *testing.T) {
+	for _, wl := range Workloads {
+		w := smallWorkload(wl)
+		cloud, err := Frame(w, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.ID, err)
+		}
+		if cloud.Len() < w.Points {
+			t.Fatalf("%s: %d points, want ≥ %d", w.ID, cloud.Len(), w.Points)
+		}
+		if w.Task == model.TaskSegmentation && cloud.Labels == nil {
+			t.Fatalf("%s: segmentation frame lacks labels", w.ID)
+		}
+	}
+	if _, err := Frame(Workload{Dataset: "nope"}, 1); err == nil {
+		t.Fatal("unknown dataset: want error")
+	}
+}
+
+func TestSimConfig(t *testing.T) {
+	w, _ := WorkloadByID("W6")
+	cfg := SimConfig(w, SNF, Options{})
+	if !cfg.TensorCores || !cfg.Reuse || cfg.Batch != 14 {
+		t.Fatalf("W6 SNF sim config = %+v", cfg)
+	}
+	cfg = SimConfig(w, Baseline, Options{})
+	if cfg.TensorCores || cfg.Reuse {
+		t.Fatalf("baseline sim config = %+v", cfg)
+	}
+	w1, _ := WorkloadByID("W1")
+	cfg = SimConfig(w1, SN, Options{})
+	if cfg.Reuse {
+		t.Fatal("PointNet++ must not report reuse memory pressure")
+	}
+}
+
+func TestDelayedAggregationTransform(t *testing.T) {
+	tr := &model.Trace{}
+	tr.Add(model.StageRecord{Stage: model.StageNeighbor, Layer: 0, Algo: "ball-query", N: 1024, Q: 256, K: 8})
+	tr.Add(model.StageRecord{Stage: model.StageGroup, Layer: 0, Algo: "gather", Q: 256, K: 8, CIn: 16})
+	tr.Add(model.StageRecord{Stage: model.StageFeature, Layer: 0, Algo: "shared-mlp", Q: 256 * 8, CIn: 16, COut: 64})
+	da := DelayedAggregation(tr)
+	if len(da.Records) != 3 {
+		t.Fatalf("records = %d", len(da.Records))
+	}
+	var feat, group model.StageRecord
+	for _, r := range da.Records {
+		switch r.Stage {
+		case model.StageFeature:
+			feat = r
+		case model.StageGroup:
+			group = r
+		}
+	}
+	if feat.Q != 256 {
+		t.Fatalf("DA feature rows = %d, want 256 (per point, not per grouped row)", feat.Q)
+	}
+	if group.CIn != 64 {
+		t.Fatalf("DA grouping width = %d, want the MLP output width 64", group.CIn)
+	}
+	// Shape check against §6.4: FC gets faster, grouping gets slower.
+	dev := edgesim.JetsonAGXXavier()
+	cfg := edgesim.Config{Batch: 32}
+	base := dev.PriceTrace(tr, cfg)
+	dar := dev.PriceTrace(da, cfg)
+	var baseFeat, daFeat, baseGroup, daGroup float64
+	for i := range base.Records {
+		switch base.Records[i].Stage {
+		case model.StageFeature:
+			baseFeat += base.Records[i].Latency.Seconds()
+			daFeat += dar.Records[i].Latency.Seconds()
+		case model.StageGroup:
+			baseGroup += base.Records[i].Latency.Seconds()
+			daGroup += dar.Records[i].Latency.Seconds()
+		}
+	}
+	if daFeat >= baseFeat {
+		t.Fatalf("DA did not speed up feature compute: %v → %v", baseFeat, daFeat)
+	}
+	if daGroup <= baseGroup {
+		t.Fatalf("DA did not slow down grouping: %v → %v", baseGroup, daGroup)
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	dev := edgesim.JetsonAGXXavier()
+	w := smallWorkload(Workloads[2]) // DGCNN classification
+	net, err := Build(w, SN, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []*geom.Cloud
+	for i := int64(0); i < 3; i++ {
+		f, err := Frame(w, 10+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	// Batch in cfg must be ignored (forced to 1): the frames are real.
+	res, err := RunBatch(net, frames, dev, edgesim.Config{Batch: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 3 || res.Total <= 0 || res.EnergyJ <= 0 {
+		t.Fatalf("batch result %+v", res)
+	}
+	// Per-frame total must equal a single-frame run ×3 (same workload
+	// shape, deterministic model).
+	_, rep, _, err := Run(net, frames[0], dev, edgesim.Config{Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total < 2*rep.Total || res.Total > 4*rep.Total {
+		t.Fatalf("aggregate %v vs single %v", res.Total, rep.Total)
+	}
+}
+
+func TestConfigKindString(t *testing.T) {
+	if Baseline.String() != "baseline" || SN.String() != "S+N" || SNF.String() != "S+N+F" {
+		t.Fatal("config names wrong")
+	}
+	if ConfigKind(9).String() != "unknown" {
+		t.Fatal("unknown config name")
+	}
+}

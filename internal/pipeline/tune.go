@@ -1,0 +1,55 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/edgesim"
+	"repro/internal/model"
+)
+
+// Adaptive window selection (§5.2.3: "the user can adaptively select proper
+// search window size to accommodate the application requirement" and §6.3:
+// accuracy-sensitive applications use a larger window, throughput-demanding
+// ones a smaller one).
+
+// TuneWindow returns the largest search window W (a multiple of the
+// workload's k, up to maxMult·k) whose modelled sample+neighbor-search
+// latency fits within budget on the device, together with that latency.
+// It returns an error when even the pure index pick (W = k) misses the
+// budget — the caller must then lower the point count or batch size.
+func TuneWindow(dev *edgesim.Device, w Workload, opts Options, budget time.Duration, maxMult int) (int, time.Duration, error) {
+	opts.defaults(w)
+	if maxMult < 1 {
+		maxMult = 8
+	}
+	frame, err := Frame(w, opts.Seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := 0
+	var bestLat time.Duration
+	for mult := 1; mult <= maxMult; mult++ {
+		o := opts
+		o.WindowW = mult * w.K
+		net, err := Build(w, SN, o)
+		if err != nil {
+			return 0, 0, err
+		}
+		trace := &model.Trace{}
+		if _, err := net.Forward(frame, trace, false); err != nil {
+			return 0, 0, err
+		}
+		rep := dev.PriceTrace(trace, SimConfig(w, SN, o))
+		if rep.SampleNeighbor <= budget {
+			best = o.WindowW
+			bestLat = rep.SampleNeighbor
+			continue
+		}
+		break
+	}
+	if best == 0 {
+		return 0, 0, fmt.Errorf("pipeline: no window fits %v for %s (pure pick already exceeds the budget)", budget, w.ID)
+	}
+	return best, bestLat, nil
+}

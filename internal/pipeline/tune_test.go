@@ -1,0 +1,58 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/edgesim"
+)
+
+func TestTuneWindowPicksLargestFitting(t *testing.T) {
+	dev := edgesim.JetsonAGXXavier()
+	w := smallWorkload(Workloads[1]) // PointNet++ ScanNet shape
+	w.Points = 1024
+	opts := smallOpts()
+
+	// A generous budget admits the largest window probed.
+	wide, latWide, err := TuneWindow(dev, w, opts, time.Second, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide != 8*w.K {
+		t.Fatalf("generous budget picked W=%d, want %d", wide, 8*w.K)
+	}
+	if latWide <= 0 || latWide > time.Second {
+		t.Fatalf("latency %v", latWide)
+	}
+
+	// The pure-pick floor: sample+NS latency at W = k. Any budget between
+	// the floor and the wide latency must admit some window and respect the
+	// budget.
+	_, latPure, err := TuneWindow(dev, w, opts, time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latPure > latWide {
+		t.Fatalf("pure pick (%v) slower than wide window (%v)", latPure, latWide)
+	}
+	budget := latPure + (latWide-latPure)/2
+	narrow, latNarrow, err := TuneWindow(dev, w, opts, budget, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow > wide {
+		t.Fatalf("tighter budget picked W=%d > %d", narrow, wide)
+	}
+	if latNarrow > budget {
+		t.Fatalf("picked latency %v exceeds budget %v", latNarrow, budget)
+	}
+}
+
+func TestTuneWindowImpossibleBudget(t *testing.T) {
+	dev := edgesim.JetsonAGXXavier()
+	w := smallWorkload(Workloads[1])
+	w.Points = 1024
+	if _, _, err := TuneWindow(dev, w, smallOpts(), time.Nanosecond, 4); err == nil {
+		t.Fatal("nanosecond budget: want error")
+	}
+}

@@ -1,0 +1,220 @@
+// Package train implements the retraining loop the paper's accuracy
+// experiments require (§5.3, Fig. 14): the CNN models are trained *with the
+// Morton approximations in the forward pass*, so the weights adapt to the
+// sub-optimal samples and false neighbors.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+)
+
+// Config controls a training run.
+type Config struct {
+	Epochs    int
+	LR        float64
+	BatchSize int // gradient-accumulation count before an optimizer step
+	// LRDecay multiplies the learning rate after every epoch (0 or 1 keeps
+	// it constant; PointNet-family recipes use ≈0.95 per epoch at scale).
+	LRDecay float64
+	// KeepBest evaluates on the test split after every epoch and restores
+	// the best-scoring weights at the end (early-stopping-style selection;
+	// costs one evaluation pass per epoch).
+	KeepBest bool
+	Seed     int64
+	// Augment, when non-nil, transforms each training item's cloud before
+	// the forward pass (evaluation never augments). geom.Augment with
+	// geom.DefaultAugmentOptions is the standard recipe.
+	Augment func(c *geom.Cloud, rng *rand.Rand) *geom.Cloud
+	// Progress, when non-nil, is called after every epoch with the train
+	// loss and current test accuracy.
+	Progress func(epoch int, trainLoss, testAcc float64)
+}
+
+func (c *Config) defaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8
+	}
+}
+
+// Result summarizes a training run.
+type Result struct {
+	TrainLoss []float64 // per epoch
+	TestAcc   float64   // overall accuracy on the test split
+	TestIoU   float64   // mean IoU (segmentation tasks; 0 for classification)
+}
+
+// Run trains net on the train split and evaluates on the test split. The
+// task is inferred from the dataset: items with Label ≥ 0 are classification
+// (one label per cloud), items with per-point labels are segmentation.
+func Run(net pipeline.Net, ds dataset.Dataset, trainIdx, testIdx []int, cfg Config) (Result, error) {
+	cfg.defaults()
+	params := net.Params()
+	opt := nn.NewAdam(cfg.LR)
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	var res Result
+
+	order := append([]int(nil), trainIdx...)
+	bestAcc := -1.0
+	var bestSnap [][]float32
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		steps := 0
+		nn.ZeroGrads(params)
+		pending := 0
+		for _, idx := range order {
+			s, err := ds.At(idx)
+			if err != nil {
+				return res, err
+			}
+			if cfg.Augment != nil {
+				s = &dataset.Sample{Cloud: cfg.Augment(s.Cloud, rng), Label: s.Label}
+			}
+			loss, err := step(net, s)
+			if err != nil {
+				return res, fmt.Errorf("train: item %d: %w", idx, err)
+			}
+			epochLoss += loss
+			steps++
+			pending++
+			if pending == cfg.BatchSize {
+				scaleGrads(params, 1/float64(pending))
+				opt.Step(params)
+				nn.ZeroGrads(params)
+				pending = 0
+			}
+		}
+		if pending > 0 {
+			scaleGrads(params, 1/float64(pending))
+			opt.Step(params)
+			nn.ZeroGrads(params)
+		}
+		if steps > 0 {
+			epochLoss /= float64(steps)
+		}
+		res.TrainLoss = append(res.TrainLoss, epochLoss)
+		if cfg.Progress != nil || cfg.KeepBest {
+			acc, _, err := Evaluate(net, ds, testIdx)
+			if err != nil {
+				return res, err
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(epoch, epochLoss, acc)
+			}
+			if cfg.KeepBest && acc > bestAcc {
+				bestAcc = acc
+				bestSnap = snapshot(params, bestSnap)
+			}
+		}
+		if cfg.LRDecay > 0 && cfg.LRDecay != 1 {
+			opt.LR *= cfg.LRDecay
+		}
+	}
+	if cfg.KeepBest && bestSnap != nil {
+		restore(params, bestSnap)
+	}
+	var err error
+	res.TestAcc, res.TestIoU, err = Evaluate(net, ds, testIdx)
+	return res, err
+}
+
+// snapshot copies parameter values, reusing buf when shaped right.
+func snapshot(params []*nn.Param, buf [][]float32) [][]float32 {
+	if len(buf) != len(params) {
+		buf = make([][]float32, len(params))
+	}
+	for i, p := range params {
+		if len(buf[i]) != len(p.Value.Data) {
+			buf[i] = make([]float32, len(p.Value.Data))
+		}
+		copy(buf[i], p.Value.Data)
+	}
+	return buf
+}
+
+func restore(params []*nn.Param, snap [][]float32) {
+	for i, p := range params {
+		copy(p.Value.Data, snap[i])
+	}
+}
+
+// step runs one forward/backward pass and returns the loss.
+func step(net pipeline.Net, s *dataset.Sample) (float64, error) {
+	out, err := net.Forward(s.Cloud, nil, true)
+	if err != nil {
+		return 0, err
+	}
+	labels := targetLabels(s, out)
+	loss, grad, err := nn.CrossEntropy(out.Logits, labels)
+	if err != nil {
+		return 0, err
+	}
+	if err := net.Backward(grad); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
+// targetLabels picks the supervision for a sample: the cloud-level label for
+// classification (logits have one row) or the per-point labels (possibly
+// permuted by structurization) for segmentation.
+func targetLabels(s *dataset.Sample, out *model.Output) []int32 {
+	if out.Logits.Rows == 1 {
+		return []int32{s.Label}
+	}
+	return out.Labels
+}
+
+// Evaluate computes accuracy (and mIoU for segmentation) over the given
+// indexes.
+func Evaluate(net pipeline.Net, ds dataset.Dataset, idx []int) (acc, miou float64, err error) {
+	var pred, truth []int32
+	classes := ds.Classes()
+	for _, i := range idx {
+		s, err := ds.At(i)
+		if err != nil {
+			return 0, 0, err
+		}
+		out, err := net.Forward(s.Cloud, nil, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		labels := targetLabels(s, out)
+		for r := 0; r < out.Logits.Rows; r++ {
+			if labels[r] < 0 {
+				continue
+			}
+			pred = append(pred, int32(nn.Argmax(out.Logits.Row(r))))
+			truth = append(truth, labels[r])
+		}
+	}
+	acc, err = metrics.OverallAccuracy(pred, truth)
+	if err != nil {
+		return 0, 0, err
+	}
+	miou, err = metrics.MeanIoU(pred, truth, classes)
+	return acc, miou, err
+}
+
+func scaleGrads(params []*nn.Param, s float64) {
+	f := float32(s)
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] *= f
+		}
+	}
+}

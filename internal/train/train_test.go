@@ -1,0 +1,210 @@
+package train
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+)
+
+// tinyClsDataset shrinks the classification dataset for fast training tests.
+func tinyClsDataset(items int) *dataset.Classification {
+	d := dataset.NewClassification(items, 42)
+	d.Points = 96
+	return d
+}
+
+// triCls is a 3-class, clearly separable classification task (sphere / box /
+// helix) small enough to learn within a test-time budget.
+type triCls struct{ items, points int }
+
+var triKinds = []geom.ShapeKind{geom.ShapeSphere, geom.ShapeBox, geom.ShapeHelix}
+
+func (d *triCls) Len() int     { return d.items }
+func (d *triCls) Classes() int { return len(triKinds) }
+func (d *triCls) Name() string { return "tri-cls" }
+func (d *triCls) At(i int) (*dataset.Sample, error) {
+	c := geom.GenerateShape(triKinds[i%len(triKinds)], geom.ShapeOptions{
+		N: d.points, Noise: 0.02, DensitySkew: 0.4, Seed: int64(100 + i),
+	})
+	return &dataset.Sample{Cloud: c, Label: int32(i % len(triKinds))}, nil
+}
+
+func TestTrainingReducesLossAndLearns(t *testing.T) {
+	// A DGCNN classifier on 3 easily separable classes must beat chance
+	// clearly after a short training run — this is the substrate of the
+	// Fig. 14 accuracy experiment.
+	ds := &triCls{items: 36, points: 96}
+	w := pipeline.Workload{Arch: pipeline.ArchDGCNN, Task: model.TaskClassification, Classes: ds.Classes(), K: 6}
+	net, err := pipeline.Build(w, pipeline.Baseline, pipeline.Options{BaseWidth: 12, Modules: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainIdx, testIdx := dataset.Split(ds.Len(), 0.25)
+	res, err := Run(net, ds, trainIdx, testIdx, Config{Epochs: 8, LR: 2e-3, BatchSize: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.TrainLoss[0], res.TrainLoss[len(res.TrainLoss)-1]
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v → %v", first, last)
+	}
+	chance := 1.0 / float64(ds.Classes())
+	if res.TestAcc < chance+0.25 {
+		t.Fatalf("test accuracy %.3f barely above chance %.3f", res.TestAcc, chance)
+	}
+}
+
+func TestTrainingWithMortonApproximations(t *testing.T) {
+	// Retraining with the approximations in the loop (the paper's §5.3
+	// requirement) must also converge.
+	ds := tinyClsDataset(24)
+	w := pipeline.Workload{Arch: pipeline.ArchDGCNN, Task: model.TaskClassification, Classes: ds.Classes(), K: 4}
+	net, err := pipeline.Build(w, pipeline.SN, pipeline.Options{BaseWidth: 8, Modules: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainIdx, testIdx := dataset.Split(ds.Len(), 0.25)
+	res, err := Run(net, ds, trainIdx, testIdx, Config{Epochs: 4, LR: 2e-3, BatchSize: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainLoss[len(res.TrainLoss)-1] >= res.TrainLoss[0] {
+		t.Fatalf("morton training diverged: %v", res.TrainLoss)
+	}
+}
+
+func TestSegmentationTraining(t *testing.T) {
+	ds := dataset.NewPartSegmentation(8, 7)
+	ds.Points = 128
+	w := pipeline.Workload{Arch: pipeline.ArchPointNetPP, Task: model.TaskSegmentation, Classes: ds.Classes(), K: 4}
+	net, err := pipeline.Build(w, pipeline.Baseline, pipeline.Options{BaseWidth: 4, Depth: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainIdx, testIdx := dataset.Split(ds.Len(), 0.25)
+	res, err := Run(net, ds, trainIdx, testIdx, Config{Epochs: 3, LR: 2e-3, BatchSize: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainLoss[len(res.TrainLoss)-1] >= res.TrainLoss[0] {
+		t.Fatalf("segmentation training diverged: %v", res.TrainLoss)
+	}
+	if res.TestIoU < 0 || res.TestIoU > 1 {
+		t.Fatalf("mIoU = %v", res.TestIoU)
+	}
+}
+
+func TestEvaluateCounts(t *testing.T) {
+	ds := tinyClsDataset(6)
+	w := pipeline.Workload{Arch: pipeline.ArchDGCNN, Task: model.TaskClassification, Classes: ds.Classes(), K: 4}
+	net, err := pipeline.Build(w, pipeline.Baseline, pipeline.Options{BaseWidth: 4, Modules: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, miou, err := Evaluate(net, ds, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 || miou < 0 || miou > 1 {
+		t.Fatalf("acc=%v miou=%v", acc, miou)
+	}
+}
+
+func TestTrainingWithAugmentation(t *testing.T) {
+	ds := &triCls{items: 12, points: 96}
+	w := pipeline.Workload{Arch: pipeline.ArchDGCNN, Task: model.TaskClassification, Classes: ds.Classes(), K: 4}
+	net, err := pipeline.Build(w, pipeline.Baseline, pipeline.Options{BaseWidth: 8, Modules: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainIdx, testIdx := dataset.Split(ds.Len(), 0.25)
+	augOpts := geom.DefaultAugmentOptions()
+	calls := 0
+	res, err := Run(net, ds, trainIdx, testIdx, Config{
+		Epochs: 2, LR: 2e-3, BatchSize: 3, Seed: 4,
+		Augment: func(c *geom.Cloud, rng *rand.Rand) *geom.Cloud {
+			calls++
+			return geom.Augment(c, augOpts, rng)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2*len(trainIdx) {
+		t.Fatalf("augment called %d times, want %d", calls, 2*len(trainIdx))
+	}
+	if res.TrainLoss[len(res.TrainLoss)-1] >= res.TrainLoss[0]*1.2 {
+		t.Fatalf("augmented training diverged: %v", res.TrainLoss)
+	}
+}
+
+func TestKeepBestRestoresBestWeights(t *testing.T) {
+	// With KeepBest, the final test accuracy can never be worse than any
+	// per-epoch accuracy the run observed.
+	ds := &triCls{items: 18, points: 96}
+	w := pipeline.Workload{Arch: pipeline.ArchDGCNN, Task: model.TaskClassification, Classes: ds.Classes(), K: 4}
+	net, err := pipeline.Build(w, pipeline.Baseline, pipeline.Options{BaseWidth: 8, Modules: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainIdx, testIdx := dataset.Split(ds.Len(), 0.25)
+	best := -1.0
+	res, err := Run(net, ds, trainIdx, testIdx, Config{
+		Epochs: 5, LR: 3e-3, BatchSize: 4, Seed: 2, KeepBest: true,
+		Progress: func(epoch int, loss, acc float64) {
+			if acc > best {
+				best = acc
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestAcc < best-1e-9 {
+		t.Fatalf("final accuracy %.3f below best observed %.3f despite KeepBest", res.TestAcc, best)
+	}
+}
+
+func TestLRDecay(t *testing.T) {
+	ds := tinyClsDataset(4)
+	w := pipeline.Workload{Arch: pipeline.ArchDGCNN, Task: model.TaskClassification, Classes: ds.Classes(), K: 4}
+	net, err := pipeline.Build(w, pipeline.Baseline, pipeline.Options{BaseWidth: 4, Modules: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run with strong decay: must complete and still reduce loss vs epoch 0
+	// (a smoke check that the schedule is applied and harmless).
+	res, err := Run(net, ds, []int{0, 1, 2}, []int{3}, Config{
+		Epochs: 3, LR: 2e-3, LRDecay: 0.5, BatchSize: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TrainLoss) != 3 {
+		t.Fatalf("loss history %v", res.TrainLoss)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	ds := tinyClsDataset(4)
+	w := pipeline.Workload{Arch: pipeline.ArchDGCNN, Task: model.TaskClassification, Classes: ds.Classes(), K: 4}
+	net, err := pipeline.Build(w, pipeline.Baseline, pipeline.Options{BaseWidth: 4, Modules: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	_, err = Run(net, ds, []int{0, 1, 2}, []int{3}, Config{
+		Epochs: 2, LR: 1e-3, BatchSize: 2, Seed: 1,
+		Progress: func(epoch int, loss, acc float64) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("progress called %d times, want 2", calls)
+	}
+}
