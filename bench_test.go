@@ -188,6 +188,13 @@ func benchPipeline(b *testing.B, kind edgepc.ConfigKind, arch edgepc.Arch) {
 	}
 	dev := edgepc.JetsonAGXXavier()
 	cfg := edgepc.NewSimConfig(w, kind, opts)
+	// One warm-up frame so the steady state (workspace buffers populated) is
+	// what gets measured, then report allocations — the per-frame allocation
+	// count is a tracked regression metric (see scripts/bench_hotpath.sh).
+	if _, _, _, err := edgepc.RunFrame(net, frame, dev, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, _, err := edgepc.RunFrame(net, frame, dev, cfg); err != nil {

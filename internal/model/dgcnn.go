@@ -32,7 +32,7 @@ type ecCache struct {
 	k, n, c int
 }
 
-func (m *EdgeConvModule) forward(lv *level, layer int, reuse *core.ReuseCache, trace *Trace, train bool) (*level, error) {
+func (m *EdgeConvModule) forward(lv *level, layer int, reuse *core.ReuseCache, trace *Trace, train bool, wksp *tensor.Workspace) (*level, error) {
 	n := lv.len()
 	k := clampK(m.K, n)
 
@@ -46,16 +46,19 @@ func (m *EdgeConvModule) forward(lv *level, layer int, reuse *core.ReuseCache, t
 		nbr, computed, e = reuse.ForLayer(layer, k, func() ([]int, error) {
 			if m.Strat.MortonWindow && lv.mortonSorted && layer == 0 {
 				algo = "morton-window"
-				ws := core.WindowSearcher{W: m.Strat.WindowW}
+				searcher := core.WindowSearcher{W: m.Strat.WindowW}
 				w = m.Strat.WindowW
 				if w < k {
 					w = k
 				}
-				return ws.SearchAll(lv.pts, k)
+				return searcher.SearchAll(lv.pts, k)
 			}
 			if layer == 0 {
 				algo = "knn-brute"
-				return featKNN(coordMatrix(lv.pts), k), nil
+				coords := coordMatrix(wksp, lv.pts)
+				idx := featKNN(coords, k)
+				wsPut(wksp, coords)
+				return idx, nil
 			}
 			algo = "knn-feature"
 			return featKNN(lv.feats, k), nil
@@ -77,7 +80,7 @@ func (m *EdgeConvModule) forward(lv *level, layer int, reuse *core.ReuseCache, t
 	var grouped *tensor.Matrix
 	dur, err = timed(func() error {
 		var e error
-		grouped, e = buildGroupedEdge(lv.feats, nbr, k)
+		grouped, e = buildGroupedEdge(wksp, lv.feats, nbr, k)
 		return e
 	})
 	if err != nil {
@@ -93,6 +96,17 @@ func (m *EdgeConvModule) forward(lv *level, layer int, reuse *core.ReuseCache, t
 		y, e := m.MLP.Forward(grouped, train)
 		if e != nil {
 			return e
+		}
+		if wksp != nil {
+			if y != grouped {
+				wsPut(wksp, grouped)
+			}
+			feats = wksp.Get(y.Rows/k, y.Cols)
+			if e = tensor.MaxPoolGroupsInto(feats, nil, y, k); e != nil {
+				return e
+			}
+			wsPut(wksp, y)
+			return nil
 		}
 		feats, argmax, e = tensor.MaxPoolGroups(y, k)
 		return e
@@ -145,6 +159,11 @@ type DGCNN struct {
 	Structurize *core.StructurizeOptions
 
 	extraFeatDim int
+
+	// ws is the inference workspace: lazily created at the first eval
+	// Forward, attached to every MLP, and Reset at each eval frame start so
+	// frame N+1 reuses frame N's buffers. The training path never touches it.
+	ws *tensor.Workspace
 
 	// forward caches
 	ecOuts    []*tensor.Matrix // outputs of each EC module (post-pool)
@@ -242,12 +261,34 @@ func (n *DGCNN) Params() []*nn.Param {
 	return append(out, n.Head.Params()...)
 }
 
+// workspace lazily creates the inference workspace and attaches it to every
+// layer stack, then starts a fresh frame. Returns nil in training mode.
+func (n *DGCNN) workspace(train bool) *tensor.Workspace {
+	if train {
+		return nil
+	}
+	if n.ws == nil {
+		n.ws = tensor.NewWorkspace()
+		for _, m := range n.EC {
+			m.MLP.SetWorkspace(n.ws)
+		}
+		n.Embed.SetWorkspace(n.ws)
+		n.Head.SetWorkspace(n.ws)
+	}
+	n.ws.Reset()
+	return n.ws
+}
+
 // Forward runs one cloud through the network. For classification the logits
-// matrix has a single row; for segmentation one row per point.
+// matrix has a single row; for segmentation one row per point. Eval frames
+// (train=false) serve all intermediate activations from a per-network
+// workspace; the returned logits are cloned out of it, so an Output remains
+// valid across subsequent Forward calls.
 func (n *DGCNN) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, error) {
 	if cloud.Len() == 0 {
 		return nil, fmt.Errorf("model: empty cloud")
 	}
+	ws := n.workspace(train)
 	pts := cloud.Points
 	feat, featDim := cloud.Feat, cloud.FeatDim
 	labels := cloud.Labels
@@ -266,7 +307,7 @@ func (n *DGCNN) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, e
 		perm = s.Perm
 		sorted = true
 	}
-	feats, err := inputFeatures(pts, feat, featDim, n.extraFeatDim)
+	feats, err := inputFeatures(ws, pts, feat, featDim, n.extraFeatDim)
 	if err != nil {
 		return nil, err
 	}
@@ -274,18 +315,44 @@ func (n *DGCNN) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, e
 	reuse := core.NewReuseCache(n.Reuse)
 	var outs []*tensor.Matrix
 	for i, m := range n.EC {
-		next, err := m.forward(lv, i, reuse, trace, train)
+		next, err := m.forward(lv, i, reuse, trace, train, ws)
 		if err != nil {
 			return nil, err
+		}
+		if ws != nil && i == 0 && next.feats != lv.feats {
+			// The input features are dead once EC0 consumed them; the EC
+			// outputs themselves stay alive for the skip concat below.
+			wsPut(ws, lv.feats)
 		}
 		outs = append(outs, next.feats)
 		lv = next
 	}
-	fused := outs[0]
-	for _, o := range outs[1:] {
-		fused, err = tensor.Concat(fused, o)
-		if err != nil {
-			return nil, err
+	var fused *tensor.Matrix
+	if ws != nil && len(outs) > 1 {
+		// Fill the concatenation directly instead of chaining pairwise
+		// Concats: one buffer, one copy per EC output.
+		total := 0
+		for _, o := range outs {
+			total += o.Cols
+		}
+		fused = ws.Get(outs[0].Rows, total)
+		off := 0
+		for _, o := range outs {
+			for r := 0; r < o.Rows; r++ {
+				copy(fused.Row(r)[off:off+o.Cols], o.Row(r))
+			}
+			off += o.Cols
+		}
+		for _, o := range outs {
+			wsPut(ws, o)
+		}
+	} else {
+		fused = outs[0]
+		for _, o := range outs[1:] {
+			fused, err = tensor.Concat(fused, o)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	var embedded *tensor.Matrix
@@ -299,10 +366,14 @@ func (n *DGCNN) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, e
 		return nil, err
 	}
 	trace.Add(StageRecord{Stage: StageFeature, Layer: len(n.EC), Algo: "shared-mlp", Q: fused.Rows, CIn: cin, COut: embedded.Cols, Dur: dur})
+	if ws != nil && embedded != fused {
+		wsPut(ws, fused)
+	}
 
 	var logits *tensor.Matrix
 	if n.Task == TaskClassification {
 		vals, argmax := tensor.ColMax(embedded)
+		wsPut(ws, embedded)
 		pooled, _ := tensor.FromSlice(1, len(vals), vals)
 		logits, err = n.Head.Forward(pooled, train)
 		if err != nil {
@@ -319,6 +390,14 @@ func (n *DGCNN) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, e
 		if err != nil {
 			return nil, err
 		}
+		if ws != nil && logits != embedded {
+			wsPut(ws, embedded)
+		}
+	}
+	if ws != nil && ws.Owns(logits) {
+		// Detach the result from the workspace so the Output survives the
+		// next frame's Reset.
+		logits = logits.Clone()
 	}
 	if train {
 		n.ecOuts = outs

@@ -29,9 +29,28 @@ type level struct {
 
 func (l *level) len() int { return len(l.pts) }
 
+// wsGet serves a rows×cols matrix from ws when inference runs in workspace
+// mode, falling back to a fresh allocation (ws == nil: training, or a network
+// without a workspace attached).
+func wsGet(ws *tensor.Workspace, rows, cols int) *tensor.Matrix {
+	if ws != nil {
+		return ws.Get(rows, cols)
+	}
+	return tensor.New(rows, cols)
+}
+
+// wsPut recycles m if it is on loan from ws; otherwise it is a no-op. Safe to
+// call with a nil workspace, a nil matrix, or a matrix the workspace does not
+// own (e.g. a caller-provided input).
+func wsPut(ws *tensor.Workspace, m *tensor.Matrix) {
+	if ws != nil && m != nil && ws.Owns(m) {
+		ws.Put(m)
+	}
+}
+
 // coordMatrix converts points to an N×3 float32 feature matrix.
-func coordMatrix(pts []geom.Point3) *tensor.Matrix {
-	m := tensor.New(len(pts), 3)
+func coordMatrix(ws *tensor.Workspace, pts []geom.Point3) *tensor.Matrix {
+	m := wsGet(ws, len(pts), 3)
 	for i, p := range pts {
 		row := m.Row(i)
 		row[0] = float32(p.X)
@@ -44,8 +63,8 @@ func coordMatrix(pts []geom.Point3) *tensor.Matrix {
 // inputFeatures builds the level-0 feature matrix: coordinates, optionally
 // concatenated with the cloud's own per-point features (RGB, intensity, …),
 // whose width must match extraDim.
-func inputFeatures(pts []geom.Point3, feat []float32, featDim, extraDim int) (*tensor.Matrix, error) {
-	coords := coordMatrix(pts)
+func inputFeatures(ws *tensor.Workspace, pts []geom.Point3, feat []float32, featDim, extraDim int) (*tensor.Matrix, error) {
+	coords := coordMatrix(ws, pts)
 	if extraDim == 0 {
 		return coords, nil
 	}
@@ -56,20 +75,25 @@ func inputFeatures(pts []geom.Point3, feat []float32, featDim, extraDim int) (*t
 	if err != nil {
 		return nil, err
 	}
-	return tensor.Concat(coords, extra)
+	fused := wsGet(ws, len(pts), coords.Cols+featDim)
+	if err := tensor.ConcatInto(fused, coords, extra); err != nil {
+		return nil, err
+	}
+	wsPut(ws, coords)
+	return fused, nil
 }
 
 // buildGroupedSA materializes the SetAbstraction grouping: for each query q
 // (a sampled point) and neighbor slot j, row q*k+j holds
 // [neighbor − center (3) | neighbor features (C)].
 // nbr is flat q-major with indexes into the parent level.
-func buildGroupedSA(parentPts []geom.Point3, parentFeats *tensor.Matrix, centers []geom.Point3, nbr []int, k int) (*tensor.Matrix, error) {
+func buildGroupedSA(ws *tensor.Workspace, parentPts []geom.Point3, parentFeats *tensor.Matrix, centers []geom.Point3, nbr []int, k int) (*tensor.Matrix, error) {
 	q := len(centers)
 	if len(nbr) != q*k {
 		return nil, fmt.Errorf("model: %d neighbor entries for %d queries × k=%d", len(nbr), q, k)
 	}
 	c := parentFeats.Cols
-	out := tensor.New(q*k, 3+c)
+	out := wsGet(ws, q*k, 3+c)
 	for i := 0; i < q; i++ {
 		ctr := centers[i]
 		for j := 0; j < k; j++ {
@@ -109,13 +133,13 @@ func groupedSABackward(grad *tensor.Matrix, nbr []int, parentRows, parentCols in
 
 // buildGroupedEdge materializes the DGCNN EdgeConv grouping: row i*k+j holds
 // [f_i | f_j − f_i] for neighbor j of point i. nbr indexes the same level.
-func buildGroupedEdge(feats *tensor.Matrix, nbr []int, k int) (*tensor.Matrix, error) {
+func buildGroupedEdge(ws *tensor.Workspace, feats *tensor.Matrix, nbr []int, k int) (*tensor.Matrix, error) {
 	n := feats.Rows
 	if len(nbr) != n*k {
 		return nil, fmt.Errorf("model: %d neighbor entries for %d points × k=%d", len(nbr), n, k)
 	}
 	c := feats.Cols
-	out := tensor.New(n*k, 2*c)
+	out := wsGet(ws, n*k, 2*c)
 	for i := 0; i < n; i++ {
 		fi := feats.Row(i)
 		for j := 0; j < k; j++ {

@@ -68,7 +68,7 @@ func (n *PointNetVanilla) Forward(cloud *geom.Cloud, trace *Trace, train bool) (
 	if cloud.Len() == 0 {
 		return nil, fmt.Errorf("model: empty cloud")
 	}
-	x := coordMatrix(cloud.Points)
+	x := coordMatrix(nil, cloud.Points)
 	var feats *tensor.Matrix
 	start := time.Now()
 	feats, err := n.MLP.Forward(x, train)

@@ -50,8 +50,10 @@ func clampK(k, n int) int {
 	return k
 }
 
-// forward consumes the parent level and produces the sampled level.
-func (m *SAModule) forward(parent *level, layer int, trace *Trace, train bool) (*level, error) {
+// forward consumes the parent level and produces the sampled level. ws is the
+// network's inference workspace (nil when training or when the network runs
+// without buffer reuse); train and ws != nil are mutually exclusive.
+func (m *SAModule) forward(parent *level, layer int, trace *Trace, train bool, ws *tensor.Workspace) (*level, error) {
 	n := parent.len()
 	nOut := int(float64(n)*m.Frac + 0.5)
 	if nOut < 1 {
@@ -98,13 +100,13 @@ func (m *SAModule) forward(parent *level, layer int, trace *Trace, train bool) (
 	dur, err = timed(func() error {
 		if useWindow {
 			nsAlgo = "morton-window"
-			ws := core.WindowSearcher{W: m.Strat.WindowW}
+			searcher := core.WindowSearcher{W: m.Strat.WindowW}
 			w = m.Strat.WindowW
 			if w < k {
 				w = k
 			}
 			var e error
-			nbr, e = ws.SearchPositions(parent.pts, sel, k)
+			nbr, e = searcher.SearchPositions(parent.pts, sel, k)
 			return e
 		}
 		var s neighbor.Searcher
@@ -127,7 +129,7 @@ func (m *SAModule) forward(parent *level, layer int, trace *Trace, train bool) (
 	var grouped *tensor.Matrix
 	dur, err = timed(func() error {
 		var e error
-		grouped, e = buildGroupedSA(parent.pts, parent.feats, centers, nbr, k)
+		grouped, e = buildGroupedSA(ws, parent.pts, parent.feats, centers, nbr, k)
 		return e
 	})
 	if err != nil {
@@ -143,6 +145,20 @@ func (m *SAModule) forward(parent *level, layer int, trace *Trace, train bool) (
 		y, e := m.MLP.Forward(grouped, train)
 		if e != nil {
 			return e
+		}
+		if ws != nil {
+			// The grouped matrix is dead once the MLP consumed it (unless the
+			// MLP was a pass-through and returned it unchanged), and the MLP
+			// output is dead once pooled.
+			if y != grouped {
+				wsPut(ws, grouped)
+			}
+			feats = ws.Get(y.Rows/k, y.Cols)
+			if e = tensor.MaxPoolGroupsInto(feats, nil, y, k); e != nil {
+				return e
+			}
+			wsPut(ws, y)
+			return nil
 		}
 		feats, argmax, e = tensor.MaxPoolGroups(y, k)
 		return e
@@ -200,7 +216,7 @@ type fpCache struct {
 
 // forward interpolates coarseFeats (features at the coarse level) onto the
 // fine level and fuses them with the fine level's own features.
-func (m *FPModule) forward(fine, coarse *level, coarseFeats *tensor.Matrix, layer int, trace *Trace, train bool) (*tensor.Matrix, error) {
+func (m *FPModule) forward(fine, coarse *level, coarseFeats *tensor.Matrix, layer int, trace *Trace, train bool, ws *tensor.Workspace) (*tensor.Matrix, error) {
 	// --- Interpolation planning (the up-sampling stage of Fig. 9) ---
 	var plan *sample.InterpPlan
 	var algo string
@@ -225,21 +241,35 @@ func (m *FPModule) forward(fine, coarse *level, coarseFeats *tensor.Matrix, laye
 	var out *tensor.Matrix
 	var interpCols, cin int
 	dur, err = timed(func() error {
-		interpData, e := sample.ApplyPlan(plan, coarseFeats.Data, coarseFeats.Cols, nil)
+		var dst []float32
+		var interp *tensor.Matrix
+		if ws != nil {
+			// ApplyPlan writes into the workspace buffer in place (its cap is
+			// at least fine.len()·Cols by construction).
+			interp = ws.Get(fine.len(), coarseFeats.Cols)
+			dst = interp.Data
+		}
+		interpData, e := sample.ApplyPlan(plan, coarseFeats.Data, coarseFeats.Cols, dst)
 		if e != nil {
 			return e
 		}
-		interp, e := tensor.FromSlice(fine.len(), coarseFeats.Cols, interpData)
-		if e != nil {
-			return e
+		if interp == nil {
+			interp, e = tensor.FromSlice(fine.len(), coarseFeats.Cols, interpData)
+			if e != nil {
+				return e
+			}
 		}
 		interpCols = interp.Cols
-		fused, e := tensor.Concat(interp, fine.feats)
-		if e != nil {
+		fused := wsGet(ws, fine.len(), interp.Cols+fine.feats.Cols)
+		if e = tensor.ConcatInto(fused, interp, fine.feats); e != nil {
 			return e
 		}
+		wsPut(ws, interp)
 		cin = fused.Cols
 		out, e = m.MLP.Forward(fused, train)
+		if e == nil && ws != nil && out != fused {
+			wsPut(ws, fused)
+		}
 		return e
 	})
 	if err != nil {
@@ -306,6 +336,11 @@ type PointNetPP struct {
 	Structurize *core.StructurizeOptions
 
 	extraFeatDim int
+
+	// ws is the inference workspace: lazily created at the first eval
+	// Forward, attached to every MLP, and Reset at each eval frame start so
+	// frame N+1 reuses frame N's buffers. The training path never touches it.
+	ws *tensor.Workspace
 
 	// forward caches for backward
 	levels    []*level
@@ -460,12 +495,36 @@ func (n *PointNetPP) Params() []*nn.Param {
 	return append(out, n.Head.Params()...)
 }
 
+// workspace lazily creates the inference workspace and attaches it to every
+// layer stack, then starts a fresh frame. Returns nil in training mode.
+func (n *PointNetPP) workspace(train bool) *tensor.Workspace {
+	if train {
+		return nil
+	}
+	if n.ws == nil {
+		n.ws = tensor.NewWorkspace()
+		for _, m := range n.SA {
+			m.MLP.SetWorkspace(n.ws)
+		}
+		for _, m := range n.FP {
+			m.MLP.SetWorkspace(n.ws)
+		}
+		n.Head.SetWorkspace(n.ws)
+	}
+	n.ws.Reset()
+	return n.ws
+}
+
 // Forward runs inference (or the training forward pass) on one cloud and
-// returns per-point logits aligned with Output.Labels.
+// returns per-point logits aligned with Output.Labels. Eval frames
+// (train=false) serve all intermediate activations from a per-network
+// workspace; the returned logits are cloned out of it, so an Output remains
+// valid across subsequent Forward calls.
 func (n *PointNetPP) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, error) {
 	if cloud.Len() == 0 {
 		return nil, fmt.Errorf("model: empty cloud")
 	}
+	ws := n.workspace(train)
 	pts := cloud.Points
 	feat, featDim := cloud.Feat, cloud.FeatDim
 	labels := cloud.Labels
@@ -484,14 +543,14 @@ func (n *PointNetPP) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Outp
 		perm = s.Perm
 		sorted = true
 	}
-	feats, err := inputFeatures(pts, feat, featDim, n.extraFeatDim)
+	feats, err := inputFeatures(ws, pts, feat, featDim, n.extraFeatDim)
 	if err != nil {
 		return nil, err
 	}
 	lv := &level{pts: pts, feats: feats, mortonSorted: sorted}
 	levels := []*level{lv}
 	for i, m := range n.SA {
-		next, err := m.forward(lv, i, trace, train)
+		next, err := m.forward(lv, i, trace, train, ws)
 		if err != nil {
 			return nil, err
 		}
@@ -503,14 +562,38 @@ func (n *PointNetPP) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Outp
 	for i, m := range n.FP {
 		fine := levels[depth-1-i]
 		coarse := levels[depth-i]
-		feats, err = m.forward(fine, coarse, feats, i, trace, train)
+		prev := feats
+		feats, err = m.forward(fine, coarse, feats, i, trace, train, ws)
 		if err != nil {
 			return nil, err
+		}
+		// After interpolation the coarse features (the previous FP output,
+		// or the deepest SA level at i=0) are dead, and the fine skip
+		// features were consumed by the concat — recycle both. wsPut skips
+		// buffers the workspace no longer lends, so aliases are safe.
+		if ws != nil {
+			if prev != feats {
+				wsPut(ws, prev)
+			}
+			if fine.feats != feats {
+				wsPut(ws, fine.feats)
+				fine.feats = nil
+			}
 		}
 	}
 	logits, err := n.Head.Forward(feats, train)
 	if err != nil {
 		return nil, err
+	}
+	if ws != nil {
+		if logits != feats {
+			wsPut(ws, feats)
+		}
+		// Detach the result from the workspace so the Output survives the
+		// next frame's Reset.
+		if ws.Owns(logits) {
+			logits = logits.Clone()
+		}
 	}
 	if train {
 		n.levels = levels

@@ -1,0 +1,115 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func wsTestCloud(t *testing.T, points int) *geom.Cloud {
+	t.Helper()
+	s, err := dataset.NewSceneSegmentation(1, points, "s3dis", 5).At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Cloud
+}
+
+// runFrames runs eval Forward repeatedly and checks that (a) every frame is
+// deterministic and (b) a frame's Output survives later frames — the logits
+// must be detached from the workspace, not aliased into buffers the next
+// frame overwrites.
+func runFrames(t *testing.T, net interface {
+	Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, error)
+}, cloud *geom.Cloud) {
+	t.Helper()
+	first, err := net.Forward(cloud, &Trace{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := first.Logits.Clone()
+	for frame := 0; frame < 2; frame++ {
+		out, err := net.Forward(cloud, &Trace{}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Logits.Equal(snapshot) {
+			t.Fatalf("frame %d: eval forward is not deterministic", frame)
+		}
+	}
+	if !first.Logits.Equal(snapshot) {
+		t.Fatal("first frame's logits were clobbered by later frames")
+	}
+}
+
+func TestPointNetPPWorkspaceFrameStability(t *testing.T) {
+	net, err := NewPointNetPP(PPConfig{
+		Classes: 5, Depth: 2, BaseWidth: 4, K: 4, SampleFrac: 0.25, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFrames(t, net, wsTestCloud(t, 128))
+	if net.ws == nil {
+		t.Fatal("eval forward did not create the workspace")
+	}
+	// Warm frames must be served entirely from recycled buffers.
+	misses := net.ws.Stats().Misses
+	if _, err := net.Forward(wsTestCloud(t, 128), &Trace{}, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.ws.Stats().Misses; got != misses {
+		t.Fatalf("steady-state frame allocated %d new buffers", got-misses)
+	}
+}
+
+func TestDGCNNWorkspaceFrameStability(t *testing.T) {
+	for _, task := range []Task{TaskSegmentation, TaskClassification} {
+		net, err := NewDGCNN(DGCNNConfig{
+			Classes: 5, Modules: 2, BaseWidth: 4, K: 4, Task: task, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runFrames(t, net, wsTestCloud(t, 128))
+		if net.ws == nil {
+			t.Fatal("eval forward did not create the workspace")
+		}
+		misses := net.ws.Stats().Misses
+		if _, err := net.Forward(wsTestCloud(t, 128), &Trace{}, false); err != nil {
+			t.Fatal(err)
+		}
+		if got := net.ws.Stats().Misses; got != misses {
+			t.Fatalf("task %d: steady-state frame allocated %d new buffers", task, got-misses)
+		}
+	}
+}
+
+// TestWorkspaceEvalMatchesTrainForward checks numerics across the mode
+// switch: with dropout disabled, the training forward and the
+// workspace-backed eval forward see identical arithmetic (BatchNorm uses
+// batch statistics in both paths for multi-row inputs) and must agree
+// bit-for-bit on the logits.
+func TestWorkspaceEvalMatchesTrainForward(t *testing.T) {
+	cloud := wsTestCloud(t, 96)
+	net, err := NewPointNetPP(PPConfig{
+		Classes: 5, Depth: 2, BaseWidth: 4, K: 4, SampleFrac: 0.25,
+		Dropout: -1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainOut, err := net.Forward(cloud, &Trace{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trainOut.Logits.Clone()
+	evalOut, err := net.Forward(cloud, &Trace{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !evalOut.Logits.Equal(want) {
+		t.Fatal("workspace eval forward differs from training forward")
+	}
+}

@@ -1,6 +1,10 @@
 package morton
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/parallel"
+)
 
 // Sorting Morton codes is Algorithm 1, line 10: it produces the new index
 // array I' = [i_0, ..., i_{N-1}] such that codes[I'[0]] ≤ codes[I'[1]] ≤ ….
@@ -18,7 +22,9 @@ func Order(codes []uint64) []int {
 
 // RadixOrder computes the sorted order with an LSD radix sort over 8-bit
 // digits. Passes whose digit is constant across all keys are skipped, so a
-// 32-bit code pays only four passes.
+// 32-bit code pays only four passes. Above the parallel threshold the
+// counting and scatter passes split the keys across workers (see
+// radixOrderParallel); the result is identical to the serial sort.
 func RadixOrder(codes []uint64) []int {
 	n := len(codes)
 	perm := make([]int, n)
@@ -38,6 +44,9 @@ func RadixOrder(codes []uint64) []int {
 	varying := orAll ^ andAll
 
 	buf := make([]int, n)
+	if workers := parallel.Workers(n); workers > 1 {
+		return radixOrderParallel(codes, perm, buf, varying, workers)
+	}
 	var count [256]int
 	for shift := uint(0); shift < 64; shift += 8 {
 		if (varying>>shift)&0xff == 0 {
@@ -60,6 +69,51 @@ func RadixOrder(codes []uint64) []int {
 			buf[count[d]] = p
 			count[d]++
 		}
+		perm, buf = buf, perm
+	}
+	return perm
+}
+
+// radixOrderParallel runs each radix pass with a per-worker histogram: every
+// worker counts the digits of its contiguous key chunk, a serial exclusive
+// prefix over (digit, worker) — 256·workers integers, negligible next to the
+// O(n) passes — turns the histograms into private write cursors, and each
+// worker scatters its chunk using only its own cursors. Output slots are
+// therefore written exactly once (no races) and chunks are processed in
+// worker order within each digit, preserving the LSD sort's stability.
+func radixOrderParallel(codes []uint64, perm, buf []int, varying uint64, workers int) []int {
+	counts := make([][256]int, workers)
+	for shift := uint(0); shift < 64; shift += 8 {
+		if (varying>>shift)&0xff == 0 {
+			continue
+		}
+		// Zero all slots serially: ceil division may leave trailing worker
+		// slots unused, and stale counts would corrupt the prefix sums.
+		for i := range counts {
+			counts[i] = [256]int{}
+		}
+		parallel.ForWorkers(len(perm), func(w, lo, hi int) {
+			c := &counts[w]
+			for _, p := range perm[lo:hi] {
+				c[(codes[p]>>shift)&0xff]++
+			}
+		})
+		sum := 0
+		for d := 0; d < 256; d++ {
+			for w := range counts {
+				c := counts[w][d]
+				counts[w][d] = sum
+				sum += c
+			}
+		}
+		parallel.ForWorkers(len(perm), func(w, lo, hi int) {
+			off := &counts[w]
+			for _, p := range perm[lo:hi] {
+				d := (codes[p] >> shift) & 0xff
+				buf[off[d]] = p
+				off[d]++
+			}
+		})
 		perm, buf = buf, perm
 	}
 	return perm

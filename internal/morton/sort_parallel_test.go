@@ -1,0 +1,45 @@
+package morton
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// TestRadixOrderParallelMatchesStdOrder forces multiple workers (single-CPU
+// machines never take the parallel path at the default GOMAXPROCS) and pins
+// the per-worker-histogram radix sort against the stable comparison sort,
+// including duplicate-heavy inputs where stability is the whole point.
+func TestRadixOrderParallelMatchesStdOrder(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	rng := rand.New(rand.NewSource(21))
+	cases := []struct {
+		n    int
+		vals int // distinct code count; small → many duplicates
+	}{
+		{2049, 7},      // just above the parallel threshold, duplicate-heavy
+		{10000, 13},    // duplicate-heavy
+		{10000, 1 << 30}, // mostly distinct, multiple varying bytes
+	}
+	for _, c := range cases {
+		if parallel.Workers(c.n) < 2 {
+			t.Fatalf("Workers(%d) = %d with GOMAXPROCS=4", c.n, parallel.Workers(c.n))
+		}
+		codes := make([]uint64, c.n)
+		for i := range codes {
+			codes[i] = uint64(rng.Intn(c.vals))
+		}
+		r := RadixOrder(codes)
+		s := StdOrder(codes)
+		for i := range s {
+			if r[i] != s[i] {
+				t.Fatalf("n=%d vals=%d: parallel radix differs from std at %d: %d vs %d",
+					c.n, c.vals, i, r[i], s[i])
+			}
+		}
+	}
+}

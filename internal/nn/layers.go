@@ -14,6 +14,7 @@ import (
 type Linear struct {
 	W, B *Param
 	x    *tensor.Matrix // cached input for backward
+	ws   *tensor.Workspace
 }
 
 // NewLinear creates a Linear layer with He initialization.
@@ -26,12 +27,22 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 	return l
 }
 
+// SetWorkspace implements WorkspaceUser.
+func (l *Linear) SetWorkspace(ws *tensor.Workspace) { l.ws = ws }
+
 // Forward implements Layer.
 func (l *Linear) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
 	if train {
 		l.x = x
 	}
-	y, err := tensor.MatMul(x, l.W.Value)
+	var y *tensor.Matrix
+	var err error
+	if !train && l.ws != nil {
+		y = l.ws.Get(x.Rows, l.W.Value.Cols)
+		err = tensor.MatMulInto(y, x, l.W.Value)
+	} else {
+		y, err = tensor.MatMul(x, l.W.Value)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("linear %s: %w", l.W.Name, err)
 	}
@@ -72,10 +83,30 @@ func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 // ReLU is the rectified linear activation.
 type ReLU struct {
 	mask []bool
+	ws   *tensor.Workspace
 }
+
+// SetWorkspace implements WorkspaceUser.
+func (r *ReLU) SetWorkspace(ws *tensor.Workspace) { r.ws = ws }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	if !train && r.ws != nil {
+		// Inference workspace mode: rectify workspace-owned inputs in place
+		// (the previous layer's output is dead once we consume it); copy
+		// caller-owned inputs into a workspace buffer first.
+		out := x
+		if !r.ws.Owns(x) {
+			out = r.ws.Get(x.Rows, x.Cols)
+			copy(out.Data, x.Data)
+		}
+		for i, v := range out.Data {
+			if v <= 0 {
+				out.Data[i] = 0
+			}
+		}
+		return out, nil
+	}
 	out := x.Clone()
 	if train {
 		if cap(r.mask) < len(out.Data) {
@@ -130,7 +161,12 @@ type BatchNorm struct {
 	// Backward caches.
 	xhat   *tensor.Matrix
 	invStd []float32
+
+	ws *tensor.Workspace
 }
+
+// SetWorkspace implements WorkspaceUser.
+func (bn *BatchNorm) SetWorkspace(ws *tensor.Workspace) { bn.ws = ws }
 
 // NewBatchNorm creates a BatchNorm over `channels` columns.
 func NewBatchNorm(name string, channels int) *BatchNorm {
@@ -154,6 +190,9 @@ func (bn *BatchNorm) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, erro
 	c := x.Cols
 	if c != len(bn.RunningMean) {
 		return nil, fmt.Errorf("batchnorm %s: %d channels, expected %d", bn.Gamma.Name, c, len(bn.RunningMean))
+	}
+	if !train && bn.ws != nil {
+		return bn.forwardWS(x)
 	}
 	out := tensor.New(x.Rows, c)
 	if !train && x.Rows == 1 {
@@ -207,6 +246,59 @@ func (bn *BatchNorm) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, erro
 			bn.RunningVar[j] = (1-bn.Momentum)*bn.RunningVar[j] + bn.Momentum*variance[j]
 		}
 	}
+	return out, nil
+}
+
+// forwardWS is the inference path backed by the workspace: same statistics
+// and per-element arithmetic as the allocating path (bit-identical output),
+// but activations and scratch come from the workspace and x̂ is never
+// materialized (no backward pass will consume it).
+func (bn *BatchNorm) forwardWS(x *tensor.Matrix) (*tensor.Matrix, error) {
+	c := x.Cols
+	out := bn.ws.Get(x.Rows, c)
+	if x.Rows == 1 {
+		xr, or := x.Row(0), out.Row(0)
+		for j := 0; j < c; j++ {
+			inv := 1 / float32(math.Sqrt(float64(bn.RunningVar[j]+bn.Eps)))
+			or[j] = bn.Gamma.Value.Data[j]*(xr[j]-bn.RunningMean[j])*inv + bn.Beta.Value.Data[j]
+		}
+		return out, nil
+	}
+	n := float32(x.Rows)
+	stats := bn.ws.Get(3, c) // rows: mean, variance, invStd
+	mean, variance, invStd := stats.Row(0), stats.Row(1), stats.Row(2)
+	for j := 0; j < c; j++ {
+		mean[j] = 0
+		variance[j] = 0
+	}
+	for r := 0; r < x.Rows; r++ {
+		for j, v := range x.Row(r) {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= n
+	}
+	for r := 0; r < x.Rows; r++ {
+		for j, v := range x.Row(r) {
+			d := v - mean[j]
+			variance[j] += d * d
+		}
+	}
+	for j := range variance {
+		variance[j] /= n
+	}
+	for j := range invStd {
+		invStd[j] = 1 / float32(math.Sqrt(float64(variance[j]+bn.Eps)))
+	}
+	for r := 0; r < x.Rows; r++ {
+		xr, or := x.Row(r), out.Row(r)
+		for j := 0; j < c; j++ {
+			h := (xr[j] - mean[j]) * invStd[j]
+			or[j] = bn.Gamma.Value.Data[j]*h + bn.Beta.Value.Data[j]
+		}
+	}
+	bn.ws.Put(stats)
 	return out, nil
 }
 
@@ -305,21 +397,38 @@ func (d *Dropout) Params() []*Param { return nil }
 // Sequential chains layers.
 type Sequential struct {
 	Layers []Layer
+
+	ws *tensor.Workspace
 }
 
 // NewSequential builds a chain.
 func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
 
+// SetWorkspace implements WorkspaceUser, recursing into every child layer
+// that supports workspace-backed inference.
+func (s *Sequential) SetWorkspace(ws *tensor.Workspace) {
+	s.ws = ws
+	AttachWorkspace(ws, s.Layers...)
+}
+
 // Forward implements Layer.
 func (s *Sequential) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
-	var err error
-	for _, l := range s.Layers {
-		x, err = l.Forward(x, train)
+	cur := x
+	for i, l := range s.Layers {
+		y, err := l.Forward(cur, train)
 		if err != nil {
 			return nil, err
 		}
+		// Workspace inference: the intermediate produced by layer i-1 is
+		// dead once layer i has consumed it, so recycle it eagerly. The
+		// chain input (i == 0) belongs to the caller; layers that return
+		// their input (in-place ReLU, eval Dropout) keep it alive.
+		if !train && s.ws != nil && i > 0 && y != cur && s.ws.Owns(cur) {
+			s.ws.Put(cur)
+		}
+		cur = y
 	}
-	return x, nil
+	return cur, nil
 }
 
 // Backward implements Layer.

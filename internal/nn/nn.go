@@ -43,6 +43,26 @@ type Layer interface {
 	Params() []*Param
 }
 
+// WorkspaceUser is implemented by layers that can serve inference
+// (train=false) activations from a shared tensor.Workspace instead of
+// allocating fresh matrices. Workspace mode never changes numerics and never
+// touches the training path: a layer with a workspace set still allocates in
+// Forward(x, true) because training caches activations across the whole
+// forward pass, while workspace buffers live at most one frame.
+type WorkspaceUser interface {
+	SetWorkspace(ws *tensor.Workspace)
+}
+
+// AttachWorkspace sets ws on every given layer that supports
+// workspace-backed inference (Sequential recurses into its children).
+func AttachWorkspace(ws *tensor.Workspace, layers ...Layer) {
+	for _, l := range layers {
+		if u, ok := l.(WorkspaceUser); ok {
+			u.SetWorkspace(ws)
+		}
+	}
+}
+
 // InitHe fills the parameter with He-normal values scaled by the fan-in
 // (suitable ahead of ReLU).
 func InitHe(p *Param, fanIn int, rng *rand.Rand) {

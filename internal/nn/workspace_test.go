@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func randInput(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	m := tensor.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// TestSharedMLPWorkspaceBitIdentical runs the same eval forward with and
+// without a workspace attached: workspace mode must not change a single bit,
+// and a warm second frame must be served entirely from recycled buffers.
+func TestSharedMLPWorkspaceBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	mlp := NewSharedMLP("t", []int{6, 8, 4}, rng)
+	x := randInput(rng, 40, 6)
+
+	want, err := mlp.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = want.Clone()
+
+	ws := tensor.NewWorkspace()
+	AttachWorkspace(ws, mlp)
+	ws.Reset()
+	got, err := mlp.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("workspace-mode forward differs from allocating forward")
+	}
+
+	// Second frame: same shapes, so zero workspace misses — and identical
+	// output even though the buffers are recycled.
+	cold := ws.Stats().Misses
+	ws.Reset()
+	got2, err := mlp.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Equal(want) {
+		t.Fatal("second workspace frame differs")
+	}
+	if warm := ws.Stats().Misses; warm != cold {
+		t.Fatalf("steady-state frame allocated: %d misses, was %d", warm, cold)
+	}
+
+	// The input is the caller's; the workspace must never claim it.
+	if ws.Owns(x) {
+		t.Fatal("workspace claims the caller's input")
+	}
+}
+
+// TestHeadWorkspaceSingleRow exercises BatchNorm's rows==1 running-stats eval
+// path (the classification head) under a workspace.
+func TestHeadWorkspaceSingleRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	head := NewSequential(
+		NewLinear("h.0", 5, 8, rng),
+		NewBatchNorm("h.0.bn", 8),
+		&ReLU{},
+		&Dropout{P: 0.5, Rng: rand.New(rand.NewSource(33))},
+		NewLinear("h.1", 8, 3, rng),
+	)
+	x := randInput(rng, 1, 5)
+	want, err := head.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = want.Clone()
+
+	ws := tensor.NewWorkspace()
+	AttachWorkspace(ws, head)
+	for frame := 0; frame < 3; frame++ {
+		ws.Reset()
+		got, err := head.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("frame %d: single-row workspace forward differs", frame)
+		}
+	}
+}
+
+// TestWorkspaceTrainingPathUnaffected checks that a layer with a workspace
+// attached still allocates normally in training mode (training caches
+// activations across the forward pass, so workspace reuse would corrupt the
+// backward pass).
+func TestWorkspaceTrainingPathUnaffected(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	mlp := NewSharedMLP("t", []int{4, 6}, rng)
+	ws := tensor.NewWorkspace()
+	AttachWorkspace(ws, mlp)
+	x := randInput(rng, 10, 4)
+	if _, err := mlp.Forward(x, true); err != nil {
+		t.Fatal(err)
+	}
+	if st := ws.Stats(); st.Gets != 0 {
+		t.Fatalf("training forward touched the workspace: %+v", st)
+	}
+}

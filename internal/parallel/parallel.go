@@ -37,12 +37,12 @@ func For(n int, body func(i int)) {
 // per-call overhead when the body is only a few instructions (e.g. one Morton
 // encode per point).
 func ForChunks(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
-	}
-	if n <= 0 {
-		return
 	}
 	if workers <= 1 || n < minParallelWork {
 		body(0, n)
@@ -60,6 +60,43 @@ func ForChunks(n int, body func(lo, hi int)) {
 			defer wg.Done()
 			body(lo, hi)
 		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForWorkers splits [0, n) into one contiguous chunk per worker — exactly
+// the split Workers(n) reports — and runs body(worker, lo, hi) concurrently.
+// Unlike ForChunks, the body learns which worker slot it occupies, so callers
+// can give every worker a private accumulator sized by Workers(n) and reduce
+// after the call returns (the k-split pattern of tensor.MatMulATInto and the
+// counting passes of morton.RadixOrder). Worker indexes are dense in
+// [0, Workers(n)), though for some n the trailing slots go unused (ceil
+// division can cover n with fewer chunks). For a fixed n and GOMAXPROCS the
+// chunk boundaries are deterministic, so two consecutive ForWorkers calls
+// see identical (worker, lo, hi) triples.
+func ForWorkers(n int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Workers(n)
+	if workers <= 1 {
+		body(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	w := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			body(w, lo, hi)
+		}(w, lo, hi)
+		w++
 	}
 	wg.Wait()
 }

@@ -81,6 +81,95 @@ func TestParallelPathsWithMultipleWorkers(t *testing.T) {
 	}
 }
 
+// TestForChunksEdgeCases pins the clamp ordering: n = 0 must return before
+// the worker clamp (workers > n would otherwise clamp to 0 and divide by
+// zero), n = 1 and sub-threshold n must run serially as a single chunk, and
+// crossing minParallelWork must still cover every index exactly once.
+func TestForChunksEdgeCases(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	t.Run("n=0", func(t *testing.T) {
+		called := false
+		ForChunks(0, func(lo, hi int) { called = true })
+		if called {
+			t.Fatal("body called for n=0")
+		}
+	})
+	for _, n := range []int{1, minParallelWork - 1} {
+		calls := 0
+		ForChunks(n, func(lo, hi int) {
+			calls++
+			if lo != 0 || hi != n {
+				t.Fatalf("n=%d: serial chunk [%d,%d)", n, lo, hi)
+			}
+		})
+		if calls != 1 {
+			t.Fatalf("n=%d: %d chunks below threshold, want 1", n, calls)
+		}
+	}
+	for _, n := range []int{minParallelWork, minParallelWork + 1} {
+		covered := make([]int32, n)
+		ForChunks(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForWorkersCoversRangeWithDistinctSlots(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	t.Run("n=0", func(t *testing.T) {
+		ForWorkers(0, func(w, lo, hi int) { t.Error("body called for n=0") })
+	})
+	t.Run("serial", func(t *testing.T) {
+		calls := 0
+		ForWorkers(5, func(w, lo, hi int) {
+			calls++
+			if w != 0 || lo != 0 || hi != 5 {
+				t.Fatalf("serial call (%d, %d, %d)", w, lo, hi)
+			}
+		})
+		if calls != 1 {
+			t.Fatalf("%d serial calls", calls)
+		}
+	})
+	t.Run("parallel", func(t *testing.T) {
+		n := 3*minParallelWork + 5
+		workers := Workers(n)
+		if workers < 2 {
+			t.Fatalf("Workers(%d) = %d with GOMAXPROCS=4", n, workers)
+		}
+		covered := make([]int32, n)
+		slotUsed := make([]int32, workers)
+		ForWorkers(n, func(w, lo, hi int) {
+			if w < 0 || w >= workers {
+				t.Errorf("worker slot %d out of [0,%d)", w, workers)
+				return
+			}
+			if atomic.AddInt32(&slotUsed[w], 1) != 1 {
+				t.Errorf("worker slot %d used twice", w)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("index %d covered %d times", i, c)
+			}
+		}
+	})
+}
+
 func TestWorkers(t *testing.T) {
 	if w := Workers(10); w != 1 {
 		t.Fatalf("Workers(10) = %d, want 1 (below parallel threshold)", w)

@@ -1,0 +1,52 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/edgesim"
+	"repro/internal/model"
+)
+
+// Per-frame allocation benchmarks for the inference hot path. Run with
+// -benchmem (scripts/bench_hotpath.sh does): the allocs/op column is the
+// regression metric — steady-state frames reuse the previous frame's
+// workspace buffers, so it must stay small and independent of network depth.
+
+func benchFrameAllocs(b *testing.B, arch Arch) {
+	b.Helper()
+	w := Workload{
+		ID: "bench", Dataset: "S3DIS", Points: 512, Batch: 8,
+		Arch: arch, Task: model.TaskSegmentation, Classes: 8, K: 8,
+	}
+	opts := Options{BaseWidth: 8, Depth: 3, Modules: 3, Seed: 9}
+	net, err := Build(w, Baseline, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := Frame(w, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := edgesim.JetsonAGXXavier()
+	cfg := SimConfig(w, Baseline, opts)
+	// Warm-up frame: populates the workspace so the loop below measures the
+	// steady state.
+	if _, _, _, err := Run(net, frame, dev, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Run(net, frame, dev, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineFrameAllocsPointNetPP(b *testing.B) {
+	benchFrameAllocs(b, ArchPointNetPP)
+}
+
+func BenchmarkPipelineFrameAllocsDGCNN(b *testing.B) {
+	benchFrameAllocs(b, ArchDGCNN)
+}

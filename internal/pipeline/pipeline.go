@@ -234,6 +234,12 @@ func SimConfig(w Workload, kind ConfigKind, opts Options) edgesim.Config {
 }
 
 // Run executes one frame through a freshly traced forward pass and prices it.
+//
+// Inference forwards (train=false) serve intermediate activations from a
+// per-network workspace that is recycled between frames, so the steady-state
+// per-frame allocation count is small and independent of network depth. The
+// returned Output is detached from the workspace (logits are cloned out) and
+// stays valid across subsequent Run calls on the same net.
 func Run(net Net, cloud *geom.Cloud, dev *edgesim.Device, cfg edgesim.Config) (*model.Trace, edgesim.Report, *model.Output, error) {
 	trace := &model.Trace{}
 	out, err := net.Forward(cloud, trace, false)
@@ -256,7 +262,8 @@ type BatchResult struct {
 
 // RunBatch executes several real frames through the network, pricing each
 // and aggregating — the streaming counterpart of the analytic batch model
-// (see edgesim.Config.Batch).
+// (see edgesim.Config.Batch). Frame N+1 reuses frame N's workspace buffers,
+// so the loop allocates little beyond the Outputs it returns.
 func RunBatch(net Net, frames []*geom.Cloud, dev *edgesim.Device, cfg edgesim.Config) (BatchResult, error) {
 	cfg.Batch = 1
 	var res BatchResult

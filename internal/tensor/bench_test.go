@@ -60,6 +60,52 @@ func BenchmarkMaxPoolGroups(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulAT measures the weight-gradient matmul (aᵀ·b) with the
+// k-dimension split across workers; BenchmarkMatMulATSerial pins the
+// single-worker accumulation on the same shapes. On a ≥4-core machine the
+// parallel variant should show a clear wall-clock speedup; on one core the
+// two coincide (the kernel falls back to the serial path).
+func BenchmarkMatMulAT(b *testing.B) {
+	a := benchMatrix(8192, 32, 8)
+	x := benchMatrix(8192, 32, 9)
+	out := New(32, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MatMulATInto(out, a, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulATSerial(b *testing.B) {
+	a := benchMatrix(8192, 32, 8)
+	x := benchMatrix(8192, 32, 9)
+	out := New(32, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Zero()
+		matMulATAccum(out, a, x, 0, a.Rows)
+	}
+}
+
+// BenchmarkMatMulInto vs BenchmarkMatMulSquare128 isolates the allocation
+// cost of the non-Into kernel on the hot-path shape.
+func BenchmarkMatMulInto128(b *testing.B) {
+	x := benchMatrix(128, 128, 3)
+	y := benchMatrix(128, 128, 4)
+	out := New(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MatMulInto(out, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(128 * 128 * 4)
+}
+
 func BenchmarkGather(b *testing.B) {
 	src := benchMatrix(2048, 32, 6)
 	rng := rand.New(rand.NewSource(7))

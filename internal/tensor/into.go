@@ -1,0 +1,249 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// This file holds the *Into variants of the allocating kernels: each writes
+// into a caller-provided destination (typically a Workspace buffer) after
+// shape-checking it, so a steady-state inference frame performs no heap
+// allocation. The allocating functions in tensor.go are thin wrappers that
+// allocate the destination and delegate here.
+//
+// Destinations must not alias any input; the kernels reject the
+// cheap-to-detect case (shared backing array start), which is the only way a
+// Workspace can hand out an alias.
+
+// sameBacking reports whether two slices share the same backing array start —
+// the aliasing pattern a Workspace Get/Put misuse produces.
+func sameBacking(a, b []float32) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// checkDst validates the destination shape for op.
+func checkDst(op string, out *Matrix, rows, cols int) error {
+	if out.Rows != rows || out.Cols != cols {
+		return fmt.Errorf("tensor: %s destination is %dx%d, need %dx%d", op, out.Rows, out.Cols, rows, cols)
+	}
+	return nil
+}
+
+// MatMulInto computes a·b into out (a.Rows × b.Cols), overwriting its
+// contents. Same ikj loop order as MatMul, parallelized over blocks of a's
+// rows, so results are bit-identical to the allocating version.
+func MatMulInto(out, a, b *Matrix) error {
+	if a.Cols != b.Rows {
+		return fmt.Errorf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if err := checkDst("matmul", out, a.Rows, b.Cols); err != nil {
+		return err
+	}
+	if sameBacking(out.Data, a.Data) || sameBacking(out.Data, b.Data) {
+		return fmt.Errorf("tensor: matmul destination aliases an input")
+	}
+	parallel.ForChunks(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			or := out.Row(i)
+			for j := range or {
+				or[j] = 0
+			}
+			for k, av := range ar {
+				if av == 0 {
+					continue
+				}
+				br := b.Row(k)
+				for j, bv := range br {
+					or[j] += av * bv
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// MatMulBTInto computes a·bᵀ into out (a: m×k, b: n×k → m×n), overwriting
+// its contents.
+func MatMulBTInto(out, a, b *Matrix) error {
+	if a.Cols != b.Cols {
+		return fmt.Errorf("tensor: matmulBT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if err := checkDst("matmulBT", out, a.Rows, b.Rows); err != nil {
+		return err
+	}
+	if sameBacking(out.Data, a.Data) || sameBacking(out.Data, b.Data) {
+		return fmt.Errorf("tensor: matmulBT destination aliases an input")
+	}
+	parallel.ForChunks(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			or := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				br := b.Row(j)
+				var sum float32
+				for k, av := range ar {
+					sum += av * br[k]
+				}
+				or[j] = sum
+			}
+		}
+	})
+	return nil
+}
+
+// MatMulATInto computes aᵀ·b into out (a: k×m, b: k×n → m×n), overwriting
+// its contents. The shared k dimension — the row count, which for weight
+// gradients is the number of points and dwarfs m and n — is split across
+// workers; each worker accumulates into a private m×n partial and the
+// partials are reduced at the end, so no two goroutines ever write the same
+// cell. (The float32 reduction order therefore differs from the serial path
+// by at most the usual parallel-summation rounding.)
+func MatMulATInto(out, a, b *Matrix) error {
+	if a.Rows != b.Rows {
+		return fmt.Errorf("tensor: matmulAT shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if err := checkDst("matmulAT", out, a.Cols, b.Cols); err != nil {
+		return err
+	}
+	if sameBacking(out.Data, a.Data) || sameBacking(out.Data, b.Data) {
+		return fmt.Errorf("tensor: matmulAT destination aliases an input")
+	}
+	workers := parallel.Workers(a.Rows)
+	if workers <= 1 {
+		out.Zero()
+		matMulATAccum(out, a, b, 0, a.Rows)
+		return nil
+	}
+	partials := make([]*Matrix, workers)
+	parallel.ForWorkers(a.Rows, func(w, lo, hi int) {
+		p := New(out.Rows, out.Cols)
+		matMulATAccum(p, a, b, lo, hi)
+		partials[w] = p
+	})
+	out.Zero()
+	for _, p := range partials {
+		if p == nil { // ceil division can leave trailing worker slots unused
+			continue
+		}
+		for i, v := range p.Data {
+			out.Data[i] += v
+		}
+	}
+	return nil
+}
+
+// matMulATAccum adds aᵀ·b restricted to shared-dimension rows [lo, hi) into
+// dst.
+func matMulATAccum(dst, a, b *Matrix, lo, hi int) {
+	for k := lo; k < hi; k++ {
+		ar := a.Row(k)
+		br := b.Row(k)
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			dr := dst.Row(i)
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// GatherInto copies src row idx[j] into out row j for every j, overwriting
+// out. Indexes are validated up front so the parallel copy never faults.
+func GatherInto(out, src *Matrix, idx []int) error {
+	if err := checkDst("gather", out, len(idx), src.Cols); err != nil {
+		return err
+	}
+	if sameBacking(out.Data, src.Data) {
+		return fmt.Errorf("tensor: gather destination aliases the source")
+	}
+	for _, i := range idx {
+		if i < 0 || i >= src.Rows {
+			return fmt.Errorf("tensor: gather index %d out of %d rows", i, src.Rows)
+		}
+	}
+	parallel.ForChunks(len(idx), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			copy(out.Row(j), src.Row(idx[j]))
+		}
+	})
+	return nil
+}
+
+// ConcatInto writes the column-wise concatenation [a | b] into out,
+// overwriting it; a and b must have the same row count.
+func ConcatInto(out, a, b *Matrix) error {
+	if a.Rows != b.Rows {
+		return fmt.Errorf("tensor: concat row mismatch %d vs %d", a.Rows, b.Rows)
+	}
+	if err := checkDst("concat", out, a.Rows, a.Cols+b.Cols); err != nil {
+		return err
+	}
+	if sameBacking(out.Data, a.Data) || sameBacking(out.Data, b.Data) {
+		return fmt.Errorf("tensor: concat destination aliases an input")
+	}
+	parallel.ForChunks(a.Rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			or := out.Row(r)
+			copy(or[:a.Cols], a.Row(r))
+			copy(or[a.Cols:], b.Row(r))
+		}
+	})
+	return nil
+}
+
+// MaxPoolGroupsInto reduces the (n·k × C) grouped matrix into out (n × C) by
+// per-channel maximum over each group of k consecutive rows, overwriting out.
+// argmax, when non-nil (len n·C), records which grouped row supplied each
+// maximum; pass nil on the inference path, where no backward pass will ever
+// consume it.
+func MaxPoolGroupsInto(out *Matrix, argmax []int32, grouped *Matrix, k int) error {
+	if k <= 0 || grouped.Rows%k != 0 {
+		return fmt.Errorf("tensor: cannot pool %d rows in groups of %d", grouped.Rows, k)
+	}
+	n := grouped.Rows / k
+	if err := checkDst("maxpool", out, n, grouped.Cols); err != nil {
+		return err
+	}
+	if sameBacking(out.Data, grouped.Data) {
+		return fmt.Errorf("tensor: maxpool destination aliases the input")
+	}
+	if argmax != nil && len(argmax) != n*grouped.Cols {
+		return fmt.Errorf("tensor: maxpool argmax length %d for %dx%d output", len(argmax), n, grouped.Cols)
+	}
+	parallel.ForChunks(n, func(lo, hi int) {
+		for g := lo; g < hi; g++ {
+			or := out.Row(g)
+			copy(or, grouped.Row(g*k))
+			if argmax == nil {
+				for j := 1; j < k; j++ {
+					row := grouped.Row(g*k + j)
+					for c, v := range row {
+						if v > or[c] {
+							or[c] = v
+						}
+					}
+				}
+				continue
+			}
+			am := argmax[g*grouped.Cols : (g+1)*grouped.Cols]
+			for c := range am {
+				am[c] = int32(g * k)
+			}
+			for j := 1; j < k; j++ {
+				row := grouped.Row(g*k + j)
+				for c, v := range row {
+					if v > or[c] {
+						or[c] = v
+						am[c] = int32(g*k + j)
+					}
+				}
+			}
+		}
+	})
+	return nil
+}

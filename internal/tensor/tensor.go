@@ -78,21 +78,9 @@ func MatMul(a, b *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	out := New(a.Rows, b.Cols)
-	parallel.ForChunks(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ar := a.Row(i)
-			or := out.Row(i)
-			for k, av := range ar {
-				if av == 0 {
-					continue
-				}
-				br := b.Row(k)
-				for j, bv := range br {
-					or[j] += av * bv
-				}
-			}
-		}
-	})
+	if err := MatMulInto(out, a, b); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -102,43 +90,21 @@ func MatMulBT(a, b *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("tensor: matmulBT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	out := New(a.Rows, b.Rows)
-	parallel.ForChunks(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ar := a.Row(i)
-			or := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				br := b.Row(j)
-				var sum float32
-				for k, av := range ar {
-					sum += av * br[k]
-				}
-				or[j] = sum
-			}
-		}
-	})
+	if err := MatMulBTInto(out, a, b); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
 // MatMulAT computes aᵀ·b (a: k×m, b: k×n → m×n). Used for weight gradients.
+// The shared k dimension is split across workers (see MatMulATInto).
 func MatMulAT(a, b *Matrix) (*Matrix, error) {
 	if a.Rows != b.Rows {
 		return nil, fmt.Errorf("tensor: matmulAT shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	out := New(a.Cols, b.Cols)
-	// Accumulate row-by-row of the shared k dimension; serial to avoid
-	// concurrent writes, fine because weight matrices are small.
-	for k := 0; k < a.Rows; k++ {
-		ar := a.Row(k)
-		br := b.Row(k)
-		for i, av := range ar {
-			if av == 0 {
-				continue
-			}
-			or := out.Row(i)
-			for j, bv := range br {
-				or[j] += av * bv
-			}
-		}
+	if err := MatMulATInto(out, a, b); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -160,14 +126,12 @@ func AddBiasRows(m *Matrix, bias []float32) error {
 }
 
 // Gather builds a (len(idx) × src.Cols) matrix whose row j is src row idx[j].
-// This is the pipeline's grouping primitive.
+// This is the pipeline's grouping primitive. Row copies are parallelized
+// (every row is independent); see GatherInto.
 func Gather(src *Matrix, idx []int) (*Matrix, error) {
 	out := New(len(idx), src.Cols)
-	for j, i := range idx {
-		if i < 0 || i >= src.Rows {
-			return nil, fmt.Errorf("tensor: gather index %d out of %d rows", i, src.Rows)
-		}
-		copy(out.Row(j), src.Row(i))
+	if err := GatherInto(out, src, idx); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -201,26 +165,9 @@ func MaxPoolGroups(grouped *Matrix, k int) (out *Matrix, argmax []int32, err err
 	n := grouped.Rows / k
 	out = New(n, grouped.Cols)
 	argmax = make([]int32, n*grouped.Cols)
-	parallel.ForChunks(n, func(lo, hi int) {
-		for g := lo; g < hi; g++ {
-			or := out.Row(g)
-			am := argmax[g*grouped.Cols : (g+1)*grouped.Cols]
-			first := grouped.Row(g * k)
-			copy(or, first)
-			for c := range am {
-				am[c] = int32(g * k)
-			}
-			for j := 1; j < k; j++ {
-				row := grouped.Row(g*k + j)
-				for c, v := range row {
-					if v > or[c] {
-						or[c] = v
-						am[c] = int32(g*k + j)
-					}
-				}
-			}
-		}
-	})
+	if err := MaxPoolGroupsInto(out, argmax, grouped, k); err != nil {
+		return nil, nil, err
+	}
 	return out, argmax, nil
 }
 
@@ -284,15 +231,14 @@ func LogSoftmaxRows(m *Matrix) {
 }
 
 // Concat returns the column-wise concatenation [a | b]; both must have the
-// same row count.
+// same row count. Row copies are parallelized; see ConcatInto.
 func Concat(a, b *Matrix) (*Matrix, error) {
 	if a.Rows != b.Rows {
 		return nil, fmt.Errorf("tensor: concat row mismatch %d vs %d", a.Rows, b.Rows)
 	}
 	out := New(a.Rows, a.Cols+b.Cols)
-	for r := 0; r < a.Rows; r++ {
-		copy(out.Row(r)[:a.Cols], a.Row(r))
-		copy(out.Row(r)[a.Cols:], b.Row(r))
+	if err := ConcatInto(out, a, b); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

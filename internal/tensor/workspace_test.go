@@ -1,0 +1,103 @@
+package tensor
+
+import "testing"
+
+func TestWorkspaceGetShape(t *testing.T) {
+	ws := NewWorkspace()
+	m := ws.Get(3, 5)
+	if m.Rows != 3 || m.Cols != 5 || len(m.Data) != 15 {
+		t.Fatalf("Get(3,5) = %dx%d with %d values", m.Rows, m.Cols, len(m.Data))
+	}
+	if !ws.Owns(m) {
+		t.Fatal("freshly Get matrix not owned")
+	}
+}
+
+func TestWorkspaceReusesBuffer(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Get(4, 4)
+	backing := &a.Data[0]
+	ws.Put(a)
+	// A smaller request in the same power-of-two bucket reuses the array.
+	b := ws.Get(3, 5)
+	if &b.Data[0] != backing {
+		t.Fatal("Put then Get in the same bucket did not reuse the buffer")
+	}
+	if b.Rows != 3 || b.Cols != 5 || len(b.Data) != 15 {
+		t.Fatalf("recycled matrix is %dx%d with %d values", b.Rows, b.Cols, len(b.Data))
+	}
+	st := ws.Stats()
+	if st.Gets != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 gets / 1 miss", st)
+	}
+}
+
+func TestWorkspaceDoublePutPanics(t *testing.T) {
+	ws := NewWorkspace()
+	m := ws.Get(2, 2)
+	ws.Put(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic")
+		}
+	}()
+	ws.Put(m)
+}
+
+func TestWorkspaceForeignPutPanics(t *testing.T) {
+	ws := NewWorkspace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign Put did not panic")
+		}
+	}()
+	ws.Put(New(2, 2))
+}
+
+func TestWorkspacePutAfterResetPanics(t *testing.T) {
+	ws := NewWorkspace()
+	m := ws.Get(2, 2)
+	ws.Reset()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put after Reset did not panic")
+		}
+	}()
+	ws.Put(m)
+}
+
+func TestWorkspaceResetReclaimsAll(t *testing.T) {
+	ws := NewWorkspace()
+	for i := 0; i < 4; i++ {
+		ws.Get(8, 8)
+	}
+	ws.Reset()
+	st := ws.Stats()
+	if st.Lent != 0 || st.Free != 4 {
+		t.Fatalf("after Reset: %+v, want 0 lent / 4 free", st)
+	}
+	// A warm second frame of the same shapes allocates nothing.
+	for i := 0; i < 4; i++ {
+		ws.Get(8, 8)
+	}
+	if got := ws.Stats(); got.Misses != st.Misses {
+		t.Fatalf("steady-state frame allocated: %+v", got)
+	}
+}
+
+// TestWorkspaceAliasingAfterPut demonstrates why Put is one-shot: the next
+// Get in the bucket hands the same backing array to a new owner.
+func TestWorkspaceAliasingAfterPut(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Get(2, 2)
+	ws.Put(a)
+	b := ws.Get(2, 2)
+	b.Data[0] = 42
+	if a.Data[0] != 42 {
+		t.Fatal("expected a and b to share a backing array after Put/Get")
+	}
+	if ws.Owns(a) != ws.Owns(b) {
+		// a and b are the same *Matrix; Owns must agree with itself.
+		t.Fatal("ownership disagreement for the recycled matrix")
+	}
+}

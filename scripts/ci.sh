@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Tier-1+ gate: everything the repo promises must stay green, plus the
+# race-detector pass over the packages with goroutine-parallel kernels and a
+# one-iteration benchmark smoke so the hot-path benchmarks can never rot.
+#
+# Usage: scripts/ci.sh
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test -race (parallel kernels + workspace hot path) =="
+go test -race ./internal/tensor/... ./internal/parallel/... ./internal/morton/... ./internal/pipeline/...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== bench smoke (1 iteration) =="
+go test -run '^$' -bench 'BenchmarkPipelineFrameAllocs|BenchmarkMatMulAT' -benchtime=1x -benchmem ./internal/pipeline/ ./internal/tensor/
+
+echo "ci: all green"
