@@ -1,0 +1,75 @@
+// Command edgepc-lint runs the repo's static-analysis suite (internal/lint)
+// over module packages and prints file:line:col: [analyzer] diagnostics.
+//
+// Usage:
+//
+//	go run ./cmd/edgepc-lint ./...
+//	go run ./cmd/edgepc-lint ./internal/tensor ./internal/nn/...
+//
+// Exit status: 0 when clean, 1 on findings, 2 on load errors. The suite and
+// the //edgepc:hotpath and //edgepc:lint-ignore directive contracts are
+// documented in DESIGN.md §7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: edgepc-lint [-list] [packages]\n\npackages default to ./... relative to the module root\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	targets, err := loader.LoadPatterns(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := lint.Run(loader, targets, analyzers)
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "edgepc-lint: %d finding(s) in %d package(s)\n", len(diags), len(targets))
+		os.Exit(1)
+	}
+	fmt.Printf("edgepc-lint: %d package(s) clean\n", len(targets))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "edgepc-lint:", err)
+	os.Exit(2)
+}

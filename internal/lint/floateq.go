@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. After a parallel
+// reduction or an approximate Morton path, exact float equality is almost
+// always a latent bug — the repo's tests compare through tolerance helpers
+// instead. Two idioms are exempt:
+//
+//   - comparison against an exact-zero constant: the kernels' sparsity skip
+//     (av == 0) and the config convention that zero means "use the default"
+//     are both intentional exact tests;
+//   - test files, which are not loaded by the linter at all.
+//
+// Intentional exact equality elsewhere (golden bit-identity checks) carries
+// an //edgepc:lint-ignore floateq directive with its justification.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "==/!= on floating-point operands outside zero-sentinel comparisons",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, pkg := range p.Targets {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pkg.Info, be.X) && !isFloat(pkg.Info, be.Y) {
+					return true
+				}
+				if isZeroConst(pkg.Info, be.X) || isZeroConst(pkg.Info, be.Y) {
+					return true
+				}
+				p.Reportf(be.OpPos, "floating-point %s comparison; use a tolerance, or document exact equality with an //edgepc:lint-ignore floateq directive", be.Op)
+				return true
+			})
+		}
+	}
+}
+
+// isFloat reports whether e has floating-point type (including untyped float
+// constants).
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

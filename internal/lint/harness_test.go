@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture loader is shared across tests: the stdlib source importer's
+// cost is paid once and every fixture package joins one FileSet, so the whole
+// suite type-checks each dependency a single time.
+var (
+	loaderOnce sync.Once
+	loaderVal  *Loader
+	loaderErr  error
+)
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loaderVal, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("building fixture loader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+// loadFixture type-checks internal/lint/testdata/src/<name>.
+func loadFixture(t *testing.T, name string) (*Loader, *Package) {
+	t.Helper()
+	l := fixtureLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return l, pkg
+}
+
+// want is one expectation parsed from a trailing `// want "regex"` (or
+// backquoted) comment in a fixture file.
+type want struct {
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("// want (\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*$")
+
+// collectWants scans a fixture package's comments for want expectations.
+func collectWants(t *testing.T, l *Loader, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := m[1]
+				if strings.HasPrefix(pat, "`") {
+					pat = strings.Trim(pat, "`")
+				} else {
+					var err error
+					pat, err = strconv.Unquote(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", l.Fset.Position(c.Pos()), m[1], err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", l.Fset.Position(c.Pos()), pat, err)
+				}
+				wants = append(wants, &want{line: l.Fset.Position(c.Pos()).Line, pattern: pat, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture runs the given analyzers over one fixture package and checks the
+// diagnostics against its want comments: every diagnostic must match an
+// as-yet-unmatched want on its own line, and every want must be consumed.
+// Clean fixtures simply carry no wants, so any diagnostic is a failure.
+func runFixture(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	l, pkg := loadFixture(t, name)
+	wants := collectWants(t, l, pkg)
+	diags := Run(l, []*Package{pkg}, analyzers)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.line == d.Pos.Line && !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", name, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", name, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotPathAlloc enforces the zero-allocation contract of //edgepc:hotpath
+// functions: neither the annotated function nor anything it statically calls
+// within the module may invoke an allocating tensor kernel (the wrappers that
+// have *Into counterparts, plus tensor.New and Matrix.Clone), and the
+// annotated function itself must not make new slices or grow one with append.
+//
+// Call-graph notes: calls are resolved statically through go/types, following
+// package-level functions and methods on concrete receivers across package
+// boundaries. Interface dispatch and function values are not resolved — which
+// is why the layer Forwards behind the nn.Layer interface carry their own
+// //edgepc:hotpath annotations instead of relying on traversal through
+// nn.Sequential. Calls nested in closures belong to the enclosing declared
+// function. Banned functions are reported at the call site and never
+// descended into; make/append are only checked directly inside annotated
+// functions (dependency helpers may stage buffers — the tensor invariants are
+// what must hold transitively).
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "//edgepc:hotpath functions (and their static module callees) must not call allocating tensor kernels, make, or growing append",
+	Run:  runHotPathAlloc,
+}
+
+// bannedTensorFuncs are the repro/internal/tensor functions and methods that
+// allocate their result. Every one of them has a workspace-friendly
+// counterpart (*Into kernels, Workspace.Get) or is inference-irrelevant
+// (backward-pass helpers). FromSlice is deliberately absent: it wraps an
+// existing backing slice without copying.
+var bannedTensorFuncs = map[string]bool{
+	"MatMul":          true,
+	"MatMulBT":        true,
+	"MatMulAT":        true,
+	"Gather":          true,
+	"Concat":          true,
+	"MaxPoolGroups":   true,
+	"MaxPoolBackward": true,
+	"SplitCols":       true,
+	"New":             true,
+	"Clone":           true,
+}
+
+// funcNode is one declared module function in the hotpathalloc call graph.
+type funcNode struct {
+	obj       *types.Func
+	decl      *ast.FuncDecl
+	pkg       *Package
+	annotated bool
+	callees   []*types.Func // resolved static calls into module code
+	banned    []bannedCall  // direct calls to allocating tensor kernels
+}
+
+type bannedCall struct {
+	pos  token.Pos
+	name string // e.g. tensor.MatMul
+}
+
+func runHotPathAlloc(p *Pass) {
+	tensorPath := p.ModPath + "/internal/tensor"
+	nodes := map[*types.Func]*funcNode{}
+	var order []*funcNode // deterministic iteration for root scanning
+	for _, pkg := range p.Module {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &funcNode{obj: obj, decl: fd, pkg: pkg, annotated: hasDirective(fd.Doc, HotPathDirective)}
+				nodes[obj] = n
+				order = append(order, n)
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].obj.Pos() < order[j].obj.Pos() })
+
+	for _, n := range order {
+		collectCalls(p, n, tensorPath)
+	}
+
+	// Breadth-first reachability from the annotated roots; each reachable
+	// function reports its banned calls once, tagged with the root that first
+	// reached it.
+	type item struct {
+		node *funcNode
+		root *funcNode
+	}
+	visited := map[*funcNode]*funcNode{} // node → root that reached it
+	var queue []item
+	for _, n := range order {
+		if n.annotated {
+			visited[n] = n
+			queue = append(queue, item{n, n})
+		}
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		n, root := it.node, it.root
+		for _, b := range n.banned {
+			if n == root {
+				p.Reportf(b.pos, "%s allocates on a //edgepc:hotpath function; use its *Into/workspace form", b.name)
+			} else {
+				p.Reportf(b.pos, "%s allocates and is reachable from //edgepc:hotpath function %s", b.name, funcName(root.obj))
+			}
+		}
+		for _, callee := range n.callees {
+			cn, ok := nodes[callee]
+			if !ok {
+				continue
+			}
+			if _, seen := visited[cn]; seen {
+				continue
+			}
+			visited[cn] = root
+			queue = append(queue, item{cn, root})
+		}
+	}
+
+	// make/append are checked only directly inside annotated functions.
+	for _, n := range order {
+		if !n.annotated {
+			continue
+		}
+		checkMakeAppend(p, n)
+	}
+}
+
+// collectCalls walks one function body (closures included) resolving every
+// call: banned tensor kernels are recorded for reporting, other module
+// functions become call-graph edges.
+func collectCalls(p *Pass, n *funcNode, tensorPath string) {
+	info := n.pkg.Info
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeFunc(info, call)
+		if obj == nil {
+			return true
+		}
+		if pkg := obj.Pkg(); pkg != nil && pkg.Path() == tensorPath && bannedTensorFuncs[obj.Name()] {
+			n.banned = append(n.banned, bannedCall{pos: call.Pos(), name: "tensor." + obj.Name()})
+			return true
+		}
+		n.callees = append(n.callees, obj)
+		return true
+	})
+}
+
+// calleeFunc resolves a call expression to its static *types.Func: a
+// package-level function, or a method on a concrete receiver. Interface
+// methods, builtins, conversions, and function values return nil — the
+// resulting object would not correspond to a declared body.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// checkMakeAppend reports make calls and growing appends directly inside an
+// annotated function. append over a zero-length reslice of an existing buffer
+// (x = append(buf[:0], ...)) reuses capacity and is allowed.
+func checkMakeAppend(p *Pass, n *funcNode) {
+	info := n.pkg.Info
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		switch id.Name {
+		case "make":
+			p.Reportf(call.Pos(), "make allocates on a //edgepc:hotpath function; reuse a buffer or serve it from the workspace")
+		case "append":
+			if len(call.Args) > 0 && isZeroReslice(call.Args[0]) {
+				return true
+			}
+			p.Reportf(call.Pos(), "append may grow its backing array on a //edgepc:hotpath function; preallocate or append to buf[:0]")
+		}
+		return true
+	})
+}
+
+// isZeroReslice reports whether e has the form x[:0] (capacity-reuse idiom).
+func isZeroReslice(e ast.Expr) bool {
+	s, ok := ast.Unparen(e).(*ast.SliceExpr)
+	if !ok || s.Low != nil || s.High == nil {
+		return false
+	}
+	lit, ok := s.High.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+// funcName renders a function object as pkg.Func or pkg.(*Recv).Method for
+// diagnostics.
+func funcName(f *types.Func) string {
+	name := f.Name()
+	sig := f.Type().(*types.Signature)
+	pkg := ""
+	if f.Pkg() != nil {
+		parts := strings.Split(f.Pkg().Path(), "/")
+		pkg = parts[len(parts)-1] + "."
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		ptr := ""
+		if pt, ok := t.(*types.Pointer); ok {
+			t = pt.Elem()
+			ptr = "*"
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + "(" + ptr + named.Obj().Name() + ")." + name
+		}
+	}
+	return pkg + name
+}

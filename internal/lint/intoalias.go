@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// IntoAlias catches the statically decidable misuses of the *Into kernels:
+// a destination expression that is syntactically identical to one of the
+// inputs (the kernels reject shared backing arrays at runtime, but only for
+// the buffer-start alias a Workspace misuse produces), and shape mismatches
+// between destinations and inputs whose dimensions are compile-time
+// constants (buffers obtained from tensor.New or Workspace.Get with literal
+// sizes, as fixture and test code writes them). Dimensions that are runtime
+// expressions are not analyzed — those remain the kernels' runtime checks.
+var IntoAlias = &Analyzer{
+	Name: "intoalias",
+	Doc:  "*Into kernel calls must not alias dst with a src and constant shapes must agree",
+	Run:  runIntoAlias,
+}
+
+type dims struct {
+	rows, cols int
+	known      bool
+}
+
+func runIntoAlias(p *Pass) {
+	tensorPath := p.ModPath + "/internal/tensor"
+	for _, pkg := range p.Targets {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkIntoCalls(p, pkg, fd, tensorPath)
+			}
+		}
+	}
+}
+
+func checkIntoCalls(p *Pass, pkg *Package, fd *ast.FuncDecl, tensorPath string) {
+	info := pkg.Info
+
+	// Pass 1: track locals bound to tensor.New(r, c) or Workspace.Get(r, c)
+	// with constant arguments. A variable assigned more than once becomes
+	// unknown — the tracking is deliberately conservative.
+	shapes := map[*types.Var]dims{}
+	assigned := map[*types.Var]int{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj, _ := info.Defs[id].(*types.Var)
+			if obj == nil {
+				obj, _ = info.Uses[id].(*types.Var)
+			}
+			if obj == nil {
+				continue
+			}
+			assigned[obj]++
+			if assigned[obj] > 1 {
+				shapes[obj] = dims{}
+				continue
+			}
+			if d, ok := allocDims(info, rhs, tensorPath); ok {
+				shapes[obj] = d
+			}
+		}
+		return true
+	})
+
+	dimsOf := func(e ast.Expr) dims {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return dims{}
+		}
+		obj, _ := info.Uses[id].(*types.Var)
+		if obj == nil {
+			return dims{}
+		}
+		return shapes[obj]
+	}
+
+	// Pass 2: check every *Into call.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeFunc(info, call)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != tensorPath {
+			return true
+		}
+		switch obj.Name() {
+		case "MatMulInto", "MatMulBTInto", "MatMulATInto":
+			if len(call.Args) != 3 {
+				return true
+			}
+			out, a, b := call.Args[0], call.Args[1], call.Args[2]
+			reportAlias(p, call, obj.Name(), out, a, b)
+			od, ad, bd := dimsOf(out), dimsOf(a), dimsOf(b)
+			if !od.known || !ad.known || !bd.known {
+				return true
+			}
+			var wantR, wantC int
+			var inner bool
+			switch obj.Name() {
+			case "MatMulInto": // a·b: (m×k)·(k×n)
+				inner = ad.cols == bd.rows
+				wantR, wantC = ad.rows, bd.cols
+			case "MatMulBTInto": // a·bᵀ: (m×k)·(n×k)ᵀ
+				inner = ad.cols == bd.cols
+				wantR, wantC = ad.rows, bd.rows
+			case "MatMulATInto": // aᵀ·b: (k×m)ᵀ·(k×n)
+				inner = ad.rows == bd.rows
+				wantR, wantC = ad.cols, bd.cols
+			}
+			if !inner {
+				p.Reportf(call.Pos(), "%s inputs have incompatible shapes %dx%d and %dx%d", obj.Name(), ad.rows, ad.cols, bd.rows, bd.cols)
+				return true
+			}
+			if od.rows != wantR || od.cols != wantC {
+				p.Reportf(call.Pos(), "%s destination is %dx%d but the product is %dx%d", obj.Name(), od.rows, od.cols, wantR, wantC)
+			}
+		case "ConcatInto":
+			if len(call.Args) != 3 {
+				return true
+			}
+			out, a, b := call.Args[0], call.Args[1], call.Args[2]
+			reportAlias(p, call, obj.Name(), out, a, b)
+			od, ad, bd := dimsOf(out), dimsOf(a), dimsOf(b)
+			if !od.known || !ad.known || !bd.known {
+				return true
+			}
+			if ad.rows != bd.rows {
+				p.Reportf(call.Pos(), "ConcatInto inputs have %d and %d rows", ad.rows, bd.rows)
+				return true
+			}
+			if od.rows != ad.rows || od.cols != ad.cols+bd.cols {
+				p.Reportf(call.Pos(), "ConcatInto destination is %dx%d but [a|b] is %dx%d", od.rows, od.cols, ad.rows, ad.cols+bd.cols)
+			}
+		case "GatherInto":
+			if len(call.Args) != 3 {
+				return true
+			}
+			out, src := call.Args[0], call.Args[1]
+			reportAlias(p, call, obj.Name(), out, src)
+			od, sd := dimsOf(out), dimsOf(src)
+			if od.known && sd.known && od.cols != sd.cols {
+				p.Reportf(call.Pos(), "GatherInto destination has %d columns but the source has %d", od.cols, sd.cols)
+			}
+		case "MaxPoolGroupsInto":
+			if len(call.Args) != 4 {
+				return true
+			}
+			out, grouped := call.Args[0], call.Args[2]
+			reportAlias(p, call, obj.Name(), out, grouped)
+			od, gd := dimsOf(out), dimsOf(grouped)
+			k, kKnown := constInt(info, call.Args[3])
+			if !od.known || !gd.known || !kKnown || k <= 0 {
+				return true
+			}
+			if gd.rows%k != 0 {
+				p.Reportf(call.Pos(), "MaxPoolGroupsInto cannot pool %d rows in groups of %d", gd.rows, k)
+				return true
+			}
+			if od.rows != gd.rows/k || od.cols != gd.cols {
+				p.Reportf(call.Pos(), "MaxPoolGroupsInto destination is %dx%d but pooling %dx%d by %d gives %dx%d", od.rows, od.cols, gd.rows, gd.cols, k, gd.rows/k, gd.cols)
+			}
+		}
+		return true
+	})
+}
+
+// reportAlias flags src arguments syntactically identical to dst.
+func reportAlias(p *Pass, call *ast.CallExpr, kernel string, dst ast.Expr, srcs ...ast.Expr) {
+	ds := types.ExprString(ast.Unparen(dst))
+	for _, src := range srcs {
+		if types.ExprString(ast.Unparen(src)) == ds {
+			p.Reportf(call.Pos(), "%s destination %s aliases an input; *Into kernels require dst and src to be distinct buffers", kernel, ds)
+			return
+		}
+	}
+}
+
+// allocDims extracts constant dimensions from tensor.New(r, c) or
+// Workspace.Get(r, c).
+func allocDims(info *types.Info, e ast.Expr, tensorPath string) (dims, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return dims{}, false
+	}
+	obj := calleeFunc(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != tensorPath {
+		return dims{}, false
+	}
+	if obj.Name() != "New" && !(obj.Name() == "Get" && workspaceMethodCall(info, call, tensorPath, "Get")) {
+		return dims{}, false
+	}
+	r, rok := constInt(info, call.Args[0])
+	c, cok := constInt(info, call.Args[1])
+	if !rok || !cok {
+		return dims{}, false
+	}
+	return dims{rows: r, cols: c, known: true}, true
+}
+
+// constInt evaluates e as a compile-time integer constant.
+func constInt(info *types.Info, e ast.Expr) (int, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return int(v), ok
+}

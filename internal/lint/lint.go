@@ -1,0 +1,213 @@
+// Package lint is edgepc-lint: a repo-specific static-analysis suite built on
+// the standard library's go/ast, go/parser, and go/types (no external
+// dependencies, matching the module's pure-Go constraint).
+//
+// The analyzers enforce the sharp-edged invariants the zero-allocation
+// inference hot path relies on — invariants the compiler cannot check and
+// runtime panics only catch when the offending path executes:
+//
+//   - hotpathalloc: functions annotated //edgepc:hotpath (and everything they
+//     statically call within the module) must not call the allocating tensor
+//     wrappers, and the annotated functions themselves must not make or grow
+//     slices.
+//   - workspacepair: tensor.Workspace buffers must be Put back or handed to
+//     the caller, never parked in a struct field or silently dropped.
+//   - parallelcapture: closures run on goroutine workers must not write
+//     variables shared across workers.
+//   - intoalias: statically visible dst/src aliasing and constant shape
+//     mismatches in *Into kernel calls.
+//   - floateq: ==/!= on floating-point operands (exact-zero sentinel and
+//     sparsity-skip comparisons are exempt).
+//
+// A finding is suppressed by the directive
+//
+//	//edgepc:lint-ignore <analyzer> <reason>
+//
+// placed on the reported line or on the line directly above it. The reason is
+// mandatory: suppressions double as documentation of every deliberate
+// exception to an invariant. See DESIGN.md §7.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Directives recognized in comments.
+const (
+	// HotPathDirective marks a function (via its doc comment) as part of the
+	// steady-state inference hot path checked by hotpathalloc.
+	HotPathDirective = "//edgepc:hotpath"
+	// IgnoreDirective suppresses one analyzer on one line:
+	// //edgepc:lint-ignore <analyzer> <reason>.
+	IgnoreDirective = "//edgepc:lint-ignore"
+)
+
+// Diagnostic is one finding, printed as file:line:col: [analyzer] message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the driver's output form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a set of packages.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries everything one analyzer run needs. Targets are the packages
+// diagnostics may be reported against; Module additionally holds every
+// in-module dependency that was loaded, so whole-module analyses (the
+// hotpathalloc call graph) can traverse beyond the lint targets.
+type Pass struct {
+	Fset    *token.FileSet
+	ModPath string
+	Targets []*Package
+	Module  []*Package
+
+	analyzer    *Analyzer
+	targetFiles map[string]bool
+	diags       *[]Diagnostic
+}
+
+// Reportf records a finding at pos. Findings outside the target packages are
+// dropped: an analyzer may discover a violation while traversing a dependency
+// that is not being linted.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if !p.targetFiles[position.Filename] {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{Pos: position, Analyzer: p.analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{HotPathAlloc, WorkspacePair, ParallelCapture, IntoAlias, FloatEq}
+}
+
+// Run executes the analyzers over the target packages and returns the
+// surviving diagnostics sorted by position. The loader supplies the shared
+// FileSet, the module path, and every module package loaded so far, so
+// whole-module analyses (the hotpathalloc call graph) can traverse beyond the
+// lint targets. Diagnostics on lines covered by a matching
+// //edgepc:lint-ignore directive are dropped; malformed or unknown-analyzer
+// directives are themselves reported so a typo cannot silently disable a
+// suppression.
+func Run(loader *Loader, targets []*Package, analyzers []*Analyzer) []Diagnostic {
+	fset := loader.Fset
+	targetFiles := map[string]bool{}
+	for _, pkg := range targets {
+		for _, f := range pkg.Files {
+			targetFiles[fset.Position(f.Pos()).Filename] = true
+		}
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:        fset,
+			ModPath:     loader.ModulePath(),
+			Targets:     targets,
+			Module:      loader.Module(),
+			analyzer:    a,
+			targetFiles: targetFiles,
+			diags:       &diags,
+		}
+		a.Run(pass)
+	}
+	ignores, malformed := collectIgnores(fset, targets, analyzers)
+	kept := diags[:0]
+	for _, d := range diags {
+		key := ignoreKey{file: d.Pos.Filename, analyzer: d.Analyzer}
+		if lines := ignores[key]; lines[d.Pos.Line] || lines[d.Pos.Line-1] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = append(kept, malformed...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+type ignoreKey struct {
+	file     string
+	analyzer string
+}
+
+// collectIgnores gathers //edgepc:lint-ignore directives from the target
+// packages, keyed by (file, analyzer) → set of directive lines. Directives
+// missing an analyzer name, missing a reason, or naming an unknown analyzer
+// are returned as diagnostics instead of being honored.
+func collectIgnores(fset *token.FileSet, targets []*Package, analyzers []*Analyzer) (map[ignoreKey]map[int]bool, []Diagnostic) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	ignores := map[ignoreKey]map[int]bool{}
+	var malformed []Diagnostic
+	for _, pkg := range targets {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0:
+						malformed = append(malformed, Diagnostic{Pos: pos, Analyzer: "lint", Message: "lint-ignore directive names no analyzer"})
+					case !known[fields[0]]:
+						malformed = append(malformed, Diagnostic{Pos: pos, Analyzer: "lint", Message: fmt.Sprintf("lint-ignore names unknown analyzer %q", fields[0])})
+					case len(fields) == 1:
+						malformed = append(malformed, Diagnostic{Pos: pos, Analyzer: "lint", Message: fmt.Sprintf("lint-ignore %s gives no reason; suppressions must be documented", fields[0])})
+					default:
+						key := ignoreKey{file: pos.Filename, analyzer: fields[0]}
+						if ignores[key] == nil {
+							ignores[key] = map[int]bool{}
+						}
+						ignores[key][pos.Line] = true
+					}
+				}
+			}
+		}
+	}
+	return ignores, malformed
+}
+
+// hasDirective reports whether a function's doc comment carries the given
+// directive (alone on a line, optionally followed by explanatory text).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	runFixture(t, "hotpath_bad", HotPathAlloc)
+	runFixture(t, "hotpath_clean", HotPathAlloc)
+}
+
+func TestWorkspacePair(t *testing.T) {
+	runFixture(t, "workspace_bad", WorkspacePair)
+	runFixture(t, "workspace_clean", WorkspacePair)
+}
+
+func TestParallelCapture(t *testing.T) {
+	runFixture(t, "parallel_bad", ParallelCapture)
+	runFixture(t, "parallel_clean", ParallelCapture)
+}
+
+func TestIntoAlias(t *testing.T) {
+	runFixture(t, "intoalias_bad", IntoAlias)
+	runFixture(t, "intoalias_clean", IntoAlias)
+}
+
+func TestFloatEq(t *testing.T) {
+	runFixture(t, "floateq_bad", FloatEq)
+	runFixture(t, "floateq_clean", FloatEq)
+}
+
+// TestMalformedIgnores asserts that broken suppression directives are
+// reported as [lint] diagnostics and do NOT suppress the findings they sit
+// above: three malformed directives, three live floateq findings.
+func TestMalformedIgnores(t *testing.T) {
+	l, pkg := loadFixture(t, "ignore_bad")
+	diags := Run(l, []*Package{pkg}, []*Analyzer{FloatEq})
+	var lintCount, floatCount int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lint":
+			lintCount++
+		case "floateq":
+			floatCount++
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+	}
+	if lintCount != 3 {
+		t.Errorf("got %d [lint] directive diagnostics, want 3", lintCount)
+	}
+	if floatCount != 3 {
+		t.Errorf("got %d floateq diagnostics, want 3 (malformed directives must not suppress)", floatCount)
+	}
+	var sawNoAnalyzer, sawUnknown, sawNoReason bool
+	for _, d := range diags {
+		if d.Analyzer != "lint" {
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, "names no analyzer"):
+			sawNoAnalyzer = true
+		case strings.Contains(d.Message, "unknown analyzer"):
+			sawUnknown = true
+		case strings.Contains(d.Message, "gives no reason"):
+			sawNoReason = true
+		}
+	}
+	if !sawNoAnalyzer || !sawUnknown || !sawNoReason {
+		t.Errorf("missing a malformed-directive variant: no-analyzer=%v unknown=%v no-reason=%v", sawNoAnalyzer, sawUnknown, sawNoReason)
+	}
+}
+
+// TestSuiteMetadata guards the analyzer registry: unique non-empty names
+// (they key suppression directives) and documented purposes.
+func TestSuiteMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("suite has %d analyzers, want at least 5", len(seen))
+	}
+}
+
+// TestRealTreeSpotCheck runs the full suite over two load-bearing production
+// packages; the tree is kept clean by scripts/ci.sh, so any diagnostic here
+// is a regression in either the code or the analyzers.
+func TestRealTreeSpotCheck(t *testing.T) {
+	l := fixtureLoader(t)
+	var targets []*Package
+	for _, dir := range []string{"internal/tensor", "internal/morton"} {
+		pkg, err := l.LoadDir(l.Root() + "/" + dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		targets = append(targets, pkg)
+	}
+	for _, d := range Run(l, targets, All()) {
+		t.Errorf("unexpected diagnostic on the production tree: %s", d)
+	}
+}

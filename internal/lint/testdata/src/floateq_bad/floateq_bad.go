@@ -1,0 +1,25 @@
+// Package floateq_bad compares floating-point values exactly. The
+// zero-sentinel comparison and the suppressed comparison are negative cases:
+// they must stay quiet.
+package floateq_bad
+
+// Converged compares two floats with ==.
+func Converged(loss, prev float64) bool {
+	return loss == prev // want `floating-point == comparison`
+}
+
+// Changed compares with !=.
+func Changed(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+// SparsitySkip is the exempt zero-sentinel idiom: not flagged.
+func SparsitySkip(av float32) bool {
+	return av == 0
+}
+
+// Ignored documents an exact comparison; the suppression keeps it quiet.
+func Ignored(a, b float64) bool {
+	//edgepc:lint-ignore floateq golden bit-identity check
+	return a == b
+}

@@ -1,0 +1,23 @@
+// Package floateq_clean compares floats through tolerances, zero sentinels,
+// or not at all.
+package floateq_clean
+
+import "math"
+
+// Close compares with a tolerance.
+func Close(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// ZeroDefault is the exempt zero-means-default config sentinel.
+func ZeroDefault(v float64) float64 {
+	if v == 0 {
+		return 0.5
+	}
+	return v
+}
+
+// Ints are not floats.
+func Ints(a, b int) bool {
+	return a == b
+}

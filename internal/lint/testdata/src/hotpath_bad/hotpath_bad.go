@@ -1,0 +1,36 @@
+// Package hotpath_bad exercises hotpathalloc: annotated functions and their
+// static callees calling allocating tensor kernels, plus make and growing
+// append directly on the hot path.
+package hotpath_bad
+
+import (
+	"repro/internal/tensor"
+)
+
+// Frame is an annotated hot-path root with direct violations.
+//
+//edgepc:hotpath
+func Frame(x, w *tensor.Matrix) (*tensor.Matrix, error) {
+	y, err := tensor.MatMul(x, w) // want `tensor\.MatMul allocates on a //edgepc:hotpath function`
+	if err != nil {
+		return nil, err
+	}
+	scratch := make([]float32, y.Rows) // want `make allocates on a //edgepc:hotpath function`
+	_ = scratch
+	return helper(y)
+}
+
+// helper is not annotated itself but is statically reachable from Frame, so
+// its allocating call is reported against the root.
+func helper(y *tensor.Matrix) (*tensor.Matrix, error) {
+	return tensor.Concat(y, y) // want `tensor\.Concat allocates and is reachable from //edgepc:hotpath function hotpath_bad\.Frame`
+}
+
+// Grow demonstrates the growing-append and Clone findings.
+//
+//edgepc:hotpath
+func Grow(dst []int, y *tensor.Matrix) []int {
+	dst = append(dst, y.Rows) // want `append may grow its backing array`
+	_ = y.Clone()             // want `tensor\.Clone allocates on a //edgepc:hotpath function`
+	return dst
+}

@@ -1,0 +1,40 @@
+// Package hotpath_clean is the clean counterpart of hotpath_bad:
+// workspace-served buffers, *Into kernels, the capacity-reusing append idiom,
+// and a documented suppression.
+package hotpath_clean
+
+import (
+	"repro/internal/tensor"
+)
+
+// Frame allocates nothing: the activation comes from the workspace and the
+// product is computed in place.
+//
+//edgepc:hotpath
+func Frame(ws *tensor.Workspace, x, w *tensor.Matrix) (*tensor.Matrix, error) {
+	y := ws.Get(x.Rows, w.Cols)
+	if err := tensor.MatMulInto(y, x, w); err != nil {
+		ws.Put(y)
+		return nil, err
+	}
+	return y, nil
+}
+
+// Reuse appends into recycled capacity, which hotpathalloc allows.
+//
+//edgepc:hotpath
+func Reuse(buf []int, n int) []int {
+	buf = append(buf[:0], n)
+	return buf
+}
+
+// Detach clones deliberately; the suppression documents why.
+//
+//edgepc:hotpath
+func Detach(ws *tensor.Workspace, logits *tensor.Matrix) *tensor.Matrix {
+	if ws.Owns(logits) {
+		//edgepc:lint-ignore hotpathalloc the result must outlive the frame
+		logits = logits.Clone()
+	}
+	return logits
+}

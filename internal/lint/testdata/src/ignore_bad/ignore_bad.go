@@ -1,0 +1,14 @@
+// Package ignore_bad holds malformed suppression directives. The runner
+// reports each one instead of honoring it, so the comparisons below still
+// fire — a typo cannot silently disable a check.
+package ignore_bad
+
+// BadDirectives carries one malformed directive per failure mode.
+func BadDirectives(a, b float64) bool {
+	//edgepc:lint-ignore
+	x := a == b
+	//edgepc:lint-ignore nosuch disable everything
+	y := a != b
+	//edgepc:lint-ignore floateq
+	return x && y && a == b
+}

@@ -1,0 +1,41 @@
+// Package parallel_bad writes variables captured from the enclosing scope
+// inside closures that run concurrently.
+package parallel_bad
+
+import (
+	"repro/internal/parallel"
+)
+
+// Sum races: every worker writes the same captured accumulator.
+func Sum(xs []float32) float32 {
+	var total float32
+	parallel.For(len(xs), func(i int) {
+		total += xs[i] // want `closure passed to parallel\.For writes captured variable total`
+	})
+	return total
+}
+
+// Count races on a captured counter via ++.
+func Count(n int) int {
+	count := 0
+	parallel.ForChunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			count++ // want `closure passed to parallel\.ForChunks writes captured variable count`
+		}
+	})
+	return count
+}
+
+// Last races through a bare go statement.
+func Last(xs []int) int {
+	last := 0
+	done := make(chan struct{})
+	go func() {
+		for _, x := range xs {
+			last = x // want `closure passed to go statement writes captured variable last`
+		}
+		close(done)
+	}()
+	<-done
+	return last
+}

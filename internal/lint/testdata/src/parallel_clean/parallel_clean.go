@@ -1,0 +1,31 @@
+// Package parallel_clean uses the safe concurrency idioms: index-addressed
+// writes, worker-local state, and the per-worker slot reduction.
+package parallel_clean
+
+import (
+	"repro/internal/parallel"
+)
+
+// Fill writes only through the loop index — each iteration owns its slot.
+func Fill(dst []float32) {
+	parallel.For(len(dst), func(i int) {
+		dst[i] = float32(i)
+	})
+}
+
+// Sum reduces with a per-worker slot and a serial combine.
+func Sum(xs []float32) float32 {
+	partial := make([]float32, parallel.Workers(len(xs)))
+	parallel.ForWorkers(len(xs), func(w, lo, hi int) {
+		var local float32
+		for _, v := range xs[lo:hi] {
+			local += v
+		}
+		partial[w] = local
+	})
+	var total float32
+	for _, v := range partial {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,37 @@
+// Package workspace_bad violates the tensor.Workspace ownership contract:
+// leaked, escaped, and discarded Get results.
+package workspace_bad
+
+import (
+	"repro/internal/tensor"
+)
+
+// Holder outlives a frame.
+type Holder struct {
+	buf *tensor.Matrix
+}
+
+var global *tensor.Matrix
+
+// Leak gets a buffer and neither Puts nor hands it onward.
+func Leak(ws *tensor.Workspace) {
+	tmp := ws.Get(4, 4) // want `workspace buffer tmp is neither Put nor handed onward`
+	tmp.Data[0] = 1
+}
+
+// Escape parks a workspace buffer in a struct field.
+func Escape(ws *tensor.Workspace, h *Holder) {
+	buf := ws.Get(4, 4)
+	h.buf = buf // want `workspace buffer buf stored in h\.buf`
+	ws.Put(buf)
+}
+
+// Park stores a workspace buffer in a package variable.
+func Park(ws *tensor.Workspace) {
+	global = ws.Get(4, 4) // want `Workspace\.Get result stored in package variable global`
+}
+
+// Discard drops the Get result entirely.
+func Discard(ws *tensor.Workspace) {
+	ws.Get(2, 2) // want `Workspace\.Get result discarded`
+}

@@ -1,0 +1,39 @@
+// Package workspace_clean follows the Workspace ownership contract: every
+// Get is Put back, returned, packed into a result, or covered by a frame
+// Reset.
+package workspace_clean
+
+import (
+	"repro/internal/tensor"
+)
+
+type result struct {
+	logits *tensor.Matrix
+}
+
+// Paired Gets and Puts within one frame, LIFO.
+func Paired(ws *tensor.Workspace) {
+	a := ws.Get(4, 4)
+	b := ws.Get(4, 4)
+	ws.Put(b)
+	ws.Put(a)
+}
+
+// Handed returns the buffer; the caller owns it now.
+func Handed(ws *tensor.Workspace) *tensor.Matrix {
+	out := ws.Get(4, 4)
+	return out
+}
+
+// Packed hands the buffer onward inside a composite literal.
+func Packed(ws *tensor.Workspace) result {
+	out := ws.Get(4, 4)
+	return result{logits: out}
+}
+
+// FrameDriver Resets the workspace, so per-buffer pairing does not apply.
+func FrameDriver(ws *tensor.Workspace) {
+	ws.Reset()
+	tmp := ws.Get(8, 8)
+	tmp.Data[0] = 1
+}

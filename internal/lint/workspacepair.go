@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WorkspacePair enforces the tensor.Workspace ownership contract (DESIGN.md
+// §6): a buffer obtained from Get lives at most one frame, so within a
+// function each Get result must either be released (Workspace.Put, the model
+// package's wsPut helper, or a frame-level Reset) or handed onward (returned,
+// possibly inside a composite literal, or assigned into another binding that
+// the caller manages). Two things are violations:
+//
+//   - a Get result stored into a struct field, package variable, or element
+//     of a non-local container — workspace buffers must not outlive the frame;
+//   - a Get result that is used only in place (or not at all) and never Put
+//     or handed onward — a leak that silently defers reclamation to the next
+//     frame Reset.
+//
+// The check is flow-insensitive by design: error-return paths that skip a Put
+// are NOT flagged, because the frame driver's Reset at the start of the next
+// frame is the documented backstop for abandoned frames.
+var WorkspacePair = &Analyzer{
+	Name: "workspacepair",
+	Doc:  "every tensor.Workspace.Get must be Put, returned, or handed onward; buffers must not escape the frame",
+	Run:  runWorkspacePair,
+}
+
+func runWorkspacePair(p *Pass) {
+	tensorPath := p.ModPath + "/internal/tensor"
+	for _, pkg := range p.Targets {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkWorkspaceFunc(p, pkg, fd, tensorPath)
+			}
+		}
+	}
+}
+
+// workspaceMethodCall reports whether call invokes the named method on a
+// *tensor.Workspace receiver.
+func workspaceMethodCall(info *types.Info, call *ast.CallExpr, tensorPath, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Name() != method {
+		return false
+	}
+	sig := f.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Workspace" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == tensorPath
+}
+
+// releasingCall reports whether call is a release of a workspace buffer: the
+// Workspace.Put method or the repo's wsPut(ws, m) guard helper.
+func releasingCall(info *types.Info, call *ast.CallExpr, tensorPath string) bool {
+	if workspaceMethodCall(info, call, tensorPath, "Put") {
+		return true
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "wsPut" {
+		return true
+	}
+	return false
+}
+
+func checkWorkspaceFunc(p *Pass, pkg *Package, fd *ast.FuncDecl, tensorPath string) {
+	info := pkg.Info
+
+	// A function that Resets the workspace is a frame driver: every
+	// outstanding buffer is reclaimed wholesale, so per-buffer pairing does
+	// not apply.
+	resets := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && workspaceMethodCall(info, call, tensorPath, "Reset") {
+			resets = true
+		}
+		return !resets
+	})
+
+	type buffer struct {
+		obj      *types.Var
+		getPos   token.Pos
+		released bool // Put / wsPut
+		handed   bool // returned or re-assigned into a caller-visible binding
+	}
+	var buffers []*buffer
+	byObj := map[*types.Var]*buffer{}
+
+	// Pass 1: find Get calls and how their results are bound.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !workspaceMethodCall(info, call, tensorPath, "Get") {
+					continue
+				}
+				lhs := ast.Unparen(n.Lhs[i])
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					p.Reportf(call.Pos(), "Workspace.Get result stored in %s: workspace buffers live at most one frame and must stay in locals", types.ExprString(lhs))
+					continue
+				}
+				if id.Name == "_" {
+					p.Reportf(call.Pos(), "Workspace.Get result discarded: the buffer can never be Put")
+					continue
+				}
+				obj, _ := info.Defs[id].(*types.Var)
+				if obj == nil {
+					obj, _ = info.Uses[id].(*types.Var)
+				}
+				if obj == nil || obj.Parent() == nil || obj.Parent() == obj.Pkg().Scope() {
+					p.Reportf(call.Pos(), "Workspace.Get result stored in package variable %s: workspace buffers live at most one frame", id.Name)
+					continue
+				}
+				if existing, ok := byObj[obj]; ok {
+					// Rebinding the same variable to a fresh buffer: judge
+					// each Get by the variable's overall fate.
+					_ = existing
+					continue
+				}
+				b := &buffer{obj: obj, getPos: call.Pos()}
+				buffers = append(buffers, b)
+				byObj[obj] = b
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && workspaceMethodCall(info, call, tensorPath, "Get") {
+				p.Reportf(call.Pos(), "Workspace.Get result discarded: the buffer can never be Put")
+			}
+		}
+		return true
+	})
+	if len(buffers) == 0 || resets {
+		return
+	}
+
+	// useOf resolves an expression to a tracked buffer when it is a bare
+	// reference to one.
+	useOf := func(e ast.Expr) *buffer {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj, _ := info.Uses[id].(*types.Var)
+		if obj == nil {
+			return nil
+		}
+		return byObj[obj]
+	}
+	// mentions reports every tracked buffer referenced anywhere inside e.
+	mentions := func(e ast.Node) []*buffer {
+		var out []*buffer
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj, _ := info.Uses[id].(*types.Var); obj != nil {
+					if b := byObj[obj]; b != nil {
+						out = append(out, b)
+					}
+				}
+			}
+			return true
+		})
+		return out
+	}
+	// handedBy reports the buffers an assignment RHS hands onward: the bare
+	// buffer itself, or a buffer packed into a composite literal. Merely
+	// reading a field or calling a method does not transfer ownership.
+	handedBy := func(rhs ast.Expr) []*buffer {
+		if b := useOf(rhs); b != nil {
+			return []*buffer{b}
+		}
+		var out []*buffer
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.CompositeLit); ok {
+				out = append(out, mentions(lit)...)
+			}
+			return true
+		})
+		return out
+	}
+
+	// Pass 2: classify every subsequent use.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if releasingCall(info, n, tensorPath) {
+				for _, arg := range n.Args {
+					if b := useOf(arg); b != nil {
+						b.released = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				for _, b := range mentions(res) {
+					b.handed = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				// A fresh Get is the binding itself, not a hand-off.
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && workspaceMethodCall(info, call, tensorPath, "Get") {
+					continue
+				}
+				for _, b := range handedBy(rhs) {
+					if i < len(n.Lhs) {
+						if lhs := ast.Unparen(n.Lhs[i]); escapesFrame(info, lhs) {
+							p.Reportf(n.Pos(), "workspace buffer %s stored in %s: workspace buffers live at most one frame", b.obj.Name(), types.ExprString(lhs))
+						}
+					}
+					b.handed = true
+				}
+			}
+		case *ast.SendStmt:
+			for _, b := range mentions(n.Value) {
+				p.Reportf(n.Pos(), "workspace buffer %s sent on a channel: workspace buffers live at most one frame and are not goroutine-safe", b.obj.Name())
+			}
+		}
+		return true
+	})
+
+	for _, b := range buffers {
+		if !b.released && !b.handed {
+			p.Reportf(b.getPos, "workspace buffer %s is neither Put nor handed onward: leaked until the next frame Reset", b.obj.Name())
+		}
+	}
+}
+
+// escapesFrame reports whether an assignment target outlives the current
+// call frame: a struct field, a package-level variable, or an element of a
+// container reached through either.
+func escapesFrame(info *types.Info, lhs ast.Expr) bool {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		obj, _ := info.Uses[lhs].(*types.Var)
+		if obj == nil {
+			obj, _ = info.Defs[lhs].(*types.Var)
+		}
+		return obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+	case *ast.SelectorExpr:
+		// A field store (x.f = buf). Selections of locals' fields still
+		// escape when the struct itself is heap-shared; treat every field
+		// store as an escape — the idiomatic hot path keeps buffers in plain
+		// locals.
+		if sel, ok := info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+			return true
+		}
+		// Package-qualified identifier (pkg.Var = buf).
+		if obj, ok := info.Uses[lhs.Sel].(*types.Var); ok {
+			return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+		}
+		return false
+	case *ast.IndexExpr:
+		return escapesFrame(info, ast.Unparen(lhs.X))
+	case *ast.StarExpr:
+		return false // writes through a pointer parameter are the caller's concern
+	}
+	return false
+}

@@ -32,6 +32,10 @@ type ecCache struct {
 	k, n, c int
 }
 
+// forward runs one EdgeConv block over lv. wksp is the network's inference
+// workspace (nil when training); train and wksp != nil are mutually exclusive.
+//
+//edgepc:hotpath
 func (m *EdgeConvModule) forward(lv *level, layer int, reuse *core.ReuseCache, trace *Trace, train bool, wksp *tensor.Workspace) (*level, error) {
 	n := lv.len()
 	k := clampK(m.K, n)
@@ -108,6 +112,7 @@ func (m *EdgeConvModule) forward(lv *level, layer int, reuse *core.ReuseCache, t
 			wsPut(wksp, y)
 			return nil
 		}
+		//edgepc:lint-ignore hotpathalloc training / no-workspace fallback; backward needs the argmax this variant returns
 		feats, argmax, e = tensor.MaxPoolGroups(y, k)
 		return e
 	})
@@ -284,6 +289,8 @@ func (n *DGCNN) workspace(train bool) *tensor.Workspace {
 // (train=false) serve all intermediate activations from a per-network
 // workspace; the returned logits are cloned out of it, so an Output remains
 // valid across subsequent Forward calls.
+//
+//edgepc:hotpath
 func (n *DGCNN) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, error) {
 	if cloud.Len() == 0 {
 		return nil, fmt.Errorf("model: empty cloud")
@@ -324,6 +331,7 @@ func (n *DGCNN) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, e
 			// outputs themselves stay alive for the skip concat below.
 			wsPut(ws, lv.feats)
 		}
+		//edgepc:lint-ignore hotpathalloc O(modules) feature-matrix headers per frame
 		outs = append(outs, next.feats)
 		lv = next
 	}
@@ -349,6 +357,7 @@ func (n *DGCNN) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, e
 	} else {
 		fused = outs[0]
 		for _, o := range outs[1:] {
+			//edgepc:lint-ignore hotpathalloc training / no-workspace fallback; the eval branch above fills one workspace buffer
 			fused, err = tensor.Concat(fused, o)
 			if err != nil {
 				return nil, err
@@ -397,10 +406,12 @@ func (n *DGCNN) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, e
 	if ws != nil && ws.Owns(logits) {
 		// Detach the result from the workspace so the Output survives the
 		// next frame's Reset.
+		//edgepc:lint-ignore hotpathalloc deliberate: the Output contract requires logits to outlive the frame
 		logits = logits.Clone()
 	}
 	if train {
 		n.ecOuts = outs
+		//edgepc:lint-ignore hotpathalloc train-only backward cache
 		n.ecCols = make([]int, len(outs))
 		for i, o := range outs {
 			n.ecCols[i] = o.Cols

@@ -32,10 +32,13 @@ func (l *level) len() int { return len(l.pts) }
 // wsGet serves a rows×cols matrix from ws when inference runs in workspace
 // mode, falling back to a fresh allocation (ws == nil: training, or a network
 // without a workspace attached).
+//
+//edgepc:hotpath
 func wsGet(ws *tensor.Workspace, rows, cols int) *tensor.Matrix {
 	if ws != nil {
 		return ws.Get(rows, cols)
 	}
+	//edgepc:lint-ignore hotpathalloc deliberate fallback when no workspace is attached (training mode)
 	return tensor.New(rows, cols)
 }
 
@@ -49,6 +52,8 @@ func wsPut(ws *tensor.Workspace, m *tensor.Matrix) {
 }
 
 // coordMatrix converts points to an N×3 float32 feature matrix.
+//
+//edgepc:hotpath
 func coordMatrix(ws *tensor.Workspace, pts []geom.Point3) *tensor.Matrix {
 	m := wsGet(ws, len(pts), 3)
 	for i, p := range pts {
@@ -63,6 +68,8 @@ func coordMatrix(ws *tensor.Workspace, pts []geom.Point3) *tensor.Matrix {
 // inputFeatures builds the level-0 feature matrix: coordinates, optionally
 // concatenated with the cloud's own per-point features (RGB, intensity, …),
 // whose width must match extraDim.
+//
+//edgepc:hotpath
 func inputFeatures(ws *tensor.Workspace, pts []geom.Point3, feat []float32, featDim, extraDim int) (*tensor.Matrix, error) {
 	coords := coordMatrix(ws, pts)
 	if extraDim == 0 {
@@ -87,6 +94,8 @@ func inputFeatures(ws *tensor.Workspace, pts []geom.Point3, feat []float32, feat
 // (a sampled point) and neighbor slot j, row q*k+j holds
 // [neighbor − center (3) | neighbor features (C)].
 // nbr is flat q-major with indexes into the parent level.
+//
+//edgepc:hotpath
 func buildGroupedSA(ws *tensor.Workspace, parentPts []geom.Point3, parentFeats *tensor.Matrix, centers []geom.Point3, nbr []int, k int) (*tensor.Matrix, error) {
 	q := len(centers)
 	if len(nbr) != q*k {
@@ -133,6 +142,8 @@ func groupedSABackward(grad *tensor.Matrix, nbr []int, parentRows, parentCols in
 
 // buildGroupedEdge materializes the DGCNN EdgeConv grouping: row i*k+j holds
 // [f_i | f_j − f_i] for neighbor j of point i. nbr indexes the same level.
+//
+//edgepc:hotpath
 func buildGroupedEdge(ws *tensor.Workspace, feats *tensor.Matrix, nbr []int, k int) (*tensor.Matrix, error) {
 	n := feats.Rows
 	if len(nbr) != n*k {
@@ -186,14 +197,19 @@ func groupedEdgeBackward(grad *tensor.Matrix, nbr []int, n, c int) (*tensor.Matr
 // feats), the SOTA searcher of DGCNN's deeper EdgeConv modules where
 // "distance between points are measured using the features" (§5.2.3). The
 // query set is all rows; self is included as the first neighbor. O(N²·C).
+//
+//edgepc:hotpath
 func featKNN(feats *tensor.Matrix, k int) []int {
 	n := feats.Rows
 	if k > n {
 		k = n
 	}
+	//edgepc:lint-ignore hotpathalloc known per-frame O(N·k) index buffer; candidate for future workspace management
 	out := make([]int, n*k)
 	parallel.ForChunks(n, func(lo, hi int) {
+		//edgepc:lint-ignore hotpathalloc per-chunk heap scratch, O(k), a handful per frame
 		d := make([]float64, k)
+		//edgepc:lint-ignore hotpathalloc per-chunk heap scratch, O(k), a handful per frame
 		idx := make([]int, k)
 		for i := lo; i < hi; i++ {
 			fi := feats.Row(i)

@@ -64,6 +64,8 @@ func (n *PointNetVanilla) Params() []*nn.Param {
 }
 
 // Forward runs one cloud through the network; logits have a single row.
+//
+//edgepc:hotpath
 func (n *PointNetVanilla) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, error) {
 	if cloud.Len() == 0 {
 		return nil, fmt.Errorf("model: empty cloud")

@@ -34,6 +34,10 @@ type SAModule struct {
 	Strat  ModuleStrategy
 
 	cache saCache
+	// centersBuf backs the sampled-center slice across frames; the level
+	// handed to the next module aliases it, which is safe because levels live
+	// at most one frame (training's cached levels never read pts in backward).
+	centersBuf []geom.Point3
 }
 
 type saCache struct {
@@ -53,6 +57,8 @@ func clampK(k, n int) int {
 // forward consumes the parent level and produces the sampled level. ws is the
 // network's inference workspace (nil when training or when the network runs
 // without buffer reuse); train and ws != nil are mutually exclusive.
+//
+//edgepc:hotpath
 func (m *SAModule) forward(parent *level, layer int, trace *Trace, train bool, ws *tensor.Workspace) (*level, error) {
 	n := parent.len()
 	nOut := int(float64(n)*m.Frac + 0.5)
@@ -87,7 +93,11 @@ func (m *SAModule) forward(parent *level, layer int, trace *Trace, train bool, w
 	}
 	trace.Add(StageRecord{Stage: StageSample, Layer: layer, Algo: sampleAlgo, N: n, Q: nOut, Dur: dur})
 
-	centers := make([]geom.Point3, nOut)
+	if cap(m.centersBuf) < nOut {
+		//edgepc:lint-ignore hotpathalloc cap-guarded grow; steady-state frames reuse the buffer
+		m.centersBuf = make([]geom.Point3, nOut)
+	}
+	centers := m.centersBuf[:nOut]
 	for i, s := range sel {
 		centers[i] = parent.pts[s]
 	}
@@ -160,6 +170,7 @@ func (m *SAModule) forward(parent *level, layer int, trace *Trace, train bool, w
 			wsPut(ws, y)
 			return nil
 		}
+		//edgepc:lint-ignore hotpathalloc training / no-workspace fallback; backward needs the argmax this variant returns
 		feats, argmax, e = tensor.MaxPoolGroups(y, k)
 		return e
 	})
@@ -216,6 +227,8 @@ type fpCache struct {
 
 // forward interpolates coarseFeats (features at the coarse level) onto the
 // fine level and fuses them with the fine level's own features.
+//
+//edgepc:hotpath
 func (m *FPModule) forward(fine, coarse *level, coarseFeats *tensor.Matrix, layer int, trace *Trace, train bool, ws *tensor.Workspace) (*tensor.Matrix, error) {
 	// --- Interpolation planning (the up-sampling stage of Fig. 9) ---
 	var plan *sample.InterpPlan
@@ -520,6 +533,8 @@ func (n *PointNetPP) workspace(train bool) *tensor.Workspace {
 // (train=false) serve all intermediate activations from a per-network
 // workspace; the returned logits are cloned out of it, so an Output remains
 // valid across subsequent Forward calls.
+//
+//edgepc:hotpath
 func (n *PointNetPP) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, error) {
 	if cloud.Len() == 0 {
 		return nil, fmt.Errorf("model: empty cloud")
@@ -554,6 +569,7 @@ func (n *PointNetPP) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Outp
 		if err != nil {
 			return nil, err
 		}
+		//edgepc:lint-ignore hotpathalloc O(depth) level headers per frame, noise next to the feature matrices
 		levels = append(levels, next)
 		lv = next
 	}
@@ -592,6 +608,7 @@ func (n *PointNetPP) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Outp
 		// Detach the result from the workspace so the Output survives the
 		// next frame's Reset.
 		if ws.Owns(logits) {
+			//edgepc:lint-ignore hotpathalloc deliberate: the Output contract requires logits to outlive the frame
 			logits = logits.Clone()
 		}
 	}

@@ -83,6 +83,8 @@ func (e *Encoder) voxel(v, min float64) uint32 {
 }
 
 // Code returns the Morton code of a single point.
+//
+//edgepc:hotpath
 func (e *Encoder) Code(p geom.Point3) uint64 {
 	return Encode3(e.voxel(p.X, e.Min.X), e.voxel(p.Y, e.Min.Y), e.voxel(p.Z, e.Min.Z))
 }
@@ -90,9 +92,12 @@ func (e *Encoder) Code(p geom.Point3) uint64 {
 // EncodeCloud computes the Morton code of every point. This is the paper's
 // MC_Gen (Algorithm 1, lines 1–6): every iteration is independent, so the
 // loop runs fully parallel. If dst has capacity it is reused.
+//
+//edgepc:hotpath
 func (e *Encoder) EncodeCloud(c *geom.Cloud, dst []uint64) []uint64 {
 	n := c.Len()
 	if cap(dst) < n {
+		//edgepc:lint-ignore hotpathalloc cap-guarded grow; steady-state frames pass a reused dst
 		dst = make([]uint64, n)
 	}
 	dst = dst[:n]

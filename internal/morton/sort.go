@@ -16,6 +16,8 @@ import (
 // Order returns the stable sorted order of codes: a permutation perm such
 // that codes[perm[j]] is non-decreasing in j, with ties broken by original
 // index. It is the package's default (radix) implementation.
+//
+//edgepc:hotpath
 func Order(codes []uint64) []int {
 	return RadixOrder(codes)
 }
@@ -25,8 +27,11 @@ func Order(codes []uint64) []int {
 // 32-bit code pays only four passes. Above the parallel threshold the
 // counting and scatter passes split the keys across workers (see
 // radixOrderParallel); the result is identical to the serial sort.
+//
+//edgepc:hotpath
 func RadixOrder(codes []uint64) []int {
 	n := len(codes)
+	//edgepc:lint-ignore hotpathalloc the permutation is the result and must be fresh per call; candidate for a caller-provided buffer
 	perm := make([]int, n)
 	for i := range perm {
 		perm[i] = i
@@ -43,6 +48,7 @@ func RadixOrder(codes []uint64) []int {
 	}
 	varying := orAll ^ andAll
 
+	//edgepc:lint-ignore hotpathalloc O(N) scatter scratch, one per sort; candidate for a caller-provided buffer
 	buf := make([]int, n)
 	if workers := parallel.Workers(n); workers > 1 {
 		return radixOrderParallel(codes, perm, buf, varying, workers)
@@ -81,7 +87,10 @@ func RadixOrder(codes []uint64) []int {
 // worker scatters its chunk using only its own cursors. Output slots are
 // therefore written exactly once (no races) and chunks are processed in
 // worker order within each digit, preserving the LSD sort's stability.
+//
+//edgepc:hotpath
 func radixOrderParallel(codes []uint64, perm, buf []int, varying uint64, workers int) []int {
+	//edgepc:lint-ignore hotpathalloc one 1KiB histogram per worker per sort, negligible next to the O(N) passes
 	counts := make([][256]int, workers)
 	for shift := uint(0); shift < 64; shift += 8 {
 		if (varying>>shift)&0xff == 0 {

@@ -21,8 +21,8 @@ func TestRadixOrderParallelMatchesStdOrder(t *testing.T) {
 		n    int
 		vals int // distinct code count; small → many duplicates
 	}{
-		{2049, 7},      // just above the parallel threshold, duplicate-heavy
-		{10000, 13},    // duplicate-heavy
+		{2049, 7},        // just above the parallel threshold, duplicate-heavy
+		{10000, 13},      // duplicate-heavy
 		{10000, 1 << 30}, // mostly distinct, multiple varying bytes
 	}
 	for _, c := range cases {

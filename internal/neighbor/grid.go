@@ -187,6 +187,7 @@ func (g GridSearch) radiusQuery(gr *grid, points []geom.Point3, p geom.Point3, k
 	if len(*found) == 0 {
 		// Fall back to the nearest point seen; if the rings were all empty,
 		// widen until something is found (the cloud is non-empty).
+		//edgepc:lint-ignore floateq nearestD is exactly +Inf until the first candidate is seen; only finite distances are ever assigned
 		if nearestD == inf {
 			for ring := rings + 1; ring <= gr.maxRing(); ring++ {
 				gr.ring(center, ring, func(i int32) {

@@ -31,6 +31,8 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 func (l *Linear) SetWorkspace(ws *tensor.Workspace) { l.ws = ws }
 
 // Forward implements Layer.
+//
+//edgepc:hotpath
 func (l *Linear) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
 	if train {
 		l.x = x
@@ -41,6 +43,7 @@ func (l *Linear) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
 		y = l.ws.Get(x.Rows, l.W.Value.Cols)
 		err = tensor.MatMulInto(y, x, l.W.Value)
 	} else {
+		//edgepc:lint-ignore hotpathalloc training / no-workspace fallback; the eval branch above uses MatMulInto
 		y, err = tensor.MatMul(x, l.W.Value)
 	}
 	if err != nil {
@@ -90,6 +93,8 @@ type ReLU struct {
 func (r *ReLU) SetWorkspace(ws *tensor.Workspace) { r.ws = ws }
 
 // Forward implements Layer.
+//
+//edgepc:hotpath
 func (r *ReLU) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
 	if !train && r.ws != nil {
 		// Inference workspace mode: rectify workspace-owned inputs in place
@@ -107,9 +112,11 @@ func (r *ReLU) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
 		}
 		return out, nil
 	}
+	//edgepc:lint-ignore hotpathalloc training / no-workspace fallback; the eval branch above rectifies in place
 	out := x.Clone()
 	if train {
 		if cap(r.mask) < len(out.Data) {
+			//edgepc:lint-ignore hotpathalloc train-only mask buffer with a cap-guarded grow
 			r.mask = make([]bool, len(out.Data))
 		}
 		r.mask = r.mask[:len(out.Data)]
@@ -253,6 +260,8 @@ func (bn *BatchNorm) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, erro
 // and per-element arithmetic as the allocating path (bit-identical output),
 // but activations and scratch come from the workspace and x̂ is never
 // materialized (no backward pass will consume it).
+//
+//edgepc:hotpath
 func (bn *BatchNorm) forwardWS(x *tensor.Matrix) (*tensor.Matrix, error) {
 	c := x.Cols
 	out := bn.ws.Get(x.Rows, c)
@@ -412,6 +421,8 @@ func (s *Sequential) SetWorkspace(ws *tensor.Workspace) {
 }
 
 // Forward implements Layer.
+//
+//edgepc:hotpath
 func (s *Sequential) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
 	cur := x
 	for i, l := range s.Layers {

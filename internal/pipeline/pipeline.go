@@ -240,6 +240,8 @@ func SimConfig(w Workload, kind ConfigKind, opts Options) edgesim.Config {
 // per-frame allocation count is small and independent of network depth. The
 // returned Output is detached from the workspace (logits are cloned out) and
 // stays valid across subsequent Run calls on the same net.
+//
+//edgepc:hotpath
 func Run(net Net, cloud *geom.Cloud, dev *edgesim.Device, cfg edgesim.Config) (*model.Trace, edgesim.Report, *model.Output, error) {
 	trace := &model.Trace{}
 	out, err := net.Forward(cloud, trace, false)
@@ -264,6 +266,8 @@ type BatchResult struct {
 // and aggregating — the streaming counterpart of the analytic batch model
 // (see edgesim.Config.Batch). Frame N+1 reuses frame N's workspace buffers,
 // so the loop allocates little beyond the Outputs it returns.
+//
+//edgepc:hotpath
 func RunBatch(net Net, frames []*geom.Cloud, dev *edgesim.Device, cfg edgesim.Config) (BatchResult, error) {
 	cfg.Batch = 1
 	var res BatchResult
@@ -272,6 +276,7 @@ func RunBatch(net Net, frames []*geom.Cloud, dev *edgesim.Device, cfg edgesim.Co
 		if err != nil {
 			return res, fmt.Errorf("pipeline: frame %d: %w", i, err)
 		}
+		//edgepc:lint-ignore hotpathalloc the accumulated Outputs are the function's result, one header per frame
 		res.Outputs = append(res.Outputs, out)
 		res.Total += rep.Total
 		res.EnergyJ += rep.EnergyJ

@@ -63,6 +63,7 @@ func (m *Matrix) Equal(o *Matrix) bool {
 		return false
 	}
 	for i, v := range m.Data {
+		//edgepc:lint-ignore floateq Equal is the bit-identity primitive the golden tests are built on
 		if v != o.Data[i] {
 			return false
 		}

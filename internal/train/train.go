@@ -120,6 +120,7 @@ func Run(net pipeline.Net, ds dataset.Dataset, trainIdx, testIdx []int, cfg Conf
 				bestSnap = snapshot(params, bestSnap)
 			}
 		}
+		//edgepc:lint-ignore floateq LRDecay of exactly 1 is the documented no-decay sentinel
 		if cfg.LRDecay > 0 && cfg.LRDecay != 1 {
 			opt.LR *= cfg.LRDecay
 		}

@@ -1,0 +1,51 @@
+package edgepc_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestLintSmoke drives the edgepc-lint binary end to end, the way ci.sh
+// invokes it: a known-bad fixture package must produce diagnostics and exit
+// nonzero, and a clean fixture must exit zero. The hotpathalloc failure mode
+// is demonstrated here on a fixture, never by breaking the production tree.
+func TestLintSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	t.Run("bad-fixture-fails", func(t *testing.T) {
+		out, err := exec.Command("go", "run", "./cmd/edgepc-lint",
+			"./internal/lint/testdata/src/hotpath_bad").CombinedOutput()
+		if err == nil {
+			t.Fatalf("expected nonzero exit on hotpath_bad:\n%s", out)
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("go run failed to execute: %v\n%s", err, out)
+		}
+		if code := ee.ExitCode(); code != 1 {
+			t.Fatalf("exit code %d, want 1 (findings)\n%s", code, out)
+		}
+		text := string(out)
+		for _, want := range []string{
+			"[hotpathalloc]",
+			"tensor.MatMul allocates on a //edgepc:hotpath function",
+			"hotpath_bad.go:",
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("output lacks %q:\n%s", want, text)
+			}
+		}
+	})
+	t.Run("clean-fixture-passes", func(t *testing.T) {
+		out, err := exec.Command("go", "run", "./cmd/edgepc-lint",
+			"./internal/lint/testdata/src/hotpath_clean").CombinedOutput()
+		if err != nil {
+			t.Fatalf("expected exit 0 on hotpath_clean: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "clean") {
+			t.Errorf("output lacks clean summary:\n%s", out)
+		}
+	})
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Tier-1+ gate: everything the repo promises must stay green, plus the
-# race-detector pass over the packages with goroutine-parallel kernels and a
-# one-iteration benchmark smoke so the hot-path benchmarks can never rot.
+# Tier-1+ gate: everything the repo promises must stay green, plus formatting
+# and static invariants, the race-detector pass over the packages with
+# goroutine-parallel kernels, and a one-iteration benchmark smoke so the
+# hot-path benchmarks can never rot.
 #
 # Usage: scripts/ci.sh
 
@@ -9,14 +10,25 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "== go vet ./... =="
 go vet ./...
 
 echo "== go build ./... =="
 go build ./...
 
+echo "== edgepc-lint ./... (static invariants; see DESIGN.md §7) =="
+go run ./cmd/edgepc-lint ./...
+
 echo "== go test -race (parallel kernels + workspace hot path) =="
-go test -race ./internal/tensor/... ./internal/parallel/... ./internal/morton/... ./internal/pipeline/...
+go test -race ./internal/tensor/... ./internal/parallel/... ./internal/morton/... ./internal/pipeline/... ./internal/nn/... ./internal/model/...
 
 echo "== go test ./... =="
 go test ./...
