@@ -1,0 +1,166 @@
+// Command edgepc-serve runs the concurrent batched inference engine
+// (internal/serve) against a Table 1 workload: it builds a pool of
+// weight-sharing model replicas, drives synthetic frames through the bounded
+// queue from concurrent clients, and reports the serving metrics — latency
+// quantiles, mean micro-batch size, throughput, and the backpressure /
+// deadline counters.
+//
+// Usage:
+//
+//	edgepc-serve -workload W1 -config S+N -workers 2 -frames 64 -clients 4
+//	edgepc-serve -quick -workload W3 -frames 8          # laptop-scale smoke
+//
+// -quick shrinks the model and cloud far below the paper's scale so the
+// command completes in seconds on a development machine.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/pipeline"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "W1", "Table 1 workload id (W1..W6)")
+		config   = flag.String("config", "S+N", "execution config: baseline | S+N | S+N+F")
+		workers  = flag.Int("workers", 2, "worker pool size (one model replica each)")
+		queue    = flag.Int("queue", 0, "submission queue depth (0: 4x workers)")
+		batch    = flag.Int("batch", 8, "max frames per micro-batch (1 disables batching)")
+		window   = flag.Duration("window", 500*time.Microsecond, "micro-batch straggler wait")
+		timeout  = flag.Duration("timeout", 0, "per-frame deadline (0: none)")
+		frames   = flag.Int("frames", 32, "total frames to serve")
+		clients  = flag.Int("clients", 4, "concurrent submitting clients")
+		seed     = flag.Int64("seed", 1, "model and frame seed")
+		quick    = flag.Bool("quick", false, "laptop-scale model and clouds (smoke mode)")
+	)
+	flag.Parse()
+	if err := run(*workload, *config, *workers, *queue, *batch, *window, *timeout, *frames, *clients, *seed, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "edgepc-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func parseConfig(s string) (pipeline.ConfigKind, error) {
+	switch strings.ToLower(s) {
+	case "baseline":
+		return pipeline.Baseline, nil
+	case "s+n", "sn":
+		return pipeline.SN, nil
+	case "s+n+f", "snf":
+		return pipeline.SNF, nil
+	}
+	return 0, fmt.Errorf("unknown config %q (want baseline, S+N or S+N+F)", s)
+}
+
+func run(workload, config string, workers, queue, batch int, window, timeout time.Duration, frames, clients int, seed int64, quick bool) error {
+	w, err := pipeline.WorkloadByID(workload)
+	if err != nil {
+		return err
+	}
+	kind, err := parseConfig(config)
+	if err != nil {
+		return err
+	}
+	if workers < 1 || clients < 1 || frames < 1 {
+		return fmt.Errorf("workers, clients and frames must be positive")
+	}
+	opts := pipeline.Options{Seed: seed}
+	if quick {
+		w.Points, w.Batch = 256, 1
+		opts.BaseWidth, opts.Depth, opts.Modules = 8, 2, 2
+	}
+	nets, err := pipeline.Replicas(w, kind, opts, workers)
+	if err != nil {
+		return err
+	}
+	engine, err := serve.New(nets, edgesim.JetsonAGXXavier(), pipeline.SimConfig(w, kind, opts), serve.Config{
+		QueueDepth:     queue,
+		MaxBatch:       batch,
+		BatchWindow:    window,
+		DefaultTimeout: timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	// A small pool of distinct frames, reused round-robin: frame generation is
+	// not what this harness measures.
+	nPool := frames
+	if nPool > 8 {
+		nPool = 8
+	}
+	pool := make([]*geom.Cloud, nPool)
+	for i := range pool {
+		if pool[i], err = pipeline.Frame(w, seed+int64(i)); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("edgepc-serve: %s %s, %d workers, %d clients, %d frames (%d points each)\n",
+		w.ID, kind, workers, clients, frames, w.Points)
+
+	var next, okCount, deadlineCount, retries atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(frames) {
+					return
+				}
+				req := serve.Request{Cloud: pool[i%int64(nPool)]}
+				for {
+					_, err := engine.Submit(context.Background(), req)
+					switch {
+					case err == nil:
+						okCount.Add(1)
+					case errors.Is(err, serve.ErrQueueFull):
+						// Backpressure: yield briefly and resubmit.
+						retries.Add(1)
+						time.Sleep(200 * time.Microsecond)
+						continue
+					case errors.Is(err, serve.ErrDeadline):
+						deadlineCount.Add(1)
+					default:
+						firstErr.CompareAndSwap(nil, err)
+					}
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := engine.Close(); err != nil {
+		return err
+	}
+	if e, ok := firstErr.Load().(error); ok {
+		return e
+	}
+
+	s := engine.Stats()
+	fmt.Printf("served %d frames: %d ok, %d deadline-dropped (%d backpressure retries)\n",
+		okCount.Load()+deadlineCount.Load(), okCount.Load(), deadlineCount.Load(), retries.Load())
+	fmt.Printf("latency p50 %v p90 %v p99 %v max %v (window of %d)\n",
+		s.Latency.P50.Round(time.Microsecond), s.Latency.P90.Round(time.Microsecond),
+		s.Latency.P99.Round(time.Microsecond), s.Latency.Max.Round(time.Microsecond), s.Latency.Window)
+	fmt.Printf("batches: %d (mean %.2f frames/batch), throughput %.0f frames/s\n",
+		s.Batches, s.MeanBatch, float64(okCount.Load())/elapsed.Seconds())
+	return nil
+}

@@ -21,6 +21,7 @@ func TestCommandSmoke(t *testing.T) {
 		{"edgepc-sample", []string{"run", "./cmd/edgepc", "sample", "-gen", "sphere", "-points", "400", "-n", "40"}, "coverage radius"},
 		{"edgepc-bench-list", []string{"run", "./cmd/edgepc-bench", "-list"}, "fig13"},
 		{"edgepc-bench-quick", []string{"run", "./cmd/edgepc-bench", "-quick", "table1"}, "W6"},
+		{"edgepc-serve-quick", []string{"run", "./cmd/edgepc-serve", "-quick", "-workload", "W1", "-frames", "6", "-clients", "2", "-workers", "2"}, "served 6 frames"},
 	}
 	for _, c := range cases {
 		c := c
@@ -31,6 +32,38 @@ func TestCommandSmoke(t *testing.T) {
 			}
 			if !strings.Contains(string(out), c.want) {
 				t.Fatalf("%v: output lacks %q:\n%s", c.args, c.want, out)
+			}
+		})
+	}
+}
+
+// TestCommandSmokeFailures: a bad invocation must fail loudly — nonzero exit
+// and a diagnostic on stderr — not serve a default.
+func TestCommandSmokeFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the diagnostic
+	}{
+		{"edgepc-serve-bad-workload", []string{"run", "./cmd/edgepc-serve", "-quick", "-workload", "W9"}, "unknown workload"},
+		{"edgepc-serve-bad-config", []string{"run", "./cmd/edgepc-serve", "-quick", "-config", "turbo"}, "unknown config"},
+		{"edgepc-serve-bad-flag", []string{"run", "./cmd/edgepc-serve", "-no-such-flag"}, "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			out, err := exec.Command("go", c.args...).CombinedOutput()
+			if err == nil {
+				t.Fatalf("%v: expected nonzero exit, got success:\n%s", c.args, out)
+			}
+			if _, ok := err.(*exec.ExitError); !ok {
+				t.Fatalf("%v: did not run: %v", c.args, err)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("%v: diagnostic lacks %q:\n%s", c.args, c.want, out)
 			}
 		})
 	}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyWindowQuantiles(t *testing.T) {
+	w := NewLatencyWindow(100)
+	for i := 1; i <= 100; i++ {
+		w.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := w.Snapshot()
+	if s.Count != 100 || s.Window != 100 {
+		t.Fatalf("count=%d window=%d, want 100/100", s.Count, s.Window)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", s.P50)
+	}
+	if s.P90 != 90*time.Millisecond {
+		t.Fatalf("p90 = %v, want 90ms", s.P90)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Fatalf("max = %v, want 100ms", s.Max)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Fatalf("mean = %v, want 50.5ms", s.Mean)
+	}
+}
+
+func TestLatencyWindowSlides(t *testing.T) {
+	w := NewLatencyWindow(4)
+	for i := 1; i <= 10; i++ {
+		w.Observe(time.Duration(i) * time.Second)
+	}
+	s := w.Snapshot()
+	if s.Count != 10 {
+		t.Fatalf("all-time count = %d, want 10", s.Count)
+	}
+	if s.Window != 4 {
+		t.Fatalf("window = %d, want 4", s.Window)
+	}
+	// Only the last 4 samples (7..10s) remain.
+	if s.P50 != 8*time.Second || s.Max != 10*time.Second {
+		t.Fatalf("p50=%v max=%v, want 8s/10s", s.P50, s.Max)
+	}
+}
+
+func TestLatencyWindowEmpty(t *testing.T) {
+	s := NewLatencyWindow(0).Snapshot()
+	if s.Count != 0 || s.Window != 0 || s.P99 != 0 || s.Mean != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
+func TestLatencyWindowConcurrent(t *testing.T) {
+	w := NewLatencyWindow(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w.Observe(time.Duration(g*200+i) * time.Microsecond)
+				if i%50 == 0 {
+					w.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := w.Snapshot(); s.Count != 1600 || s.Window != 64 {
+		t.Fatalf("count=%d window=%d, want 1600/64", s.Count, s.Window)
+	}
+}

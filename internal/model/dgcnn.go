@@ -155,6 +155,13 @@ const (
 
 // DGCNN is the EdgeConv network of Fig. 2b with per-layer strategy selection
 // and the paper's neighbor-index reuse across modules.
+//
+// Concurrency: a DGCNN is NOT safe for concurrent use — Forward mutates the
+// per-net workspace, the layer caches and the neighbor-reuse cache.
+// Eval-mode Forward (train=false) only *reads* the trainable weights, so
+// weight-sharing replicas (pipeline.Replicas / nn.ShareParams) may run
+// concurrently, one replica per goroutine (internal/serve). Training mutates
+// weights and must own them exclusively.
 type DGCNN struct {
 	EC          []*EdgeConvModule
 	Embed       *nn.Sequential // fuses the concatenated EC outputs

@@ -339,6 +339,14 @@ func isAscending(a []int) bool {
 // PointNetPP is the PointNet++ semantic-segmentation network of Fig. 2a:
 // Depth SetAbstraction modules followed by Depth FeaturePropagation modules
 // and a per-point classification head.
+//
+// Concurrency: a PointNetPP is NOT safe for concurrent use — Forward mutates
+// the per-net workspace and layer caches. Eval-mode Forward (train=false)
+// only *reads* the trainable weights, so replicas whose Param.Value matrices
+// alias the same storage (pipeline.Replicas / nn.ShareParams) may run
+// concurrently, one replica per goroutine; that is the serving deployment
+// shape (internal/serve). Training mutates weights and must own them
+// exclusively.
 type PointNetPP struct {
 	SA   []*SAModule
 	FP   []*FPModule // FP[i] refines level Depth−i → Depth−1−i

@@ -1,0 +1,66 @@
+package neighbor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzGridSearch throws arbitrary point/query counts, k, cell sizes and radii
+// at the grid searcher. Contract under fuzz: either an error (never a panic),
+// or a result of exactly len(queries)*k indexes, each a valid position into
+// points. Cell size and radius are clamped to a sane band — a degenerate cell
+// (1e-30) would make ring enumeration astronomically large, which is a
+// configuration error, not a search bug.
+func FuzzGridSearch(f *testing.F) {
+	f.Add(int64(1), uint8(12), uint8(5), uint8(3), float32(0), float32(0))
+	f.Add(int64(2), uint8(40), uint8(8), uint8(8), float32(1.5), float32(0))
+	f.Add(int64(3), uint8(0), uint8(4), uint8(2), float32(0.5), float32(0))  // no points
+	f.Add(int64(4), uint8(6), uint8(0), uint8(3), float32(2), float32(1))    // no queries, ball mode
+	f.Add(int64(5), uint8(3), uint8(3), uint8(5), float32(0.5), float32(0))  // k > N
+	f.Add(int64(6), uint8(30), uint8(6), uint8(4), float32(4), float32(3.5)) // coarse ball
+
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, qRaw, kRaw uint8, cellRaw, rRaw float32) {
+		nPts := int(nRaw) % 65
+		nQ := int(qRaw) % 17
+		k := int(kRaw) % 17
+		cell := float64(cellRaw)
+		if math.IsNaN(cell) || math.IsInf(cell, 0) || cell < 0 {
+			cell = 0
+		}
+		if cell > 0 {
+			cell = 0.5 + math.Mod(cell, 4) // [0.5, 4.5): bounded ring counts
+		}
+		r := float64(rRaw)
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			r = 0
+		}
+		if r > 0 {
+			r = math.Mod(r, 4) // ball radius [0, 4)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		coord := func() float64 { return float64(rng.Intn(256))/8 - 16 } // [-16, 16)
+		points := make([]geom.Point3, nPts)
+		for i := range points {
+			points[i] = geom.Point3{X: coord(), Y: coord(), Z: coord()}
+		}
+		queries := make([]geom.Point3, nQ)
+		for i := range queries {
+			queries[i] = geom.Point3{X: coord(), Y: coord(), Z: coord()}
+		}
+		out, err := GridSearch{CellSize: cell, R: r}.Search(points, queries, k)
+		if err != nil {
+			return // invalid configuration rejected cleanly
+		}
+		if len(out) != nQ*k {
+			t.Fatalf("got %d indexes for %d queries × k=%d", len(out), nQ, k)
+		}
+		for i, idx := range out {
+			if idx < 0 || idx >= nPts {
+				t.Fatalf("result %d: index %d out of range [0,%d)", i, idx, nPts)
+			}
+		}
+	})
+}

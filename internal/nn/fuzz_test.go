@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fuzzNet builds the fixed network shape every FuzzLoadParams input is decoded
+// into (the format ties a stream to a network layout, so the layout is part of
+// the target).
+func fuzzNet(seed int64) []*Param {
+	return NewSharedMLP("f", []int{3, 4}, rand.New(rand.NewSource(seed))).Params()
+}
+
+// FuzzLoadParams: LoadParams must reject arbitrary bytes with an error, never
+// a panic or an unbounded allocation, and any stream it accepts must be a
+// stable round-trip: re-encoding the decoded values and decoding again
+// reproduces the same bits (decode∘encode is the identity on decoded state).
+func FuzzLoadParams(f *testing.F) {
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, fuzzNet(1)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(append([]byte{}, valid...))                // well-formed stream
+	f.Add(append([]byte{}, valid[:9]...))            // truncated after header
+	f.Add(append([]byte{}, valid[:len(valid)-3]...)) // truncated mid-data
+	bad := append([]byte{}, valid...)
+	bad[0] = 'X'
+	f.Add(bad) // bad magic
+	ver := append([]byte{}, valid...)
+	ver[4] = 9
+	f.Add(ver)            // unsupported version
+	f.Add([]byte{})       // empty
+	f.Add([]byte("EPNN")) // magic only
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst := fuzzNet(2)
+		if err := LoadParams(bytes.NewReader(data), dst); err != nil {
+			return // rejected cleanly — the only requirement for bad input
+		}
+		var out bytes.Buffer
+		if err := SaveParams(&out, dst); err != nil {
+			t.Fatalf("re-encode of accepted stream: %v", err)
+		}
+		dst2 := fuzzNet(3)
+		if err := LoadParams(bytes.NewReader(out.Bytes()), dst2); err != nil {
+			t.Fatalf("re-decode of re-encoded stream: %v", err)
+		}
+		for i, p := range dst {
+			q := dst2[i]
+			for j := range p.Value.Data {
+				if math.Float32bits(p.Value.Data[j]) != math.Float32bits(q.Value.Data[j]) {
+					t.Fatalf("round-trip changed %s[%d]: %x != %x",
+						p.Name, j, math.Float32bits(p.Value.Data[j]), math.Float32bits(q.Value.Data[j]))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package nn
+
+import "fmt"
+
+// ShareParams re-points every parameter of dst at the corresponding value
+// matrix of src, so the two networks read the same weight memory. It is the
+// mechanism behind concurrent serving replicas (internal/serve): each worker
+// goroutine owns a private network — private workspace, private layer caches,
+// private BatchNorm running statistics — while the heavyweight weights exist
+// once per process and are never written on the inference path (eval Forward
+// only reads Param.Value; Dropout is the identity and BatchNorm normalizes
+// with the current input's statistics).
+//
+// Gradients stay private: a replica can still be trained independently after
+// sharing, though doing so while other replicas serve would race — sharing is
+// for read-only deployment, and callers that retrain must rebuild replicas.
+//
+// Parameters are matched positionally and must agree in name and shape —
+// sharing across differently constructed networks is an error, not silent
+// corruption. On error dst is left untouched.
+func ShareParams(dst, src []*Param) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("nn: share %d parameters into %d", len(src), len(dst))
+	}
+	for i, d := range dst {
+		s := src[i]
+		if d.Name != s.Name {
+			return fmt.Errorf("nn: parameter %d is %q in dst, %q in src", i, d.Name, s.Name)
+		}
+		if d.Value.Rows != s.Value.Rows || d.Value.Cols != s.Value.Cols {
+			return fmt.Errorf("nn: %s is %dx%d in dst, %dx%d in src",
+				d.Name, d.Value.Rows, d.Value.Cols, s.Value.Rows, s.Value.Cols)
+		}
+	}
+	for i := range dst {
+		dst[i].Value = src[i].Value
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestShareParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewSharedMLP("m", []int{4, 8, 8}, rng)
+	b := NewSharedMLP("m", []int{4, 8, 8}, rand.New(rand.NewSource(2)))
+	pa, pb := a.Params(), b.Params()
+	if err := ShareParams(pb, pa); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pa {
+		if pb[i].Value != pa[i].Value {
+			t.Fatalf("parameter %s not shared", pa[i].Name)
+		}
+		if pb[i].Grad == pa[i].Grad {
+			t.Fatalf("parameter %s gradient must stay private", pa[i].Name)
+		}
+	}
+	// A write through one replica's view is seen by the other (same memory).
+	pa[0].Value.Data[0] = 42
+	if pb[0].Value.Data[0] != 42 {
+		t.Fatal("shared value write not visible through the replica")
+	}
+}
+
+func TestShareParamsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	wrongName := NewSharedMLP("x", []int{4, 8}, rng)
+	wrongShape := NewSharedMLP("m", []int{4, 6}, rng)
+	short := NewSharedMLP("m", []int{4, 8, 8}, rng)
+	for name, other := range map[string]*Sequential{
+		"name": wrongName, "shape": wrongShape, "count": short,
+	} {
+		dst := NewSharedMLP("m", []int{4, 8}, rng).Params()
+		orig := make([]*tensor.Matrix, len(dst))
+		for i, p := range dst {
+			orig[i] = p.Value
+		}
+		if err := ShareParams(dst, other.Params()); err == nil {
+			t.Fatalf("%s mismatch not detected", name)
+		}
+		for i, p := range dst {
+			if orig[i] != p.Value {
+				t.Fatalf("%s mismatch mutated dst before failing", name)
+			}
+		}
+	}
+}

@@ -244,11 +244,35 @@ func SimConfig(w Workload, kind ConfigKind, opts Options) edgesim.Config {
 //edgepc:hotpath
 func Run(net Net, cloud *geom.Cloud, dev *edgesim.Device, cfg edgesim.Config) (*model.Trace, edgesim.Report, *model.Output, error) {
 	trace := &model.Trace{}
-	out, err := net.Forward(cloud, trace, false)
+	rep, out, err := RunInto(net, cloud, trace, dev, cfg)
 	if err != nil {
 		return nil, edgesim.Report{}, nil, err
 	}
-	return trace, dev.PriceTrace(trace, cfg), out, nil
+	return trace, rep, out, nil
+}
+
+// RunInto is the reentrant per-worker form of Run: the caller owns the Trace
+// and reuses it across frames (it is Reset here), so a long-lived serving
+// worker appends stage records into the same backing array every frame
+// instead of growing a fresh one. A nil dev skips the cost model and returns
+// a zero Report — the mode for serving paths that only want logits.
+//
+// Reentrancy contract: distinct (net, trace) pairs may call RunInto
+// concurrently — each net owns its workspace and caches — but a single net or
+// trace must never be shared between goroutines (see internal/serve, which
+// pins one replica per worker).
+//
+//edgepc:hotpath
+func RunInto(net Net, cloud *geom.Cloud, trace *model.Trace, dev *edgesim.Device, cfg edgesim.Config) (edgesim.Report, *model.Output, error) {
+	trace.Reset()
+	out, err := net.Forward(cloud, trace, false)
+	if err != nil {
+		return edgesim.Report{}, nil, err
+	}
+	if dev == nil {
+		return edgesim.Report{}, out, nil
+	}
+	return dev.PriceTrace(trace, cfg), out, nil
 }
 
 // BatchResult aggregates a RunBatch stream.

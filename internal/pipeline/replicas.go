@@ -1,0 +1,40 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// Replicas constructs n networks for the same workload/configuration whose
+// trainable parameters share backing storage (nn.ShareParams): replica 0 is
+// built normally and every further replica's Param.Value matrices are
+// re-pointed at replica 0's. The weights therefore exist once per process
+// while everything mutable per frame — tensor workspace, layer caches,
+// DGCNN reuse cache, BatchNorm running statistics — stays private per
+// replica, which is exactly the split concurrent serving needs: one replica
+// per worker goroutine, zero cross-worker synchronization on the hot path.
+//
+// Loading trained weights into replica 0 (nn.LoadParams writes in place)
+// updates every replica; do it before serving starts. Training any replica
+// while others serve would race on the shared values — replicas are for
+// inference.
+func Replicas(w Workload, kind ConfigKind, opts Options, n int) ([]Net, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("pipeline: need at least 1 replica, got %d", n)
+	}
+	nets := make([]Net, n)
+	for i := range nets {
+		net, err := Build(w, kind, opts)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: replica %d: %w", i, err)
+		}
+		if i > 0 {
+			if err := nn.ShareParams(net.Params(), nets[0].Params()); err != nil {
+				return nil, fmt.Errorf("pipeline: replica %d: %w", i, err)
+			}
+		}
+		nets[i] = net
+	}
+	return nets, nil
+}

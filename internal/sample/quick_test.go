@@ -1,0 +1,32 @@
+package sample
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickUniformIndexes: for every 1 ≤ n ≤ total, stride sampling returns
+// exactly n strictly increasing (hence unique) in-range positions, always
+// covering position 0, and covering total-1 whenever n ≥ 2 — the endpoint
+// guarantee the Morton sampler's Fig. 8(b) semantics require.
+func TestQuickUniformIndexes(t *testing.T) {
+	prop := func(a, b uint16) bool {
+		total := 1 + int(a)%2000
+		n := 1 + int(b)%total
+		out := UniformIndexes(total, n)
+		if len(out) != n || out[0] != 0 {
+			return false
+		}
+		prev := -1
+		for _, v := range out {
+			if v <= prev || v >= total {
+				return false
+			}
+			prev = v
+		}
+		return n < 2 || out[n-1] == total-1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

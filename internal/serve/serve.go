@@ -1,0 +1,448 @@
+// Package serve is the concurrent batched inference engine: the layer that
+// turns the one-frame-at-a-time pipeline of internal/pipeline into a
+// sustained-traffic server, the deployment shape EdgePC targets (streaming
+// frames on a constrained device, where queueing, deadlines and graceful
+// overload behavior matter as much as per-frame latency).
+//
+// Architecture (DESIGN.md §9):
+//
+//   - A sharded worker pool: each worker goroutine owns one model replica
+//     (weights shared read-only across replicas via nn.ShareParams — see
+//     pipeline.Replicas) and, inside it, one long-lived tensor.Workspace, so
+//     the zero-allocation steady state of the single-frame hot path holds
+//     per goroutine with no cross-worker synchronization.
+//   - A bounded submission queue with reject-on-full backpressure: Submit
+//     never blocks the caller on admission — a full queue returns
+//     ErrQueueFull immediately and the caller sheds or retries.
+//   - Per-request deadlines: a frame whose deadline passed while queued is
+//     dropped with ErrDeadline instead of wasting a worker on a stale result.
+//   - An adaptive micro-batcher: a worker that dequeues a frame coalesces
+//     whatever compatible frames (same Key) are already pending, up to
+//     MaxBatch; if batch-mates were found — evidence of queued load — it
+//     waits up to BatchWindow for stragglers. At low load frames run
+//     immediately with zero added latency; under load batches grow and
+//     amortize per-dispatch overhead.
+//   - Graceful shutdown: Close stops admission, drains every queued frame
+//     through the workers, and returns when all in-flight work is done.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+)
+
+// Engine errors returned by Submit.
+var (
+	// ErrClosed reports a Submit after Close started.
+	ErrClosed = errors.New("serve: engine closed")
+	// ErrQueueFull is the backpressure signal: the bounded submission queue
+	// is at capacity and the frame was rejected without blocking.
+	ErrQueueFull = errors.New("serve: submission queue full")
+	// ErrDeadline reports a frame whose deadline expired before a worker
+	// could run it.
+	ErrDeadline = errors.New("serve: request deadline exceeded")
+)
+
+// Config tunes the engine. The zero value selects sane defaults for every
+// field.
+type Config struct {
+	// QueueDepth bounds the submission queue; a full queue rejects with
+	// ErrQueueFull. Default: 4× the worker count.
+	QueueDepth int
+	// MaxBatch caps how many frames one worker coalesces into a micro-batch.
+	// Default 8; 1 disables batching.
+	MaxBatch int
+	// BatchWindow is the longest a worker waits for batch stragglers once at
+	// least two frames are in hand. Default 500µs; negative disables the
+	// wait (batches still form from already-pending frames).
+	BatchWindow time.Duration
+	// DefaultTimeout is applied to requests that carry no timeout of their
+	// own. Zero means no deadline.
+	DefaultTimeout time.Duration
+	// LatencyWindow is the sample capacity of the latency quantile window
+	// (metrics.DefaultLatencyWindow when zero).
+	LatencyWindow int
+}
+
+func (c *Config) defaults(workers int) {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * workers
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 500 * time.Microsecond
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+}
+
+// Request is one frame submitted for inference.
+type Request struct {
+	// Cloud is the input frame. It must not be mutated until Submit returns:
+	// the forward pass reads it concurrently with the caller.
+	Cloud *geom.Cloud
+	// Key is the batch-compatibility tag: only frames with equal keys share
+	// a micro-batch (frames of the same model/config stream). Callers with a
+	// single stream leave it empty.
+	Key string
+	// Timeout, when positive, bounds this request's total time in the
+	// engine; zero inherits Config.DefaultTimeout.
+	Timeout time.Duration
+}
+
+// Result is the outcome of one served frame.
+type Result struct {
+	// Output holds the logits, detached from the worker's workspace (valid
+	// indefinitely). Nil when Err is set.
+	Output *model.Output
+	// Report is the modelled edge-device cost of the frame (zero when the
+	// engine was built with a nil device).
+	Report edgesim.Report
+	// Err is the per-frame failure, also returned by Submit.
+	Err error
+	// Worker is the pool slot that ran the frame.
+	Worker int
+	// BatchSize is the number of frames in the micro-batch this frame rode
+	// in.
+	BatchSize int
+	// Wait is the time from submission to the worker picking the frame up;
+	// Total is submission to completion.
+	Wait  time.Duration
+	Total time.Duration
+}
+
+// request is the queued form of a Request.
+type request struct {
+	cloud    *geom.Cloud
+	key      string
+	ctx      context.Context
+	deadline time.Time // zero: no deadline
+	enq      time.Time
+	reply    chan Result // buffered (cap 1): workers never block on delivery
+}
+
+// worker is one pool slot: a private net replica (shared weights, private
+// workspace and caches), a reusable trace, and a reusable batch slice.
+type worker struct {
+	id    int
+	net   pipeline.Net
+	trace model.Trace
+	batch []*request
+	carry *request // dequeued frame with a mismatched key, runs next batch
+}
+
+// Engine is the concurrent batched inference engine. Create with New; all
+// methods are safe for concurrent use.
+type Engine struct {
+	cfg     Config
+	dev     *edgesim.Device
+	sim     edgesim.Config
+	workers int
+	queue   chan *request
+
+	mu     sync.RWMutex // guards closed against concurrent queue sends
+	closed bool
+	wg     sync.WaitGroup
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	rejected  atomic.Uint64
+	timedOut  atomic.Uint64
+	canceled  atomic.Uint64
+	batches   atomic.Uint64
+	frames    atomic.Uint64
+	latency   *metrics.LatencyWindow
+}
+
+// New starts an engine with one worker per net. The nets must be independent
+// replicas (pipeline.Replicas builds weight-sharing ones); a single net must
+// never be given twice — each worker assumes exclusive ownership of its
+// replica's workspace and caches. dev may be nil to skip per-frame cost
+// modelling.
+func New(nets []pipeline.Net, dev *edgesim.Device, sim edgesim.Config, cfg Config) (*Engine, error) {
+	if len(nets) == 0 {
+		return nil, fmt.Errorf("serve: need at least one net replica")
+	}
+	for i, n := range nets {
+		if n == nil {
+			return nil, fmt.Errorf("serve: nil net replica %d", i)
+		}
+		for j := 0; j < i; j++ {
+			if nets[j] == n {
+				return nil, fmt.Errorf("serve: net replica %d duplicates replica %d (workers need exclusive replicas)", i, j)
+			}
+		}
+	}
+	cfg.defaults(len(nets))
+	e := &Engine{
+		cfg:     cfg,
+		dev:     dev,
+		sim:     sim,
+		workers: len(nets),
+		queue:   make(chan *request, cfg.QueueDepth),
+		latency: metrics.NewLatencyWindow(cfg.LatencyWindow),
+	}
+	for i, n := range nets {
+		w := &worker{id: i, net: n, batch: make([]*request, 0, cfg.MaxBatch)}
+		e.wg.Add(1)
+		go e.workerLoop(w)
+	}
+	return e, nil
+}
+
+// Submit enqueues one frame and waits for its result. Admission never
+// blocks: a full queue returns ErrQueueFull immediately and a closed engine
+// ErrClosed. The wait for the result is bounded by the request deadline (or
+// ctx); cancelling ctx abandons the frame — a worker will still skip past it
+// but no result is delivered.
+func (e *Engine) Submit(ctx context.Context, req Request) (Result, error) {
+	if req.Cloud == nil || req.Cloud.Len() == 0 {
+		return Result{}, fmt.Errorf("serve: empty cloud")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &request{
+		cloud: req.Cloud,
+		key:   req.Key,
+		ctx:   ctx,
+		enq:   time.Now(),
+		reply: make(chan Result, 1),
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = e.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		r.deadline = r.enq.Add(timeout)
+	}
+	if dl, ok := ctx.Deadline(); ok && (r.deadline.IsZero() || dl.Before(r.deadline)) {
+		r.deadline = dl
+	}
+
+	// The RLock pairs with Close's exclusive section: a send can only race
+	// with close(queue) if a Submit could still see closed == false after
+	// Close set it, which the lock excludes.
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return Result{}, ErrClosed
+	}
+	select {
+	case e.queue <- r:
+		e.mu.RUnlock()
+	default:
+		e.mu.RUnlock()
+		e.rejected.Add(1)
+		return Result{}, ErrQueueFull
+	}
+	e.submitted.Add(1)
+
+	select {
+	case res := <-r.reply:
+		return res, res.Err
+	case <-ctx.Done():
+		e.canceled.Add(1)
+		return Result{}, ctx.Err()
+	}
+}
+
+// workerLoop is one pool goroutine: dequeue, coalesce, run, repeat until the
+// queue is closed and drained.
+func (e *Engine) workerLoop(w *worker) {
+	defer e.wg.Done()
+	for {
+		first := w.carry
+		w.carry = nil
+		if first == nil {
+			var ok bool
+			first, ok = <-e.queue
+			if !ok {
+				return
+			}
+		}
+		w.batch = append(w.batch[:0], first)
+		e.coalesce(w)
+		e.runBatch(w)
+	}
+}
+
+// coalesce grows w.batch with compatible pending frames. Phase 1 drains
+// whatever is immediately queued (no waiting). Phase 2 — only entered when
+// phase 1 found batch-mates, the adaptivity rule — waits up to BatchWindow
+// for stragglers. A frame with a different key ends the batch and is carried
+// into the next one.
+func (e *Engine) coalesce(w *worker) {
+	key := w.batch[0].key
+	for len(w.batch) < e.cfg.MaxBatch {
+		select {
+		case r, ok := <-e.queue:
+			if !ok {
+				return
+			}
+			if r.key != key {
+				w.carry = r
+				return
+			}
+			w.batch = append(w.batch, r)
+		default:
+			if len(w.batch) < 2 || e.cfg.BatchWindow <= 0 {
+				return
+			}
+			e.coalesceWindow(w, key)
+			return
+		}
+	}
+}
+
+// coalesceWindow is coalesce's phase 2: blocking receives under a shared
+// BatchWindow timer.
+func (e *Engine) coalesceWindow(w *worker, key string) {
+	timer := time.NewTimer(e.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(w.batch) < e.cfg.MaxBatch {
+		select {
+		case r, ok := <-e.queue:
+			if !ok {
+				return
+			}
+			if r.key != key {
+				w.carry = r
+				return
+			}
+			w.batch = append(w.batch, r)
+		case <-timer.C:
+			return
+		}
+	}
+}
+
+// runBatch executes every frame of the worker's batch in submission order.
+// Frames run individually through the replica (the batch amortizes dispatch,
+// not compute — each forward already parallelizes internally), so one bad
+// frame fails alone.
+//
+//edgepc:hotpath
+func (e *Engine) runBatch(w *worker) {
+	n := len(w.batch)
+	e.batches.Add(1)
+	e.frames.Add(uint64(n))
+	for i, r := range w.batch {
+		e.runFrame(w, r, n)
+		w.batch[i] = nil // release the request for GC; the slice is reused
+	}
+}
+
+// runFrame is the per-frame worker hot loop: deadline/cancellation gate,
+// then the reentrant pipeline entry point against the worker's private
+// replica and trace. The steady-state allocation profile is the single-frame
+// pipeline's (see BenchmarkServeSteadyState): the request, its reply channel
+// and the detached Output header are the only serve-layer additions.
+//
+//edgepc:hotpath
+func (e *Engine) runFrame(w *worker, r *request, batchSize int) {
+	now := time.Now()
+	if r.ctx.Err() != nil {
+		// Submitter is gone (counted in canceled at Submit); deliver into
+		// the buffered channel for the record and move on.
+		r.reply <- Result{Err: r.ctx.Err(), Worker: w.id, BatchSize: batchSize}
+		return
+	}
+	if !r.deadline.IsZero() && now.After(r.deadline) {
+		e.timedOut.Add(1)
+		e.finish(r, Result{Err: ErrDeadline, Worker: w.id, BatchSize: batchSize, Wait: now.Sub(r.enq)})
+		return
+	}
+	rep, out, err := pipeline.RunInto(w.net, r.cloud, &w.trace, e.dev, e.sim)
+	if err != nil {
+		e.failed.Add(1)
+		e.finish(r, Result{Err: fmt.Errorf("serve: worker %d: %w", w.id, err), Worker: w.id, BatchSize: batchSize, Wait: now.Sub(r.enq)})
+		return
+	}
+	e.completed.Add(1)
+	e.finish(r, Result{Output: out, Report: rep, Worker: w.id, BatchSize: batchSize, Wait: now.Sub(r.enq)})
+}
+
+// finish stamps the end-to-end latency, records it, and delivers the result
+// (never blocking: the reply channel is buffered and read at most once).
+//
+//edgepc:hotpath
+func (e *Engine) finish(r *request, res Result) {
+	res.Total = time.Since(r.enq)
+	e.latency.Observe(res.Total)
+	r.reply <- res
+}
+
+// Close stops admission, drains every queued frame through the workers, and
+// returns once all in-flight work has completed. Queued frames are still
+// served (or dropped via their deadlines); new Submits fail with ErrClosed.
+// A second Close returns ErrClosed.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.queue)
+	e.wg.Wait()
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the engine's counters and latency
+// distribution.
+type Stats struct {
+	Workers  int
+	QueueLen int // frames currently queued
+	QueueCap int
+
+	Submitted uint64 // admitted frames
+	Completed uint64 // frames served successfully
+	Failed    uint64 // frames whose forward pass errored
+	Rejected  uint64 // backpressure rejections (ErrQueueFull)
+	TimedOut  uint64 // frames dropped at their deadline (ErrDeadline)
+	Canceled  uint64 // submitters that abandoned via ctx
+
+	Batches   uint64  // micro-batches executed
+	Frames    uint64  // frames across all batches
+	MeanBatch float64 // Frames / Batches
+
+	Latency metrics.LatencySnapshot // end-to-end submit→completion
+}
+
+// Stats returns a snapshot; safe to call concurrently with serving.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Workers:   e.workers,
+		QueueLen:  len(e.queue),
+		QueueCap:  cap(e.queue),
+		Submitted: e.submitted.Load(),
+		Completed: e.completed.Load(),
+		Failed:    e.failed.Load(),
+		Rejected:  e.rejected.Load(),
+		TimedOut:  e.timedOut.Load(),
+		Canceled:  e.canceled.Load(),
+		Batches:   e.batches.Load(),
+		Frames:    e.frames.Load(),
+		Latency:   e.latency.Snapshot(),
+	}
+	if s.Batches > 0 {
+		s.MeanBatch = float64(s.Frames) / float64(s.Batches)
+	}
+	return s
+}

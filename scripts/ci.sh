@@ -27,13 +27,20 @@ go build ./...
 echo "== edgepc-lint ./... (static invariants; see DESIGN.md §7) =="
 go run ./cmd/edgepc-lint ./...
 
-echo "== go test -race (parallel kernels + workspace hot path) =="
-go test -race ./internal/tensor/... ./internal/parallel/... ./internal/morton/... ./internal/pipeline/... ./internal/nn/... ./internal/model/...
+echo "== go test -race (parallel kernels + workspace hot path + serving) =="
+go test -race ./internal/tensor/... ./internal/parallel/... ./internal/morton/... ./internal/pipeline/... ./internal/nn/... ./internal/model/... ./internal/serve/...
 
 echo "== go test ./... =="
 go test ./...
 
+echo "== fuzz smoke (seed corpus only) =="
+# Plain `go test` already runs every f.Add seed through the fuzz targets;
+# this stage just pins the targets by name so a renamed/deleted one fails
+# loudly instead of silently shrinking coverage.
+go test -run '^Fuzz' ./internal/compress/ ./internal/dataset/ ./internal/nn/ ./internal/neighbor/
+
 echo "== bench smoke (1 iteration) =="
 go test -run '^$' -bench 'BenchmarkPipelineFrameAllocs|BenchmarkMatMulAT' -benchtime=1x -benchmem ./internal/pipeline/ ./internal/tensor/
+go test -run '^$' -bench 'BenchmarkServeSteadyState' -benchtime=1x -benchmem ./internal/serve/
 
 echo "ci: all green"
