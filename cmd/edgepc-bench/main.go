@@ -24,6 +24,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced-size workloads (seconds instead of minutes)")
 	seed := flag.Int64("seed", 1, "seed for all synthetic data")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	stages := flag.Bool("stages", false, "print the per-stage span breakdown (shorthand for the 'stages' experiment)")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array instead of tables")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: edgepc-bench [-quick] [-seed N] [experiment ...]\n\n")
@@ -40,7 +41,26 @@ func main() {
 	}
 
 	var todo []experiments.Experiment
-	if flag.NArg() == 0 {
+	if *stages {
+		e, err := experiments.ByID("stages")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		todo = append(todo, e)
+	}
+	if len(todo) > 0 {
+		// -stages pins the run; positional experiments still append.
+		for _, id := range flag.Args() {
+			e, err := experiments.ByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(os.Stderr, "use -list to see available experiments")
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	} else if flag.NArg() == 0 {
 		todo = experiments.All()
 	} else {
 		for _, id := range flag.Args() {

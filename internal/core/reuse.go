@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Neighbor-index reuse (§5.2.3): in DGCNN, all EdgeConv modules operate on
 // the same point set, and "during the propagation of the CNN model, the
@@ -50,12 +53,24 @@ func (r ReusePolicy) ReuseBufferBytes(queries, k int) int {
 	return queries * k * 4
 }
 
+// ReuseEntry is a cached neighbor-search result: the flat query-major index
+// array, the neighbors per query it was computed with, and the index domain
+// its values refer to. For DGCNN every EdgeConv layer shares one point set,
+// so the domain never changes; for PointNet++ each SA module indexes its own
+// (down-sampled) parent level, so reusing across layers requires projecting
+// the cached indexes into the new domain first.
+type ReuseEntry struct {
+	Nbr    []int
+	K      int
+	Domain int
+}
+
 // ReuseCache carries neighbor results across layers under a policy.
 // The zero value is not ready; use NewReuseCache.
 type ReuseCache struct {
 	policy ReusePolicy
-	last   []int
-	lastK  int
+	last   ReuseEntry
+	valid  bool
 }
 
 // NewReuseCache creates a cache applying the given policy.
@@ -63,21 +78,92 @@ func NewReuseCache(policy ReusePolicy) *ReuseCache {
 	return &ReuseCache{policy: policy}
 }
 
+// Reset forgets the cached result so the cache can serve a new frame.
+func (c *ReuseCache) Reset() {
+	c.last = ReuseEntry{}
+	c.valid = false
+}
+
 // ForLayer returns the neighbor indexes for the given layer: if the policy
 // says this layer computes, compute() is invoked and its result cached;
 // otherwise the cached result is returned. It reports whether a real search
-// ran.
+// ran. All layers share index domain 0 (the DGCNN shape, where every
+// EdgeConv sees the same point set).
 func (c *ReuseCache) ForLayer(layer, k int, compute func() ([]int, error)) ([]int, bool, error) {
-	if c.policy.Computes(layer) || c.last == nil {
-		res, err := compute()
-		if err != nil {
-			return nil, true, err
+	return c.ForLayerIn(layer, k, 0, nil, compute)
+}
+
+// ForLayerIn is the domain-aware form of ForLayer for hierarchical networks
+// whose layers index different point sets (PointNet++ SA modules index their
+// own parent level). domain identifies the point set the layer's indexes
+// refer to. When the cached entry lives in a different domain, adapt — if
+// non-nil — projects it into the current one and the projected result is
+// cached in the new domain (so a reuse distance of 2 projects hop by hop);
+// a nil adapt falls back to a real search. It reports whether a real search
+// ran (false on any reuse, projected or not).
+func (c *ReuseCache) ForLayerIn(layer, k, domain int, adapt func(ReuseEntry) ([]int, error), compute func() ([]int, error)) ([]int, bool, error) {
+	if !c.policy.Computes(layer) && c.valid {
+		if c.last.Domain == domain {
+			if k != c.last.K {
+				return nil, false, fmt.Errorf("core: reuse with k=%d but cached k=%d", k, c.last.K)
+			}
+			return c.last.Nbr, false, nil
 		}
-		c.last, c.lastK = res, k
-		return res, true, nil
+		if adapt != nil {
+			res, err := adapt(c.last)
+			if err != nil {
+				return nil, false, fmt.Errorf("core: reuse projection: %w", err)
+			}
+			c.last = ReuseEntry{Nbr: res, K: k, Domain: domain}
+			return res, false, nil
+		}
+		// No way to carry the cached result into this domain: search.
 	}
-	if k != c.lastK {
-		return nil, false, fmt.Errorf("core: reuse with k=%d but cached k=%d", k, c.lastK)
+	res, err := compute()
+	if err != nil {
+		return nil, true, err
 	}
-	return c.last, false, nil
+	c.last = ReuseEntry{Nbr: res, K: k, Domain: domain}
+	c.valid = true
+	return res, true, nil
+}
+
+// ProjectNeighbors carries a cached neighbor result one level down a
+// sampling hierarchy (§5.2.3 generalized to PointNet++): prev holds, for
+// every point of the current parent level, the neighbors that point had in
+// the grandparent level (it was a query there). sel lists the current
+// queries as parent-level indexes, and posInParent maps each parent-level
+// index to its grandparent-level index (ascending — the Morton-sampling
+// invariant). Cached neighbors that survived sampling are remapped into
+// parent-level indexes; slots whose neighbor was dropped pad with the query
+// itself, so every query keeps exactly k neighbors.
+func ProjectNeighbors(prev ReuseEntry, sel, posInParent []int, k int) ([]int, error) {
+	if prev.K <= 0 || len(prev.Nbr) != len(posInParent)*prev.K {
+		return nil, fmt.Errorf("core: cached neighbors cover %d entries, parent level needs %d×%d", len(prev.Nbr), len(posInParent), prev.K)
+	}
+	out := make([]int, len(sel)*k)
+	for q, s := range sel {
+		if s < 0 || s >= len(posInParent) {
+			return nil, fmt.Errorf("core: query %d selects parent index %d of %d", q, s, len(posInParent))
+		}
+		row := prev.Nbr[s*prev.K : (s+1)*prev.K]
+		dst := out[q*k : (q+1)*k]
+		cnt := 0
+		for _, v := range row {
+			if cnt == k {
+				break
+			}
+			// posInParent is ascending, so the grandparent index v maps to at
+			// most one surviving parent position.
+			p := sort.SearchInts(posInParent, v)
+			if p < len(posInParent) && posInParent[p] == v {
+				dst[cnt] = p
+				cnt++
+			}
+		}
+		for ; cnt < k; cnt++ {
+			dst[cnt] = s // self-neighbor padding
+		}
+	}
+	return out, nil
 }

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestForLayerInDomains covers the domain-aware reuse path PointNet++ uses:
+// each layer's indexes live in their own domain, so reuse must project
+// through the supplied adapt callback rather than returning the raw cache.
+func TestForLayerInDomains(t *testing.T) {
+	c := NewReuseCache(ReusePolicy{Distance: 1})
+	computes := 0
+	compute := func(res []int) func() ([]int, error) {
+		return func() ([]int, error) { computes++; return res, nil }
+	}
+
+	// Layer 0 computes in domain 0.
+	r0, ran, err := c.ForLayerIn(0, 2, 0, nil, compute([]int{1, 2, 3, 4}))
+	if err != nil || !ran || computes != 1 {
+		t.Fatalf("layer 0: ran=%v computes=%d err=%v", ran, computes, err)
+	}
+
+	// Layer 1, different domain, with an adapt: projected reuse, no search.
+	adapted := []int{9, 9}
+	r1, ran, err := c.ForLayerIn(1, 2, 1, func(prev ReuseEntry) ([]int, error) {
+		if prev.Domain != 0 || prev.K != 2 || len(prev.Nbr) != len(r0) {
+			t.Fatalf("adapt saw entry %+v", prev)
+		}
+		return adapted, nil
+	}, compute(nil))
+	if err != nil || ran || computes != 1 {
+		t.Fatalf("layer 1: ran=%v computes=%d err=%v", ran, computes, err)
+	}
+	if &r1[0] != &adapted[0] {
+		t.Fatal("layer 1 did not return the adapted result")
+	}
+
+	// Layer 1 again in the same domain: straight cache hit of the projection.
+	r1b, ran, err := c.ForLayerIn(1, 2, 1, nil, compute(nil))
+	if err != nil || ran || &r1b[0] != &adapted[0] {
+		t.Fatalf("repeat reuse: ran=%v err=%v", ran, err)
+	}
+
+	// Same-domain reuse with a mismatched k is a hard error, not silent reuse.
+	if _, _, err := c.ForLayerIn(1, 3, 1, nil, compute(nil)); err == nil {
+		t.Fatal("k mismatch: want error")
+	}
+
+	// Domain mismatch with no adapt falls back to a real search.
+	_, ran, err = c.ForLayerIn(1, 2, 2, nil, compute([]int{5, 6}))
+	if err != nil || !ran || computes != 2 {
+		t.Fatalf("no-adapt fallback: ran=%v computes=%d err=%v", ran, computes, err)
+	}
+
+	// Reset forgets the cache: a reuse layer with nothing cached computes.
+	c.Reset()
+	_, ran, err = c.ForLayerIn(1, 2, 1, nil, compute([]int{7, 8}))
+	if err != nil || !ran || computes != 3 {
+		t.Fatalf("post-reset: ran=%v computes=%d err=%v", ran, computes, err)
+	}
+}
+
+func TestProjectNeighbors(t *testing.T) {
+	// Grandparent level had 8 points; parent kept {0, 2, 5, 7} (ascending,
+	// the Morton-sampling invariant). The cached entry holds, per parent
+	// point, its k=3 neighbors as grandparent indexes.
+	posInParent := []int{0, 2, 5, 7}
+	prev := ReuseEntry{
+		K:      3,
+		Domain: 0,
+		Nbr: []int{
+			0, 2, 1, // parent 0: grandparent neighbors 0,2 survive → 0,1
+			2, 3, 5, // parent 1: 2,5 survive → 1,2
+			5, 4, 6, // parent 2: only 5 survives → 2
+			7, 0, 2, // parent 3: all survive → 3,0,1
+		},
+	}
+	sel := []int{1, 3} // current queries, as parent indexes
+	got, err := ProjectNeighbors(prev, sel, posInParent, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{
+		1, 2, // query 0 = parent 1
+		3, 0, // query 1 = parent 3 (truncated to k=2)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("projection = %v, want %v", got, want)
+		}
+	}
+
+	// A query whose neighbors were all dropped pads with itself.
+	prev2 := ReuseEntry{K: 1, Nbr: []int{4, 4, 4, 4}}
+	got, err = ProjectNeighbors(prev2, []int{2}, posInParent, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[1] != 2 {
+		t.Fatalf("self padding = %v, want [2 2]", got)
+	}
+
+	// Shape validation.
+	if _, err := ProjectNeighbors(ReuseEntry{K: 3, Nbr: []int{1}}, sel, posInParent, 2); err == nil ||
+		!strings.Contains(err.Error(), "cached neighbors") {
+		t.Fatalf("bad shape: err=%v", err)
+	}
+	if _, err := ProjectNeighbors(prev, []int{99}, posInParent, 2); err == nil {
+		t.Fatal("out-of-range query: want error")
+	}
+}

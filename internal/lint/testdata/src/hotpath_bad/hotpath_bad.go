@@ -34,3 +34,35 @@ func Grow(dst []int, y *tensor.Matrix) []int {
 	_ = y.Clone()             // want `tensor\.Clone allocates on a //edgepc:hotpath function`
 	return dst
 }
+
+// stage mimics the model package's Stage interface: the executor dispatches
+// through it, which the analyzer deliberately does not traverse — so each
+// implementation must carry (and is checked under) its own annotation.
+type stage interface {
+	Forward(x *tensor.Matrix) (*tensor.Matrix, error)
+}
+
+type allocStage struct{}
+
+// Forward is annotated per the executor contract; its allocating kernel is a
+// direct finding here, independent of any caller.
+//
+//edgepc:hotpath
+func (s allocStage) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	return tensor.MatMul(x, x) // want `tensor\.MatMul allocates on a //edgepc:hotpath function`
+}
+
+// Exec dispatches through the interface: nothing to report at the call site,
+// the per-implementation annotations carry the contract.
+//
+//edgepc:hotpath
+func Exec(stages []stage, x *tensor.Matrix) (*tensor.Matrix, error) {
+	for _, s := range stages {
+		y, err := s.Forward(x)
+		if err != nil {
+			return nil, err
+		}
+		x = y
+	}
+	return x, nil
+}

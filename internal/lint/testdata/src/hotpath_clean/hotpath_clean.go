@@ -38,3 +38,43 @@ func Detach(ws *tensor.Workspace, logits *tensor.Matrix) *tensor.Matrix {
 	}
 	return logits
 }
+
+// stage mirrors the model package's Stage interface; the executor below and
+// the implementation each carry their own annotation because interface
+// dispatch is not traversed.
+type stage interface {
+	Forward(ws *tensor.Workspace, x *tensor.Matrix) (*tensor.Matrix, error)
+}
+
+type mulStage struct{ w *tensor.Matrix }
+
+// Forward serves its output from the workspace: clean under its own
+// annotation.
+//
+//edgepc:hotpath
+func (s mulStage) Forward(ws *tensor.Workspace, x *tensor.Matrix) (*tensor.Matrix, error) {
+	y := ws.Get(x.Rows, s.w.Cols)
+	if err := tensor.MatMulInto(y, x, s.w); err != nil {
+		ws.Put(y)
+		return nil, err
+	}
+	ws.Put(x)
+	return y, nil
+}
+
+// Exec is the clean executor shape: interface dispatch over annotated
+// stages, with the level slice reusing its capacity across frames.
+//
+//edgepc:hotpath
+func Exec(ws *tensor.Workspace, stages []stage, levels []*tensor.Matrix, x *tensor.Matrix) ([]*tensor.Matrix, error) {
+	levels = levels[:0]
+	for _, s := range stages {
+		y, err := s.Forward(ws, x)
+		if err != nil {
+			return nil, err
+		}
+		levels = append(levels[:0], y)
+		x = y
+	}
+	return levels, nil
+}

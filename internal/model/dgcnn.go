@@ -3,7 +3,6 @@ package model
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -32,11 +31,13 @@ type ecCache struct {
 	k, n, c int
 }
 
-// forward runs one EdgeConv block over lv. wksp is the network's inference
-// workspace (nil when training); train and wksp != nil are mutually exclusive.
+// forward runs one EdgeConv block over lv and fills next with the result
+// level. Execution context (trace, train flag, workspace, reuse cache) comes
+// from the Graph's Exec; train and x.ws != nil are mutually exclusive.
 //
 //edgepc:hotpath
-func (m *EdgeConvModule) forward(lv *level, layer int, reuse *core.ReuseCache, trace *Trace, train bool, wksp *tensor.Workspace) (*level, error) {
+func (m *EdgeConvModule) forward(lv, next *level, layer int, x *Exec) error {
+	reuse, trace, train, wksp := x.reuse, x.trace, x.train, x.ws
 	n := lv.len()
 	k := clampK(m.K, n)
 
@@ -70,7 +71,7 @@ func (m *EdgeConvModule) forward(lv *level, layer int, reuse *core.ReuseCache, t
 		return e
 	})
 	if err != nil {
-		return nil, fmt.Errorf("model: EC%d neighbor: %w", layer, err)
+		return fmt.Errorf("model: EC%d neighbor: %w", layer, err)
 	}
 	if !computed {
 		algo = "reuse"
@@ -88,7 +89,7 @@ func (m *EdgeConvModule) forward(lv *level, layer int, reuse *core.ReuseCache, t
 		return e
 	})
 	if err != nil {
-		return nil, fmt.Errorf("model: EC%d group: %w", layer, err)
+		return fmt.Errorf("model: EC%d group: %w", layer, err)
 	}
 	trace.Add(StageRecord{Stage: StageGroup, Layer: layer, Algo: "gather", N: n, Q: n, K: k, CIn: grouped.Cols, Dur: dur})
 
@@ -117,14 +118,18 @@ func (m *EdgeConvModule) forward(lv *level, layer int, reuse *core.ReuseCache, t
 		return e
 	})
 	if err != nil {
-		return nil, fmt.Errorf("model: EC%d feature: %w", layer, err)
+		return fmt.Errorf("model: EC%d feature: %w", layer, err)
 	}
 	trace.Add(StageRecord{Stage: StageFeature, Layer: layer, Algo: "shared-mlp", Q: n * k, CIn: cin, COut: feats.Cols, Dur: dur})
 
 	if train {
 		m.cache = ecCache{nbr: nbr, argmax: argmax, k: k, n: n, c: lv.feats.Cols}
 	}
-	return &level{pts: lv.pts, feats: feats, mortonSorted: lv.mortonSorted}, nil
+	next.pts = lv.pts
+	//edgepc:lint-ignore workspacepair level fields are frame-scoped; Graph.Forward resets the workspace before reusing them
+	next.feats = feats
+	next.mortonSorted = lv.mortonSorted
+	return nil
 }
 
 func (m *EdgeConvModule) backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
@@ -154,14 +159,11 @@ const (
 )
 
 // DGCNN is the EdgeConv network of Fig. 2b with per-layer strategy selection
-// and the paper's neighbor-index reuse across modules.
+// and the paper's neighbor-index reuse across modules, compiled into a stage
+// Graph (see graph.go) that owns the shared executor machinery.
 //
-// Concurrency: a DGCNN is NOT safe for concurrent use — Forward mutates the
-// per-net workspace, the layer caches and the neighbor-reuse cache.
-// Eval-mode Forward (train=false) only *reads* the trainable weights, so
-// weight-sharing replicas (pipeline.Replicas / nn.ShareParams) may run
-// concurrently, one replica per goroutine (internal/serve). Training mutates
-// weights and must own them exclusively.
+// Concurrency: see Graph — eval-mode weight-sharing replicas may run
+// concurrently, one per goroutine; training must own the weights.
 type DGCNN struct {
 	EC          []*EdgeConvModule
 	Embed       *nn.Sequential // fuses the concatenated EC outputs
@@ -170,18 +172,7 @@ type DGCNN struct {
 	Reuse       core.ReusePolicy
 	Structurize *core.StructurizeOptions
 
-	extraFeatDim int
-
-	// ws is the inference workspace: lazily created at the first eval
-	// Forward, attached to every MLP, and Reset at each eval frame start so
-	// frame N+1 reuses frame N's buffers. The training path never touches it.
-	ws *tensor.Workspace
-
-	// forward caches
-	ecOuts    []*tensor.Matrix // outputs of each EC module (post-pool)
-	ecCols    []int
-	clsArgmax []int32
-	embedRows int
+	graph *Graph
 }
 
 // DGCNNConfig describes a DGCNN instance.
@@ -232,7 +223,7 @@ func NewDGCNN(cfg DGCNNConfig) (*DGCNN, error) {
 		return nil, fmt.Errorf("model: %d strategies for %d modules", len(cfg.Strategies), cfg.Modules)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 3))
-	net := &DGCNN{Task: cfg.Task, Reuse: cfg.Reuse, Structurize: cfg.Structurize, extraFeatDim: cfg.ExtraFeatDim}
+	net := &DGCNN{Task: cfg.Task, Reuse: cfg.Reuse, Structurize: cfg.Structurize}
 	inC := 3 + cfg.ExtraFeatDim
 	for l := 0; l < cfg.Modules; l++ {
 		net.EC = append(net.EC, &EdgeConvModule{
@@ -260,219 +251,44 @@ func NewDGCNN(cfg DGCNNConfig) (*DGCNN, error) {
 		nn.NewLinear("head.1", cfg.EmbedWidth/2, cfg.Classes, rng),
 	)
 	net.Head = nn.NewSequential(headLayers...)
-	return net, nil
-}
-
-// Params returns all trainable parameters.
-func (n *DGCNN) Params() []*nn.Param {
-	var out []*nn.Param
-	for _, m := range n.EC {
-		out = append(out, m.MLP.Params()...)
+	// Declarative stage list: EC chain, skip fusion, embedding, (global pool
+	// for classification), head — compiled into the shared Graph executor.
+	stages := make([]Stage, 0, cfg.Modules+4)
+	for i, m := range net.EC {
+		stages = append(stages, &ecStage{name: fmt.Sprintf("ec%d", i), idx: i, m: m})
 	}
-	out = append(out, n.Embed.Params()...)
-	return append(out, n.Head.Params()...)
-}
-
-// workspace lazily creates the inference workspace and attaches it to every
-// layer stack, then starts a fresh frame. Returns nil in training mode.
-func (n *DGCNN) workspace(train bool) *tensor.Workspace {
-	if train {
-		return nil
+	stages = append(stages,
+		&fuseStage{name: "fuse"},
+		&mlpStage{name: "embed", mlp: net.Embed, record: true, traceLayer: cfg.Modules},
+	)
+	if cfg.Task == TaskClassification {
+		stages = append(stages, &globalPoolStage{name: "pool"})
 	}
-	if n.ws == nil {
-		n.ws = tensor.NewWorkspace()
-		for _, m := range n.EC {
-			m.MLP.SetWorkspace(n.ws)
-		}
-		n.Embed.SetWorkspace(n.ws)
-		n.Head.SetWorkspace(n.ws)
-	}
-	n.ws.Reset()
-	return n.ws
-}
-
-// Forward runs one cloud through the network. For classification the logits
-// matrix has a single row; for segmentation one row per point. Eval frames
-// (train=false) serve all intermediate activations from a per-network
-// workspace; the returned logits are cloned out of it, so an Output remains
-// valid across subsequent Forward calls.
-//
-//edgepc:hotpath
-func (n *DGCNN) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, error) {
-	if cloud.Len() == 0 {
-		return nil, fmt.Errorf("model: empty cloud")
-	}
-	ws := n.workspace(train)
-	pts := cloud.Points
-	feat, featDim := cloud.Feat, cloud.FeatDim
-	labels := cloud.Labels
-	var perm []int
-	sorted := false
-	if n.Structurize != nil {
-		start := time.Now()
-		s, err := core.Structurize(cloud, *n.Structurize)
-		if err != nil {
-			return nil, err
-		}
-		trace.Add(StageRecord{Stage: StageStructurize, Layer: 0, Algo: "morton", N: cloud.Len(), Dur: time.Since(start)})
-		pts = s.Cloud.Points
-		feat, featDim = s.Cloud.Feat, s.Cloud.FeatDim
-		labels = s.Cloud.Labels
-		perm = s.Perm
-		sorted = true
-	}
-	feats, err := inputFeatures(ws, pts, feat, featDim, n.extraFeatDim)
-	if err != nil {
-		return nil, err
-	}
-	lv := &level{pts: pts, feats: feats, mortonSorted: sorted}
-	reuse := core.NewReuseCache(n.Reuse)
-	var outs []*tensor.Matrix
-	for i, m := range n.EC {
-		next, err := m.forward(lv, i, reuse, trace, train, ws)
-		if err != nil {
-			return nil, err
-		}
-		if ws != nil && i == 0 && next.feats != lv.feats {
-			// The input features are dead once EC0 consumed them; the EC
-			// outputs themselves stay alive for the skip concat below.
-			wsPut(ws, lv.feats)
-		}
-		//edgepc:lint-ignore hotpathalloc O(modules) feature-matrix headers per frame
-		outs = append(outs, next.feats)
-		lv = next
-	}
-	var fused *tensor.Matrix
-	if ws != nil && len(outs) > 1 {
-		// Fill the concatenation directly instead of chaining pairwise
-		// Concats: one buffer, one copy per EC output.
-		total := 0
-		for _, o := range outs {
-			total += o.Cols
-		}
-		fused = ws.Get(outs[0].Rows, total)
-		off := 0
-		for _, o := range outs {
-			for r := 0; r < o.Rows; r++ {
-				copy(fused.Row(r)[off:off+o.Cols], o.Row(r))
-			}
-			off += o.Cols
-		}
-		for _, o := range outs {
-			wsPut(ws, o)
-		}
-	} else {
-		fused = outs[0]
-		for _, o := range outs[1:] {
-			//edgepc:lint-ignore hotpathalloc training / no-workspace fallback; the eval branch above fills one workspace buffer
-			fused, err = tensor.Concat(fused, o)
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-	var embedded *tensor.Matrix
-	cin := fused.Cols
-	dur, err := timed(func() error {
-		var e error
-		embedded, e = n.Embed.Forward(fused, train)
-		return e
+	stages = append(stages, &mlpStage{name: "head", mlp: net.Head})
+	g, err := Compile(GraphSpec{
+		Stages:       stages,
+		Structurize:  cfg.Structurize,
+		ExtraFeatDim: cfg.ExtraFeatDim,
+		Reuse:        cfg.Reuse,
 	})
 	if err != nil {
 		return nil, err
 	}
-	trace.Add(StageRecord{Stage: StageFeature, Layer: len(n.EC), Algo: "shared-mlp", Q: fused.Rows, CIn: cin, COut: embedded.Cols, Dur: dur})
-	if ws != nil && embedded != fused {
-		wsPut(ws, fused)
-	}
+	net.graph = g
+	return net, nil
+}
 
-	var logits *tensor.Matrix
-	if n.Task == TaskClassification {
-		vals, argmax := tensor.ColMax(embedded)
-		wsPut(ws, embedded)
-		pooled, _ := tensor.FromSlice(1, len(vals), vals)
-		logits, err = n.Head.Forward(pooled, train)
-		if err != nil {
-			return nil, err
-		}
-		if train {
-			n.clsArgmax = argmax
-			n.embedRows = embedded.Rows
-		}
-		// One label per cloud: majority convention is the caller's concern;
-		// we pass through cloud-level labels untouched.
-	} else {
-		logits, err = n.Head.Forward(embedded, train)
-		if err != nil {
-			return nil, err
-		}
-		if ws != nil && logits != embedded {
-			wsPut(ws, embedded)
-		}
-	}
-	if ws != nil && ws.Owns(logits) {
-		// Detach the result from the workspace so the Output survives the
-		// next frame's Reset.
-		//edgepc:lint-ignore hotpathalloc deliberate: the Output contract requires logits to outlive the frame
-		logits = logits.Clone()
-	}
-	if train {
-		n.ecOuts = outs
-		//edgepc:lint-ignore hotpathalloc train-only backward cache
-		n.ecCols = make([]int, len(outs))
-		for i, o := range outs {
-			n.ecCols[i] = o.Cols
-		}
-	}
-	return &Output{Logits: logits, Labels: labels, Perm: perm}, nil
+// Params returns all trainable parameters.
+func (n *DGCNN) Params() []*nn.Param { return n.graph.Params() }
+
+// Forward runs one cloud through the network. For classification the logits
+// matrix has a single row; for segmentation one row per point. See
+// Graph.Forward for the workspace contract.
+func (n *DGCNN) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, error) {
+	return n.graph.Forward(cloud, trace, train)
 }
 
 // Backward propagates the loss gradient through the network.
 func (n *DGCNN) Backward(gradLogits *tensor.Matrix) error {
-	if n.ecOuts == nil {
-		return fmt.Errorf("model: backward before forward(train)")
-	}
-	g, err := n.Head.Backward(gradLogits)
-	if err != nil {
-		return err
-	}
-	if n.Task == TaskClassification {
-		// Route the pooled gradient back to the argmax rows.
-		full := tensor.New(n.embedRows, g.Cols)
-		row := g.Row(0)
-		for c, v := range row {
-			full.Data[int(n.clsArgmax[c])*g.Cols+c] += v
-		}
-		g = full
-	}
-	g, err = n.Embed.Backward(g)
-	if err != nil {
-		return err
-	}
-	// Split the concat gradient into per-EC parts, then run the EC chain
-	// backward, summing the skip gradient with the chain gradient.
-	parts := make([]*tensor.Matrix, len(n.ecOuts))
-	off := 0
-	for i, c := range n.ecCols {
-		part := tensor.New(g.Rows, c)
-		for r := 0; r < g.Rows; r++ {
-			copy(part.Row(r), g.Row(r)[off:off+c])
-		}
-		parts[i] = part
-		off += c
-	}
-	var chain *tensor.Matrix
-	for i := len(n.EC) - 1; i >= 0; i-- {
-		total := parts[i]
-		if chain != nil {
-			for j, v := range chain.Data {
-				total.Data[j] += v
-			}
-		}
-		chain, err = n.EC[i].backward(total)
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return n.graph.Backward(gradLogits)
 }

@@ -3,7 +3,6 @@ package model
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"repro/internal/geom"
 	"repro/internal/nn"
@@ -15,15 +14,13 @@ import (
 // has *no sampling and no neighbor search* — which makes it the control
 // architecture for the paper's Fig. 3 argument: the bottleneck the paper
 // attacks exists only in hierarchical models. A vanilla-PointNet trace
-// contains feature stages exclusively.
+// contains feature stages exclusively. Like the hierarchical models it is a
+// three-stage list compiled into the shared Graph executor.
 type PointNetVanilla struct {
 	MLP  *nn.Sequential // per-point feature extractor
 	Head *nn.Sequential // classifier over the pooled global feature
 
-	// forward caches
-	rows      int
-	argmax    []int32
-	embedCols int
+	graph *Graph
 }
 
 // PointNetConfig describes a vanilla PointNet instance.
@@ -55,62 +52,27 @@ func NewPointNetVanilla(cfg PointNetConfig) (*PointNetVanilla, error) {
 		&nn.Dropout{P: dropoutP(cfg.Dropout), Rng: rand.New(rand.NewSource(cfg.Seed + 12))},
 		nn.NewLinear("pn.head.1", embed/2, cfg.Classes, rng),
 	)
+	g, err := Compile(GraphSpec{Stages: []Stage{
+		&mlpStage{name: "feat", mlp: net.MLP, record: true, traceLayer: 0},
+		&globalPoolStage{name: "pool"},
+		&mlpStage{name: "head", mlp: net.Head},
+	}})
+	if err != nil {
+		return nil, err
+	}
+	net.graph = g
 	return net, nil
 }
 
 // Params returns all trainable parameters.
-func (n *PointNetVanilla) Params() []*nn.Param {
-	return append(n.MLP.Params(), n.Head.Params()...)
-}
+func (n *PointNetVanilla) Params() []*nn.Param { return n.graph.Params() }
 
 // Forward runs one cloud through the network; logits have a single row.
-//
-//edgepc:hotpath
 func (n *PointNetVanilla) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, error) {
-	if cloud.Len() == 0 {
-		return nil, fmt.Errorf("model: empty cloud")
-	}
-	x := coordMatrix(nil, cloud.Points)
-	var feats *tensor.Matrix
-	start := time.Now()
-	feats, err := n.MLP.Forward(x, train)
-	if err != nil {
-		return nil, err
-	}
-	trace.Add(StageRecord{
-		Stage: StageFeature, Layer: 0, Algo: "shared-mlp",
-		Q: cloud.Len(), CIn: 3, COut: feats.Cols, Dur: time.Since(start),
-	})
-	vals, argmax := tensor.ColMax(feats)
-	pooled, err := tensor.FromSlice(1, len(vals), vals)
-	if err != nil {
-		return nil, err
-	}
-	logits, err := n.Head.Forward(pooled, train)
-	if err != nil {
-		return nil, err
-	}
-	if train {
-		n.rows = feats.Rows
-		n.argmax = argmax
-		n.embedCols = feats.Cols
-	}
-	return &Output{Logits: logits, Labels: cloud.Labels}, nil
+	return n.graph.Forward(cloud, trace, train)
 }
 
 // Backward propagates the loss gradient.
 func (n *PointNetVanilla) Backward(gradLogits *tensor.Matrix) error {
-	if n.argmax == nil {
-		return fmt.Errorf("model: backward before forward(train)")
-	}
-	g, err := n.Head.Backward(gradLogits)
-	if err != nil {
-		return err
-	}
-	full := tensor.New(n.rows, n.embedCols)
-	for c, v := range g.Row(0) {
-		full.Data[int(n.argmax[c])*n.embedCols+c] += v
-	}
-	_, err = n.MLP.Backward(full)
-	return err
+	return n.graph.Backward(gradLogits)
 }

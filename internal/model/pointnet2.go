@@ -3,7 +3,6 @@ package model
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -54,12 +53,13 @@ func clampK(k, n int) int {
 	return k
 }
 
-// forward consumes the parent level and produces the sampled level. ws is the
-// network's inference workspace (nil when training or when the network runs
-// without buffer reuse); train and ws != nil are mutually exclusive.
+// forward consumes the parent level and fills next with the sampled level.
+// Execution context (trace, train flag, workspace, reuse cache) comes from
+// the Graph's Exec; train and x.ws != nil are mutually exclusive.
 //
 //edgepc:hotpath
-func (m *SAModule) forward(parent *level, layer int, trace *Trace, train bool, ws *tensor.Workspace) (*level, error) {
+func (m *SAModule) forward(parent, next *level, layer int, x *Exec) error {
+	trace, train, ws := x.trace, x.train, x.ws
 	n := parent.len()
 	nOut := int(float64(n)*m.Frac + 0.5)
 	if nOut < 1 {
@@ -89,7 +89,7 @@ func (m *SAModule) forward(parent *level, layer int, trace *Trace, train bool, w
 		return e
 	})
 	if err != nil {
-		return nil, fmt.Errorf("model: SA%d sample: %w", layer, err)
+		return fmt.Errorf("model: SA%d sample: %w", layer, err)
 	}
 	trace.Add(StageRecord{Stage: StageSample, Layer: layer, Algo: sampleAlgo, N: n, Q: nOut, Dur: dur})
 
@@ -102,38 +102,42 @@ func (m *SAModule) forward(parent *level, layer int, trace *Trace, train bool, w
 		centers[i] = parent.pts[s]
 	}
 
-	// --- Neighbor search stage ---
+	// --- Neighbor search stage (or cross-layer reuse, §5.2.3 generalized) ---
 	var nbr []int
 	var nsAlgo string
 	w := 0
-	useWindow := m.Strat.MortonWindow && parent.mortonSorted && useMorton
+	reused := false
 	dur, err = timed(func() error {
-		if useWindow {
-			nsAlgo = "morton-window"
-			searcher := core.WindowSearcher{W: m.Strat.WindowW}
-			w = m.Strat.WindowW
-			if w < k {
-				w = k
-			}
+		if !x.reuseOn {
 			var e error
-			nbr, e = searcher.SearchPositions(parent.pts, sel, k)
+			nbr, nsAlgo, w, e = m.searchNeighbors(parent, centers, sel, k, useMorton)
 			return e
 		}
-		var s neighbor.Searcher
-		if m.Radius > 0 {
-			s = neighbor.BallQuery{R: m.Radius}
-		} else {
-			s = neighbor.BruteKNN{}
+		// Reuse path: cached indexes live in the previous SA's parent level
+		// (domain layer−1); project them into this parent level when the
+		// sampling map supports it, otherwise fall back to a real search.
+		var adapt func(core.ReuseEntry) ([]int, error)
+		if parent.posInParent != nil && isAscending(parent.posInParent) {
+			adapt = func(prev core.ReuseEntry) ([]int, error) {
+				return core.ProjectNeighbors(prev, sel, parent.posInParent, k)
+			}
 		}
-		nsAlgo = s.Name()
+		var computed bool
 		var e error
-		nbr, e = s.Search(parent.pts, centers, k)
+		nbr, computed, e = x.reuse.ForLayerIn(layer, k, layer, adapt, func() ([]int, error) {
+			res, algo, ww, e2 := m.searchNeighbors(parent, centers, sel, k, useMorton)
+			nsAlgo, w = algo, ww
+			return res, e2
+		})
+		if e == nil && !computed {
+			nsAlgo, reused = "reuse", true
+		}
 		return e
 	})
 	if err != nil {
-		return nil, fmt.Errorf("model: SA%d neighbor: %w", layer, err)
+		return fmt.Errorf("model: SA%d neighbor: %w", layer, err)
 	}
-	trace.Add(StageRecord{Stage: StageNeighbor, Layer: layer, Algo: nsAlgo, N: n, Q: nOut, K: k, W: w, Dur: dur})
+	trace.Add(StageRecord{Stage: StageNeighbor, Layer: layer, Algo: nsAlgo, N: n, Q: nOut, K: k, W: w, Reused: reused, Dur: dur})
 
 	// --- Group stage ---
 	var grouped *tensor.Matrix
@@ -143,7 +147,7 @@ func (m *SAModule) forward(parent *level, layer int, trace *Trace, train bool, w
 		return e
 	})
 	if err != nil {
-		return nil, fmt.Errorf("model: SA%d group: %w", layer, err)
+		return fmt.Errorf("model: SA%d group: %w", layer, err)
 	}
 	trace.Add(StageRecord{Stage: StageGroup, Layer: layer, Algo: "gather", N: n, Q: nOut, K: k, CIn: grouped.Cols, Dur: dur})
 
@@ -175,19 +179,45 @@ func (m *SAModule) forward(parent *level, layer int, trace *Trace, train bool, w
 		return e
 	})
 	if err != nil {
-		return nil, fmt.Errorf("model: SA%d feature: %w", layer, err)
+		return fmt.Errorf("model: SA%d feature: %w", layer, err)
 	}
 	trace.Add(StageRecord{Stage: StageFeature, Layer: layer, Algo: "shared-mlp", Q: nOut * k, CIn: cin, COut: feats.Cols, Dur: dur})
 
 	if train {
 		m.cache = saCache{parentRows: n, parentCols: parent.feats.Cols, nbr: nbr, argmax: argmax, k: k}
 	}
-	return &level{
-		pts:          centers,
-		feats:        feats,
-		mortonSorted: parent.mortonSorted && useMorton,
-		posInParent:  sel,
-	}, nil
+	next.pts = centers
+	//edgepc:lint-ignore workspacepair level fields are frame-scoped; Graph.Forward resets the workspace before reusing them
+	next.feats = feats
+	next.mortonSorted = parent.mortonSorted && useMorton
+	next.posInParent = sel
+	return nil
+}
+
+// searchNeighbors runs the module's configured neighbor search (Morton
+// window when enabled and applicable, else the SOTA ball query / kNN),
+// returning the flat index array, the algorithm name, and the effective
+// window size.
+//
+//edgepc:hotpath
+func (m *SAModule) searchNeighbors(parent *level, centers []geom.Point3, sel []int, k int, useMorton bool) ([]int, string, int, error) {
+	if m.Strat.MortonWindow && parent.mortonSorted && useMorton {
+		searcher := core.WindowSearcher{W: m.Strat.WindowW}
+		w := m.Strat.WindowW
+		if w < k {
+			w = k
+		}
+		nbr, err := searcher.SearchPositions(parent.pts, sel, k)
+		return nbr, "morton-window", w, err
+	}
+	var s neighbor.Searcher
+	if m.Radius > 0 {
+		s = neighbor.BallQuery{R: m.Radius}
+	} else {
+		s = neighbor.BruteKNN{}
+	}
+	nbr, err := s.Search(parent.pts, centers, k)
+	return nbr, s.Name(), 0, err
 }
 
 // backward routes the gradient of this module's output features back to the
@@ -338,15 +368,11 @@ func isAscending(a []int) bool {
 
 // PointNetPP is the PointNet++ semantic-segmentation network of Fig. 2a:
 // Depth SetAbstraction modules followed by Depth FeaturePropagation modules
-// and a per-point classification head.
+// and a per-point classification head, compiled into a stage Graph (see
+// graph.go) that owns the shared executor machinery.
 //
-// Concurrency: a PointNetPP is NOT safe for concurrent use — Forward mutates
-// the per-net workspace and layer caches. Eval-mode Forward (train=false)
-// only *reads* the trainable weights, so replicas whose Param.Value matrices
-// alias the same storage (pipeline.Replicas / nn.ShareParams) may run
-// concurrently, one replica per goroutine; that is the serving deployment
-// shape (internal/serve). Training mutates weights and must own them
-// exclusively.
+// Concurrency: see Graph — eval-mode weight-sharing replicas may run
+// concurrently, one per goroutine; training must own the weights.
 type PointNetPP struct {
 	SA   []*SAModule
 	FP   []*FPModule // FP[i] refines level Depth−i → Depth−1−i
@@ -356,16 +382,7 @@ type PointNetPP struct {
 	// first module (the EdgePC configurations).
 	Structurize *core.StructurizeOptions
 
-	extraFeatDim int
-
-	// ws is the inference workspace: lazily created at the first eval
-	// Forward, attached to every MLP, and Reset at each eval frame start so
-	// frame N+1 reuses frame N's buffers. The training path never touches it.
-	ws *tensor.Workspace
-
-	// forward caches for backward
-	levels    []*level
-	skipGrads []*tensor.Matrix
+	graph *Graph
 }
 
 // Output bundles the per-point logits with the label order they correspond
@@ -396,6 +413,11 @@ type PPConfig struct {
 	SAStrategies []ModuleStrategy
 	FPStrategies []ModuleStrategy
 	Structurize  *core.StructurizeOptions
+	// Reuse carries neighbor indexes across consecutive SA modules (§5.2.3
+	// generalized to PointNet++): a reused layer skips its own search and
+	// projects the previous module's indexes through the sampling map. The
+	// zero policy (distance 0) recomputes every layer.
+	Reuse core.ReusePolicy
 	// Dropout is the head dropout probability; 0 selects the default (0.3),
 	// a negative value disables dropout (useful for gradient checking).
 	Dropout float64
@@ -459,7 +481,7 @@ func NewPointNetPP(cfg PPConfig) (*PointNetPP, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
-	net := &PointNetPP{Structurize: cfg.Structurize, extraFeatDim: cfg.ExtraFeatDim}
+	net := &PointNetPP{Structurize: cfg.Structurize}
 	inC := 3 + cfg.ExtraFeatDim // level-0 features: coordinates ⊕ extras
 	for l := 1; l <= cfg.Depth; l++ {
 		w := saWidth(cfg.BaseWidth, l)
@@ -501,166 +523,41 @@ func NewPointNetPP(cfg PPConfig) (*PointNetPP, error) {
 		&nn.Dropout{P: dropoutP(cfg.Dropout), Rng: rand.New(rand.NewSource(cfg.Seed + 2))},
 		nn.NewLinear("head.1", cfg.BaseWidth, cfg.Classes, rng),
 	)
+	// Declarative stage list: SA chain, FP chain, head — compiled into the
+	// shared Graph executor.
+	stages := make([]Stage, 0, 2*cfg.Depth+1)
+	for i, m := range net.SA {
+		stages = append(stages, &saStage{name: fmt.Sprintf("sa%d", i), idx: i, m: m})
+	}
+	for i, m := range net.FP {
+		stages = append(stages, &fpStage{name: fmt.Sprintf("fp%d", i), idx: i, depth: cfg.Depth, m: m})
+	}
+	stages = append(stages, &mlpStage{name: "head", mlp: net.Head})
+	g, err := Compile(GraphSpec{
+		Stages:       stages,
+		Structurize:  cfg.Structurize,
+		ExtraFeatDim: cfg.ExtraFeatDim,
+		Reuse:        cfg.Reuse,
+	})
+	if err != nil {
+		return nil, err
+	}
+	net.graph = g
 	return net, nil
 }
 
 // Params returns all trainable parameters.
-func (n *PointNetPP) Params() []*nn.Param {
-	var out []*nn.Param
-	for _, m := range n.SA {
-		out = append(out, m.MLP.Params()...)
-	}
-	for _, m := range n.FP {
-		out = append(out, m.MLP.Params()...)
-	}
-	return append(out, n.Head.Params()...)
-}
-
-// workspace lazily creates the inference workspace and attaches it to every
-// layer stack, then starts a fresh frame. Returns nil in training mode.
-func (n *PointNetPP) workspace(train bool) *tensor.Workspace {
-	if train {
-		return nil
-	}
-	if n.ws == nil {
-		n.ws = tensor.NewWorkspace()
-		for _, m := range n.SA {
-			m.MLP.SetWorkspace(n.ws)
-		}
-		for _, m := range n.FP {
-			m.MLP.SetWorkspace(n.ws)
-		}
-		n.Head.SetWorkspace(n.ws)
-	}
-	n.ws.Reset()
-	return n.ws
-}
+func (n *PointNetPP) Params() []*nn.Param { return n.graph.Params() }
 
 // Forward runs inference (or the training forward pass) on one cloud and
-// returns per-point logits aligned with Output.Labels. Eval frames
-// (train=false) serve all intermediate activations from a per-network
-// workspace; the returned logits are cloned out of it, so an Output remains
-// valid across subsequent Forward calls.
-//
-//edgepc:hotpath
+// returns per-point logits aligned with Output.Labels; see Graph.Forward for
+// the workspace contract.
 func (n *PointNetPP) Forward(cloud *geom.Cloud, trace *Trace, train bool) (*Output, error) {
-	if cloud.Len() == 0 {
-		return nil, fmt.Errorf("model: empty cloud")
-	}
-	ws := n.workspace(train)
-	pts := cloud.Points
-	feat, featDim := cloud.Feat, cloud.FeatDim
-	labels := cloud.Labels
-	var perm []int
-	sorted := false
-	if n.Structurize != nil {
-		start := time.Now()
-		s, err := core.Structurize(cloud, *n.Structurize)
-		if err != nil {
-			return nil, err
-		}
-		trace.Add(StageRecord{Stage: StageStructurize, Layer: 0, Algo: "morton", N: cloud.Len(), Dur: time.Since(start)})
-		pts = s.Cloud.Points
-		feat, featDim = s.Cloud.Feat, s.Cloud.FeatDim
-		labels = s.Cloud.Labels
-		perm = s.Perm
-		sorted = true
-	}
-	feats, err := inputFeatures(ws, pts, feat, featDim, n.extraFeatDim)
-	if err != nil {
-		return nil, err
-	}
-	lv := &level{pts: pts, feats: feats, mortonSorted: sorted}
-	levels := []*level{lv}
-	for i, m := range n.SA {
-		next, err := m.forward(lv, i, trace, train, ws)
-		if err != nil {
-			return nil, err
-		}
-		//edgepc:lint-ignore hotpathalloc O(depth) level headers per frame, noise next to the feature matrices
-		levels = append(levels, next)
-		lv = next
-	}
-	depth := len(n.SA)
-	feats = levels[depth].feats
-	for i, m := range n.FP {
-		fine := levels[depth-1-i]
-		coarse := levels[depth-i]
-		prev := feats
-		feats, err = m.forward(fine, coarse, feats, i, trace, train, ws)
-		if err != nil {
-			return nil, err
-		}
-		// After interpolation the coarse features (the previous FP output,
-		// or the deepest SA level at i=0) are dead, and the fine skip
-		// features were consumed by the concat — recycle both. wsPut skips
-		// buffers the workspace no longer lends, so aliases are safe.
-		if ws != nil {
-			if prev != feats {
-				wsPut(ws, prev)
-			}
-			if fine.feats != feats {
-				wsPut(ws, fine.feats)
-				fine.feats = nil
-			}
-		}
-	}
-	logits, err := n.Head.Forward(feats, train)
-	if err != nil {
-		return nil, err
-	}
-	if ws != nil {
-		if logits != feats {
-			wsPut(ws, feats)
-		}
-		// Detach the result from the workspace so the Output survives the
-		// next frame's Reset.
-		if ws.Owns(logits) {
-			//edgepc:lint-ignore hotpathalloc deliberate: the Output contract requires logits to outlive the frame
-			logits = logits.Clone()
-		}
-	}
-	if train {
-		n.levels = levels
-	}
-	return &Output{Logits: logits, Labels: labels, Perm: perm}, nil
+	return n.graph.Forward(cloud, trace, train)
 }
 
 // Backward propagates the loss gradient (w.r.t. Forward's logits) through the
 // whole network, accumulating parameter gradients.
 func (n *PointNetPP) Backward(gradLogits *tensor.Matrix) error {
-	if n.levels == nil {
-		return fmt.Errorf("model: backward before forward(train)")
-	}
-	g, err := n.Head.Backward(gradLogits)
-	if err != nil {
-		return err
-	}
-	depth := len(n.SA)
-	// Grad accumulators for each level's features.
-	dlevel := make([]*tensor.Matrix, depth+1)
-	for i := depth - 1; i >= 0; i-- {
-		l := depth - 1 - i
-		dSkip, dCoarse, err := n.FP[i].backward(g)
-		if err != nil {
-			return err
-		}
-		dlevel[l] = dSkip
-		g = dCoarse
-	}
-	dlevel[depth] = g
-	for l := depth; l >= 1; l-- {
-		dParent, err := n.SA[l-1].backward(dlevel[l])
-		if err != nil {
-			return err
-		}
-		if dlevel[l-1] == nil {
-			dlevel[l-1] = dParent
-		} else {
-			for i, v := range dParent.Data {
-				dlevel[l-1].Data[i] += v
-			}
-		}
-	}
-	return nil
+	return n.graph.Backward(gradLogits)
 }

@@ -1,0 +1,66 @@
+package model
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// SpanSummary aggregates one graph node's spans across a set of frame traces:
+// how long the node ran per frame (summarized in milliseconds) and how that
+// time splits across the paper's stage kinds (sample / neighbor / group /
+// feature / interp), reconstructed from the stage records each span brackets.
+type SpanSummary struct {
+	Node  string
+	Layer int // module index, or -1 for non-module nodes
+	// Frames is how many traces contained this node.
+	Frames int
+	// Ms summarizes the per-frame span duration in milliseconds.
+	Ms metrics.Summary
+	// ByStage sums the span's bracketed stage-record durations per kind;
+	// stageless nodes (pool, fuse) leave it empty.
+	ByStage map[StageKind]time.Duration
+}
+
+// SummarizeSpans aggregates the per-node spans of several frame traces into
+// one row per node, in first-appearance order. This is the bridge from the
+// Graph executor's span instrumentation to the experiment tables (Fig. 3's
+// breakdown at per-node granularity).
+func SummarizeSpans(traces []*Trace) []SpanSummary {
+	type acc struct {
+		layer int
+		ms    []float64
+		by    map[StageKind]time.Duration
+	}
+	var order []string
+	accs := map[string]*acc{}
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		for _, sp := range tr.Spans {
+			a := accs[sp.Node]
+			if a == nil {
+				a = &acc{layer: sp.Layer, by: map[StageKind]time.Duration{}}
+				accs[sp.Node] = a
+				order = append(order, sp.Node)
+			}
+			a.ms = append(a.ms, float64(sp.Dur)/float64(time.Millisecond))
+			for _, rec := range tr.SpanRecords(sp) {
+				a.by[rec.Stage] += rec.Dur
+			}
+		}
+	}
+	out := make([]SpanSummary, 0, len(order))
+	for _, node := range order {
+		a := accs[node]
+		out = append(out, SpanSummary{
+			Node:    node,
+			Layer:   a.layer,
+			Frames:  len(a.ms),
+			Ms:      metrics.Summarize(a.ms),
+			ByStage: a.by,
+		})
+	}
+	return out
+}

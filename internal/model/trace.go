@@ -58,10 +58,26 @@ type StageRecord struct {
 	Dur time.Duration // measured wall time of this stage
 }
 
+// Span is the per-graph-node timing record the Graph executor emits: one
+// span per Stage it ran (plus one for structurization), with the half-open
+// range of Records the stage produced so a span can be broken down into the
+// paper's sample / neighbor / group / feature categories (Fig. 3).
+type Span struct {
+	Node  string // graph-node name, e.g. "sa0", "fp1", "embed", "head"
+	Layer int    // module index within the network (-1 for non-module nodes)
+	Dur   time.Duration
+	// Rec0/Rec1 delimit the Records ([Rec0, Rec1)) emitted while this node
+	// ran.
+	Rec0, Rec1 int
+}
+
 // Trace accumulates stage records for one inference. A nil *Trace is valid
 // and records nothing.
 type Trace struct {
 	Records []StageRecord
+	// Spans holds one entry per executed graph node (see Graph.Forward);
+	// empty for code paths that bypass the stage-graph executor.
+	Spans []Span
 }
 
 // Add appends a record. Safe on a nil receiver.
@@ -69,7 +85,33 @@ func (t *Trace) Add(rec StageRecord) {
 	if t == nil {
 		return
 	}
+	if t.Records == nil {
+		// One up-front block instead of append's doubling chain: a fresh
+		// per-frame Trace costs one allocation here, a serving Trace reused
+		// across frames none.
+		t.Records = make([]StageRecord, 0, 32)
+	}
 	t.Records = append(t.Records, rec)
+}
+
+// AddSpan appends a graph-node span. Safe on a nil receiver.
+func (t *Trace) AddSpan(s Span) {
+	if t == nil {
+		return
+	}
+	if t.Spans == nil {
+		t.Spans = make([]Span, 0, 16)
+	}
+	t.Spans = append(t.Spans, s)
+}
+
+// SpanRecords returns the stage records covered by a span (a view into
+// t.Records; do not retain across Reset).
+func (t *Trace) SpanRecords(s Span) []StageRecord {
+	if t == nil || s.Rec0 < 0 || s.Rec1 > len(t.Records) || s.Rec0 > s.Rec1 {
+		return nil
+	}
+	return t.Records[s.Rec0:s.Rec1]
 }
 
 // timed runs f and returns its wall-clock duration.
@@ -95,5 +137,6 @@ func (t *Trace) DurByStage() map[StageKind]time.Duration {
 func (t *Trace) Reset() {
 	if t != nil {
 		t.Records = t.Records[:0]
+		t.Spans = t.Spans[:0]
 	}
 }

@@ -51,15 +51,15 @@ func TestPointNetPPWorkspaceFrameStability(t *testing.T) {
 		t.Fatal(err)
 	}
 	runFrames(t, net, wsTestCloud(t, 128))
-	if net.ws == nil {
+	if net.graph.ws == nil {
 		t.Fatal("eval forward did not create the workspace")
 	}
 	// Warm frames must be served entirely from recycled buffers.
-	misses := net.ws.Stats().Misses
+	misses := net.graph.ws.Stats().Misses
 	if _, err := net.Forward(wsTestCloud(t, 128), &Trace{}, false); err != nil {
 		t.Fatal(err)
 	}
-	if got := net.ws.Stats().Misses; got != misses {
+	if got := net.graph.ws.Stats().Misses; got != misses {
 		t.Fatalf("steady-state frame allocated %d new buffers", got-misses)
 	}
 }
@@ -73,14 +73,14 @@ func TestDGCNNWorkspaceFrameStability(t *testing.T) {
 			t.Fatal(err)
 		}
 		runFrames(t, net, wsTestCloud(t, 128))
-		if net.ws == nil {
+		if net.graph.ws == nil {
 			t.Fatal("eval forward did not create the workspace")
 		}
-		misses := net.ws.Stats().Misses
+		misses := net.graph.ws.Stats().Misses
 		if _, err := net.Forward(wsTestCloud(t, 128), &Trace{}, false); err != nil {
 			t.Fatal(err)
 		}
-		if got := net.ws.Stats().Misses; got != misses {
+		if got := net.graph.ws.Stats().Misses; got != misses {
 			t.Fatalf("task %d: steady-state frame allocated %d new buffers", task, got-misses)
 		}
 	}

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/edgesim"
 	"repro/internal/geom"
@@ -102,7 +101,12 @@ type Options struct {
 	// sweeps it).
 	MortonLayers  int
 	ReuseDistance int // DGCNN reuse distance in S+N configs; default 1
-	TotalBits     int // Morton code width; default 32
+	// PPReuseDistance is the PointNet++ SA neighbor-reuse distance in S+N
+	// configs (§5.2.3 generalized across sampled levels). Default 0: off —
+	// unlike DGCNN, reusing across SA levels projects indexes through the
+	// sampling map, an approximation the caller must opt into.
+	PPReuseDistance int
+	TotalBits       int // Morton code width; default 32
 	// BallRadius, when positive, makes the PointNet++ baseline use ball
 	// query with this base radius (doubling per level, the PointNet++
 	// convention); zero keeps exact kNN. Both are O(N²) SOTA searchers.
@@ -137,63 +141,11 @@ func (o *Options) defaults(w Workload) {
 	}
 }
 
-// Build constructs the network for a workload under a configuration.
+// Build constructs the network for a workload under a configuration. It is
+// the historical name for NewNet; both dispatch through the ArchBuilder
+// registry (see registry.go).
 func Build(w Workload, kind ConfigKind, opts Options) (Net, error) {
-	opts.defaults(w)
-	useMorton := kind != Baseline
-	var structurize *core.StructurizeOptions
-	if useMorton {
-		structurize = &core.StructurizeOptions{TotalBits: opts.TotalBits}
-	}
-	switch w.Arch {
-	case ArchPointNetPP:
-		sa := make([]model.ModuleStrategy, opts.Depth)
-		fp := make([]model.ModuleStrategy, opts.Depth)
-		if useMorton {
-			for l := 0; l < opts.MortonLayers && l < opts.Depth; l++ {
-				sa[l] = model.ModuleStrategy{MortonSample: true, MortonWindow: true, WindowW: opts.WindowW}
-				// The matching FP module is the one that *produces* level l:
-				// execution index Depth−1−l (§5.1.3 optimizes the last FP).
-				fp[opts.Depth-1-l] = model.ModuleStrategy{MortonInterp: true}
-			}
-		}
-		return model.NewPointNetPP(model.PPConfig{
-			Classes:      w.Classes,
-			Depth:        opts.Depth,
-			BaseWidth:    opts.BaseWidth,
-			K:            w.K,
-			SampleFrac:   0.25,
-			Radius:       opts.BallRadius,
-			ExtraFeatDim: opts.ExtraFeatDim,
-			SAStrategies: sa,
-			FPStrategies: fp,
-			Structurize:  structurize,
-			Seed:         opts.Seed,
-		})
-	case ArchDGCNN:
-		strat := make([]model.ModuleStrategy, opts.Modules)
-		reuse := core.ReusePolicy{}
-		if useMorton {
-			for l := 0; l < opts.MortonLayers && l < opts.Modules; l++ {
-				strat[l] = model.ModuleStrategy{MortonWindow: true, WindowW: opts.WindowW}
-			}
-			reuse = core.ReusePolicy{Distance: opts.ReuseDistance}
-		}
-		return model.NewDGCNN(model.DGCNNConfig{
-			Classes:      w.Classes,
-			Modules:      opts.Modules,
-			BaseWidth:    opts.BaseWidth,
-			K:            w.K,
-			ExtraFeatDim: opts.ExtraFeatDim,
-			Strategies:   strat,
-			Reuse:        reuse,
-			Task:         w.Task,
-			Structurize:  structurize,
-			Seed:         opts.Seed,
-		})
-	default:
-		return nil, fmt.Errorf("pipeline: unknown architecture %d", w.Arch)
-	}
+	return NewNet(w, kind, opts)
 }
 
 // Frame generates one input cloud for a workload (deterministic in seed).
@@ -229,7 +181,9 @@ func SimConfig(w Workload, kind ConfigKind, opts Options) edgesim.Config {
 	return edgesim.Config{
 		Batch:       w.Batch,
 		TensorCores: kind == SNF,
-		Reuse:       kind != Baseline && w.Arch == ArchDGCNN && opts.ReuseDistance > 0,
+		Reuse: kind != Baseline &&
+			(w.Arch == ArchDGCNN && opts.ReuseDistance > 0 ||
+				w.Arch == ArchPointNetPP && opts.PPReuseDistance > 0),
 	}
 }
 

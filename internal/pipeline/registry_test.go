@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestArchString(t *testing.T) {
+	if ArchPointNetPP.String() != "pointnet++" || ArchDGCNN.String() != "dgcnn" {
+		t.Fatalf("arch names: %s, %s", ArchPointNetPP, ArchDGCNN)
+	}
+	if got := Arch(42).String(); got != "arch(42)" {
+		t.Fatalf("unknown arch = %q", got)
+	}
+}
+
+func TestNewNetUnregisteredArch(t *testing.T) {
+	w := Workloads[0]
+	w.Arch = Arch(42)
+	_, err := NewNet(w, Baseline, Options{})
+	if err == nil {
+		t.Fatal("unregistered arch: want error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "arch(42)") {
+		t.Fatalf("error does not name the arch: %v", err)
+	}
+	if !strings.Contains(msg, "dgcnn") || !strings.Contains(msg, "pointnet++") {
+		t.Fatalf("error does not list registered arches: %v", err)
+	}
+}
+
+func TestRegisterArchRoundTrip(t *testing.T) {
+	const custom = Arch(77)
+	called := false
+	RegisterArch(custom, func(w Workload, kind ConfigKind, opts Options) (Net, error) {
+		called = true
+		if opts.BaseWidth == 0 {
+			t.Error("builder must receive defaulted options")
+		}
+		return buildDGCNN(w, kind, opts)
+	})
+	defer delete(archBuilders, custom)
+	w := Workloads[2] // W3, classification shape
+	w.Arch = custom
+	if _, err := NewNet(w, Baseline, Options{Modules: 2, BaseWidth: 4}); err != nil || !called {
+		t.Fatalf("custom builder: called=%v err=%v", called, err)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil builder must panic")
+		}
+	}()
+	RegisterArch(custom, nil)
+}
+
+// TestPPReuseDistanceWiring runs W1 under S+N with the opt-in PointNet++
+// reuse distance and checks the generalized §5.2.3 path end to end: the SA1
+// module serves projected indexes (Algo "reuse" in its span) instead of
+// searching.
+func TestPPReuseDistanceWiring(t *testing.T) {
+	w := Workloads[0] // W1, PointNet++
+	w.Points = 256
+	opts := Options{BaseWidth: 4, Depth: 2, Seed: 11, PPReuseDistance: 1}
+	net, err := NewNet(w, SN, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := Frame(w, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, _, _, err := Run(net, frame, nil, SimConfig(w, SN, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := 0
+	for _, sp := range trace.Spans {
+		for _, r := range trace.SpanRecords(sp) {
+			if r.Stage == model.StageNeighbor && r.Reused {
+				if sp.Node != "sa1" || r.Algo != "reuse" {
+					t.Fatalf("reuse at %s/%s", sp.Node, r.Algo)
+				}
+				reused++
+			}
+		}
+	}
+	if reused != 1 {
+		t.Fatalf("reused neighbor stages = %d, want 1 (sa1)", reused)
+	}
+	if !SimConfig(w, SN, opts).Reuse {
+		t.Fatal("SimConfig must price the reuse buffer for PP reuse runs")
+	}
+	if SimConfig(w, SN, Options{}).Reuse {
+		t.Fatal("PP reuse is opt-in: default options must not price it")
+	}
+}

@@ -1,0 +1,46 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+)
+
+// TestPPReuseAccuracyEnvelope trains the same PointNet++ segmentation task
+// under S+N twice — neighbor search at every SA layer vs. the generalized
+// §5.2.3 reuse at distance 1 — and checks the reuse approximation stays
+// inside the paper's few-percent accuracy envelope (the paper reports <2%
+// at full scale; this laptop-scale run allows proportionally more noise).
+func TestPPReuseAccuracyEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two networks")
+	}
+	ds := dataset.NewSceneSegmentation(32, 128, "s3dis", 5)
+	trainIdx, testIdx := dataset.Split(ds.Len(), 0.25)
+	w := pipeline.Workload{
+		ID: "reuse-env", Arch: pipeline.ArchPointNetPP,
+		Classes: ds.Classes(), K: 6,
+	}
+	accs := map[int]float64{}
+	for _, dist := range []int{0, 1} {
+		opts := pipeline.Options{BaseWidth: 8, Depth: 2, Seed: 3, PPReuseDistance: dist}
+		net, err := pipeline.NewNet(w, pipeline.SN, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(net, ds, trainIdx, testIdx, Config{Epochs: 12, LR: 5e-3, BatchSize: 4, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs[dist] = res.TestAcc
+		t.Logf("distance %d: test accuracy %.4f", dist, res.TestAcc)
+	}
+	chance := 1.0 / float64(ds.Classes())
+	if accs[1] < chance+0.1 {
+		t.Fatalf("reuse net barely above chance: %.4f (chance %.4f)", accs[1], chance)
+	}
+	if accs[1] < accs[0]-0.05 {
+		t.Fatalf("reuse accuracy %.4f fell more than 5pp below search accuracy %.4f", accs[1], accs[0])
+	}
+}

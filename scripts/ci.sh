@@ -40,7 +40,34 @@ echo "== fuzz smoke (seed corpus only) =="
 go test -run '^Fuzz' ./internal/compress/ ./internal/dataset/ ./internal/nn/ ./internal/neighbor/
 
 echo "== bench smoke (1 iteration) =="
-go test -run '^$' -bench 'BenchmarkPipelineFrameAllocs|BenchmarkMatMulAT' -benchtime=1x -benchmem ./internal/pipeline/ ./internal/tensor/
-go test -run '^$' -bench 'BenchmarkServeSteadyState' -benchtime=1x -benchmem ./internal/serve/
+go test -run '^$' -bench 'BenchmarkMatMulAT' -benchtime=1x -benchmem ./internal/tensor/
+
+echo "== allocs/op regression gate =="
+# The zero-allocation hot path (DESIGN.md §6) must not regress: steady-state
+# frame allocation counts are capped per benchmark. Raising a ceiling is a
+# reviewed decision, not a drive-by.
+bench_out=$(go test -run '^$' -bench 'BenchmarkPipelineFrameAllocs' -benchtime=1x -benchmem ./internal/pipeline/)
+serve_out=$(go test -run '^$' -bench 'BenchmarkServeSteadyState' -benchtime=1x -benchmem ./internal/serve/)
+printf '%s\n%s\n' "$bench_out" "$serve_out"
+printf '%s\n%s\n' "$bench_out" "$serve_out" | awk '
+	/^Benchmark/ {
+		for (i = 1; i <= NF; i++) if ($i == "allocs/op") allocs = $(i-1)
+		limit = -1
+		if ($1 ~ /^BenchmarkPipelineFrameAllocsPointNetPP/) limit = 93
+		if ($1 ~ /^BenchmarkPipelineFrameAllocsDGCNN/)      limit = 55
+		if ($1 ~ /^BenchmarkServeSteadyState/)              limit = 87
+		if (limit >= 0) {
+			seen++
+			if (allocs + 0 > limit) {
+				printf "allocs gate: %s allocated %s/op, ceiling %d\n", $1, allocs, limit
+				bad = 1
+			}
+		}
+	}
+	END {
+		if (seen < 3) { printf "allocs gate: matched %d of 3 benchmarks\n", seen; exit 1 }
+		exit bad
+	}
+'
 
 echo "ci: all green"
