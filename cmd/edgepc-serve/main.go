@@ -9,9 +9,14 @@
 //
 //	edgepc-serve -workload W1 -config S+N -workers 2 -frames 64 -clients 4
 //	edgepc-serve -quick -workload W3 -frames 8          # laptop-scale smoke
+//	edgepc-serve -quick -degrade 2 -chaos-panic 0.1     # ladder + chaos drill
 //
 // -quick shrinks the model and cloud far below the paper's scale so the
-// command completes in seconds on a development machine.
+// command completes in seconds on a development machine. -degrade N arms an
+// N-rung degradation ladder (pipeline.DegradeTiers) that steps approximation
+// presets down under queue pressure instead of rejecting; -chaos-* thread a
+// deterministic fault-injection plan (internal/faultinject) through the
+// engine to demonstrate panic isolation and admission rejection live.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/edgesim"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/pipeline"
 	"repro/internal/serve"
@@ -44,9 +50,15 @@ func main() {
 		clients  = flag.Int("clients", 4, "concurrent submitting clients")
 		seed     = flag.Int64("seed", 1, "model and frame seed")
 		quick    = flag.Bool("quick", false, "laptop-scale model and clouds (smoke mode)")
+
+		degrade      = flag.Int("degrade", 0, "degradation-ladder depth 0..3 (0: off)")
+		chaosPanic   = flag.Float64("chaos-panic", 0, "fault injection: fraction of frames that panic a worker")
+		chaosCorrupt = flag.Float64("chaos-corrupt", 0, "fault injection: fraction of frames corrupted before admission")
+		chaosSeed    = flag.Uint64("chaos-seed", 1, "fault-injection plan seed")
 	)
 	flag.Parse()
-	if err := run(*workload, *config, *workers, *queue, *batch, *window, *timeout, *frames, *clients, *seed, *quick); err != nil {
+	if err := run(*workload, *config, *workers, *queue, *batch, *window, *timeout,
+		*frames, *clients, *seed, *quick, *degrade, *chaosPanic, *chaosCorrupt, *chaosSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "edgepc-serve:", err)
 		os.Exit(1)
 	}
@@ -64,7 +76,20 @@ func parseConfig(s string) (pipeline.ConfigKind, error) {
 	return 0, fmt.Errorf("unknown config %q (want baseline, S+N or S+N+F)", s)
 }
 
-func run(workload, config string, workers, queue, batch int, window, timeout time.Duration, frames, clients int, seed int64, quick bool) error {
+// tierName labels a DegradeTiers rung by the knob it adds.
+func tierName(i int) string {
+	switch i {
+	case 0:
+		return "W/2"
+	case 1:
+		return "W/2+budget/2"
+	default:
+		return fmt.Sprintf("W/2+budget/2+reuse+%d", i-1)
+	}
+}
+
+func run(workload, config string, workers, queue, batch int, window, timeout time.Duration,
+	frames, clients int, seed int64, quick bool, degrade int, chaosPanic, chaosCorrupt float64, chaosSeed uint64) error {
 	w, err := pipeline.WorkloadByID(workload)
 	if err != nil {
 		return err
@@ -76,21 +101,42 @@ func run(workload, config string, workers, queue, batch int, window, timeout tim
 	if workers < 1 || clients < 1 || frames < 1 {
 		return fmt.Errorf("workers, clients and frames must be positive")
 	}
+	if degrade < 0 || degrade > pipeline.MaxDegradeTiers {
+		return fmt.Errorf("degrade must be 0..%d", pipeline.MaxDegradeTiers)
+	}
+	if chaosPanic < 0 || chaosPanic > 1 || chaosCorrupt < 0 || chaosCorrupt > 1 {
+		return fmt.Errorf("chaos fractions must be in [0,1]")
+	}
 	opts := pipeline.Options{Seed: seed}
 	if quick {
 		w.Points, w.Batch = 256, 1
 		opts.BaseWidth, opts.Depth, opts.Modules = 8, 2, 2
 	}
-	nets, err := pipeline.Replicas(w, kind, opts, workers)
+	tierOpts := pipeline.DegradeTiers(w, opts, degrade)
+	rows, err := pipeline.TieredReplicas(w, kind, opts, workers, tierOpts)
 	if err != nil {
 		return err
 	}
-	engine, err := serve.New(nets, edgesim.JetsonAGXXavier(), pipeline.SimConfig(w, kind, opts), serve.Config{
+	cfg := serve.Config{
 		QueueDepth:     queue,
 		MaxBatch:       batch,
 		BatchWindow:    window,
 		DefaultTimeout: timeout,
-	})
+		Rebuild: func(worker, tier int) (pipeline.Net, error) {
+			o := opts
+			if tier > 0 {
+				o = tierOpts[tier-1]
+			}
+			return pipeline.RebuildReplica(rows[0][0], w, kind, o)
+		},
+	}
+	for i, row := range rows[1:] {
+		cfg.Degrade = append(cfg.Degrade, serve.Tier{Name: tierName(i), Nets: row})
+	}
+	if chaosPanic > 0 || chaosCorrupt > 0 {
+		cfg.Faults = &faultinject.Plan{Seed: chaosSeed, PanicFrac: chaosPanic, CorruptFrac: chaosCorrupt}
+	}
+	engine, err := serve.New(rows[0], edgesim.JetsonAGXXavier(), pipeline.SimConfig(w, kind, opts), cfg)
 	if err != nil {
 		return err
 	}
@@ -110,8 +156,14 @@ func run(workload, config string, workers, queue, batch int, window, timeout tim
 
 	fmt.Printf("edgepc-serve: %s %s, %d workers, %d clients, %d frames (%d points each)\n",
 		w.ID, kind, workers, clients, frames, w.Points)
+	if degrade > 0 {
+		fmt.Printf("degradation ladder: %d tiers armed\n", degrade)
+	}
+	if cfg.Faults != nil {
+		fmt.Printf("chaos: panic %.0f%%, corrupt %.0f%% (seed %d)\n", chaosPanic*100, chaosCorrupt*100, chaosSeed)
+	}
 
-	var next, okCount, deadlineCount, retries atomic.Int64
+	var next, okCount, deadlineCount, panicCount, invalidCount, retries atomic.Int64
 	var firstErr atomic.Value
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -137,6 +189,11 @@ func run(workload, config string, workers, queue, batch int, window, timeout tim
 						continue
 					case errors.Is(err, serve.ErrDeadline):
 						deadlineCount.Add(1)
+					case errors.Is(err, serve.ErrPanic):
+						// Isolated: the frame failed but the engine serves on.
+						panicCount.Add(1)
+					case errors.Is(err, serve.ErrInvalidInput):
+						invalidCount.Add(1)
 					default:
 						firstErr.CompareAndSwap(nil, err)
 					}
@@ -162,5 +219,12 @@ func run(workload, config string, workers, queue, batch int, window, timeout tim
 		s.Latency.P99.Round(time.Microsecond), s.Latency.Max.Round(time.Microsecond), s.Latency.Window)
 	fmt.Printf("batches: %d (mean %.2f frames/batch), throughput %.0f frames/s\n",
 		s.Batches, s.MeanBatch, float64(okCount.Load())/elapsed.Seconds())
+	fmt.Printf("resilience: %d panics (%d quarantines, %d breaker trips), %d invalid, %d step-downs / %d step-ups\n",
+		s.Panics, s.Quarantines, s.BreakerTrips, s.Invalid, s.StepDowns, s.StepUps)
+	for tier, n := range s.Degraded {
+		if tier > 0 && n > 0 {
+			fmt.Printf("  tier %d (%s): %d frames\n", tier, engine.TierName(tier), n)
+		}
+	}
 	return nil
 }

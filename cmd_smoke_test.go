@@ -22,6 +22,7 @@ func TestCommandSmoke(t *testing.T) {
 		{"edgepc-bench-list", []string{"run", "./cmd/edgepc-bench", "-list"}, "fig13"},
 		{"edgepc-bench-quick", []string{"run", "./cmd/edgepc-bench", "-quick", "table1"}, "W6"},
 		{"edgepc-serve-quick", []string{"run", "./cmd/edgepc-serve", "-quick", "-workload", "W1", "-frames", "6", "-clients", "2", "-workers", "2"}, "served 6 frames"},
+		{"edgepc-serve-chaos", []string{"run", "./cmd/edgepc-serve", "-quick", "-workload", "W3", "-frames", "8", "-clients", "2", "-workers", "2", "-degrade", "1", "-chaos-panic", "0.2"}, "resilience:"},
 	}
 	for _, c := range cases {
 		c := c
@@ -51,6 +52,7 @@ func TestCommandSmokeFailures(t *testing.T) {
 		{"edgepc-serve-bad-workload", []string{"run", "./cmd/edgepc-serve", "-quick", "-workload", "W9"}, "unknown workload"},
 		{"edgepc-serve-bad-config", []string{"run", "./cmd/edgepc-serve", "-quick", "-config", "turbo"}, "unknown config"},
 		{"edgepc-serve-bad-flag", []string{"run", "./cmd/edgepc-serve", "-no-such-flag"}, "flag provided but not defined"},
+		{"edgepc-serve-bad-degrade", []string{"run", "./cmd/edgepc-serve", "-quick", "-degrade", "9"}, "degrade must be"},
 	}
 	for _, c := range cases {
 		c := c

@@ -1,0 +1,185 @@
+// Package faultinject provides deterministic, seed-driven fault plans for
+// chaos-testing the serving engine (internal/serve).
+//
+// A Plan maps a frame sequence number to at most one fault Decision — panic,
+// input corruption, worker stall, or added delay — using a pure hash of
+// (seed, sequence, fault class). The same plan therefore produces the same
+// fault schedule on every run, which is what lets the chaos tests assert
+// exact per-frame outcomes ("frame 17 panics, frame 18 completes") instead of
+// statistical ones, and lets a failure found under `-race` be replayed
+// bit-for-bit.
+//
+// The zero Plan (and a nil *Plan) injects nothing: production code threads a
+// plan pointer unconditionally and pays one nil check per frame, no
+// allocations and no locks.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// Op is the kind of fault injected into one frame.
+type Op uint8
+
+// The fault taxonomy (DESIGN.md §11). At most one op fires per frame;
+// when several classes draw the same frame the priority is
+// panic > corrupt > stall > delay.
+const (
+	// OpNone leaves the frame alone.
+	OpNone Op = iota
+	// OpPanic makes the worker panic mid-frame, inside the forward pass —
+	// the fault the recover/quarantine machinery must contain.
+	OpPanic
+	// OpCorrupt poisons the input before admission (a NaN/Inf coordinate is
+	// written into a clone of the cloud), so the frame must be rejected by
+	// input validation, never run.
+	OpCorrupt
+	// OpStall freezes the worker for Decision.Sleep before it processes the
+	// batch holding this frame — a hung replica; other workers absorb load.
+	OpStall
+	// OpDelay adds Decision.Sleep to this frame's forward pass — a slow
+	// frame that pushes queue depth up and exercises deadlines and the
+	// degradation ladder.
+	OpDelay
+)
+
+var opNames = [...]string{"none", "panic", "corrupt", "stall", "delay"}
+
+// String names the op.
+func (o Op) String() string {
+	if int(o) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+	return opNames[o]
+}
+
+// Decision is the fault (if any) scheduled for one frame.
+type Decision struct {
+	Op    Op
+	Sleep time.Duration // for OpStall and OpDelay
+}
+
+// Default sleep durations applied when a fraction is set but its duration is
+// left zero.
+const (
+	DefaultStall = 5 * time.Millisecond
+	DefaultDelay = 500 * time.Microsecond
+)
+
+// Plan is a deterministic fault schedule over frame sequence numbers. Each
+// fraction is the probability (under the seeded hash) that a frame draws that
+// fault class; PanicFrames additionally forces panics on explicit frames.
+// Plans are immutable once handed to an engine and safe for concurrent use.
+type Plan struct {
+	Seed uint64
+
+	// PanicFrac injects worker panics into this fraction of frames.
+	PanicFrac float64
+	// PanicFrames forces OpPanic on these exact sequence numbers,
+	// independent of PanicFrac (deterministic single-fault scenarios).
+	PanicFrames []uint64
+
+	// CorruptFrac poisons this fraction of inputs before admission.
+	CorruptFrac float64
+
+	// StallFrac freezes the worker for Stall before this fraction of frames.
+	StallFrac float64
+	Stall     time.Duration // zero: DefaultStall
+
+	// DelayFrac slows this fraction of frames by Delay.
+	DelayFrac float64
+	Delay     time.Duration // zero: DefaultDelay
+}
+
+// Active reports whether the plan can inject any fault at all.
+func (p *Plan) Active() bool {
+	if p == nil {
+		return false
+	}
+	return p.PanicFrac > 0 || len(p.PanicFrames) > 0 || p.CorruptFrac > 0 ||
+		p.StallFrac > 0 || p.DelayFrac > 0
+}
+
+// Frame returns the fault scheduled for frame seq. It is nil-safe,
+// allocation-free, and pure: the same (plan, seq) always returns the same
+// Decision.
+func (p *Plan) Frame(seq uint64) Decision {
+	if p == nil {
+		return Decision{}
+	}
+	for _, f := range p.PanicFrames {
+		if f == seq {
+			return Decision{Op: OpPanic}
+		}
+	}
+	if p.PanicFrac > 0 && p.draw(seq, 1) < p.PanicFrac {
+		return Decision{Op: OpPanic}
+	}
+	if p.CorruptFrac > 0 && p.draw(seq, 2) < p.CorruptFrac {
+		return Decision{Op: OpCorrupt}
+	}
+	if p.StallFrac > 0 && p.draw(seq, 3) < p.StallFrac {
+		return Decision{Op: OpStall, Sleep: defaultDur(p.Stall, DefaultStall)}
+	}
+	if p.DelayFrac > 0 && p.draw(seq, 4) < p.DelayFrac {
+		return Decision{Op: OpDelay, Sleep: defaultDur(p.Delay, DefaultDelay)}
+	}
+	return Decision{}
+}
+
+func defaultDur(d, def time.Duration) time.Duration {
+	if d <= 0 {
+		return def
+	}
+	return d
+}
+
+// draw maps (seed, seq, class) to a uniform float in [0, 1).
+func (p *Plan) draw(seq, class uint64) float64 {
+	h := mix(mix(p.Seed^class*0xda942042e4dd58b5) ^ seq)
+	return float64(h>>11) * (1.0 / (1 << 53))
+}
+
+// mix is the SplitMix64 finalizer: a cheap, well-distributed 64-bit hash.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Corrupt returns a poisoned deep copy of the cloud: one seeded coordinate is
+// replaced with NaN or ±Inf. The original is never touched (callers of Submit
+// own their clouds), and the corruption site is deterministic in (seed, seq),
+// so admission tests can assert exactly which frame was rejected and why.
+func Corrupt(c *geom.Cloud, seed, seq uint64) *geom.Cloud {
+	out := c.Clone()
+	n := out.Len()
+	if n == 0 {
+		return out
+	}
+	h := mix(seed ^ mix(seq))
+	var v float64
+	switch (h >> 32) % 3 {
+	case 0:
+		v = math.NaN()
+	case 1:
+		v = math.Inf(1)
+	default:
+		v = math.Inf(-1)
+	}
+	p := &out.Points[h%uint64(n)]
+	switch (h >> 40) % 3 {
+	case 0:
+		p.X = v
+	case 1:
+		p.Y = v
+	default:
+		p.Z = v
+	}
+	return out
+}

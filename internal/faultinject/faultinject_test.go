@@ -1,0 +1,149 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+)
+
+func TestNilAndZeroPlansAreInert(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Active() {
+		t.Fatal("nil plan reports active")
+	}
+	for seq := uint64(0); seq < 100; seq++ {
+		if d := nilPlan.Frame(seq); d.Op != OpNone {
+			t.Fatalf("nil plan injected %v at %d", d.Op, seq)
+		}
+	}
+	zero := &Plan{Seed: 7}
+	if zero.Active() {
+		t.Fatal("zero plan reports active")
+	}
+	for seq := uint64(0); seq < 100; seq++ {
+		if d := zero.Frame(seq); d.Op != OpNone {
+			t.Fatalf("zero plan injected %v at %d", d.Op, seq)
+		}
+	}
+}
+
+func TestFrameIsDeterministic(t *testing.T) {
+	mk := func(seed uint64) *Plan {
+		return &Plan{Seed: seed, PanicFrac: 0.1, CorruptFrac: 0.1, StallFrac: 0.1, DelayFrac: 0.1}
+	}
+	a, b := mk(42), mk(42)
+	differentSeed := mk(43)
+	diff := 0
+	for seq := uint64(0); seq < 2000; seq++ {
+		da, db := a.Frame(seq), b.Frame(seq)
+		if da != db {
+			t.Fatalf("same plan disagrees at %d: %v vs %v", seq, da, db)
+		}
+		if da != differentSeed.Frame(seq) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("changing the seed changed no decision in 2000 frames")
+	}
+}
+
+func TestFractionsApproximatelyHold(t *testing.T) {
+	p := &Plan{Seed: 9, PanicFrac: 0.25}
+	const n = 20000
+	hits := 0
+	for seq := uint64(0); seq < n; seq++ {
+		if p.Frame(seq).Op == OpPanic {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("PanicFrac 0.25 hit %.3f of frames", frac)
+	}
+}
+
+func TestPanicFramesAndPriority(t *testing.T) {
+	// Every class at fraction 1: panic must win the priority order, and the
+	// explicit frame list must fire even with PanicFrac 0.
+	p := &Plan{Seed: 1, CorruptFrac: 1, StallFrac: 1, DelayFrac: 1, PanicFrames: []uint64{3}}
+	if d := p.Frame(3); d.Op != OpPanic {
+		t.Fatalf("explicit panic frame got %v", d.Op)
+	}
+	if d := p.Frame(4); d.Op != OpCorrupt {
+		t.Fatalf("corrupt should outrank stall/delay, got %v", d.Op)
+	}
+	all := &Plan{Seed: 1, PanicFrac: 1, CorruptFrac: 1, StallFrac: 1, DelayFrac: 1}
+	if d := all.Frame(11); d.Op != OpPanic {
+		t.Fatalf("panic should win all draws, got %v", d.Op)
+	}
+}
+
+func TestSleepDefaults(t *testing.T) {
+	p := &Plan{Seed: 2, StallFrac: 1}
+	if d := p.Frame(0); d.Op != OpStall || d.Sleep != DefaultStall {
+		t.Fatalf("stall decision %+v, want default %v", d, DefaultStall)
+	}
+	p = &Plan{Seed: 2, DelayFrac: 1, Delay: 3 * time.Millisecond}
+	if d := p.Frame(0); d.Op != OpDelay || d.Sleep != 3*time.Millisecond {
+		t.Fatalf("delay decision %+v", d)
+	}
+}
+
+func TestCorruptClonesAndPoisons(t *testing.T) {
+	c := geom.NewCloud(8, 2)
+	for i := range c.Points {
+		c.Points[i] = geom.Point3{X: float64(i), Y: 1, Z: 2}
+	}
+	orig := c.Clone()
+	bad := Corrupt(c, 7, 3)
+	if bad == c {
+		t.Fatal("Corrupt returned the original cloud")
+	}
+	// Original untouched.
+	for i := range c.Points {
+		if c.Points[i] != orig.Points[i] {
+			t.Fatalf("Corrupt mutated the caller's cloud at %d", i)
+		}
+	}
+	finite := 0
+	for _, p := range bad.Points {
+		if p.IsFinite() {
+			finite++
+		}
+	}
+	if finite != len(bad.Points)-1 {
+		t.Fatalf("%d finite points of %d, want exactly one poisoned", finite, len(bad.Points))
+	}
+	// Deterministic in (seed, seq).
+	again := Corrupt(c, 7, 3)
+	for i := range bad.Points {
+		a, b := bad.Points[i], again.Points[i]
+		if (a.IsFinite() != b.IsFinite()) || (a.IsFinite() && a != b) {
+			t.Fatalf("corruption not deterministic at %d", i)
+		}
+	}
+	if other := Corrupt(c, 7, 4); func() bool {
+		for i := range other.Points {
+			of, bf := other.Points[i].IsFinite(), bad.Points[i].IsFinite()
+			if of != bf {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Log("seq 3 and 4 poisoned the same site (possible, just unlikely)")
+	}
+	if empty := Corrupt(geom.NewCloud(0, 0), 1, 1); empty.Len() != 0 {
+		t.Fatal("empty cloud corruption grew points")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{OpNone: "none", OpPanic: "panic", OpCorrupt: "corrupt", OpStall: "stall", OpDelay: "delay"} {
+		if op.String() != want {
+			t.Fatalf("Op(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}

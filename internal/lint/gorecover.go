@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RecoverDirective opts a package into the gorecover check: place it in any
+// comment of the package (conventionally next to the worker-loop it
+// protects) and every go statement in that package must spawn a body whose
+// first statements install a deferred recover guard.
+const RecoverDirective = "//edgepc:goroutines-must-recover"
+
+// GoRecover enforces the serving-layer liveness invariant: a panic escaping
+// any goroutine kills the whole process, so in packages that promise panic
+// isolation (marked with //edgepc:goroutines-must-recover) every goroutine
+// body must begin with deferred statements, at least one of which recovers —
+// either an inline `defer func() { recover() ... }()` or a deferred call to
+// a same-package function that calls recover directly. recover only works
+// when called by the deferred function itself (Go spec), so the check
+// demands a direct call, not one buried in a nested function literal.
+var GoRecover = &Analyzer{
+	Name: "gorecover",
+	Doc:  "goroutines spawned in packages marked " + RecoverDirective + " must install a deferred recover guard before any other statement",
+	Run:  runGoRecover,
+}
+
+func runGoRecover(p *Pass) {
+	for _, pkg := range p.Targets {
+		if !packageOptsIntoRecover(pkg) {
+			continue
+		}
+		decls := map[types.Object]*ast.FuncDecl{}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
+					if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+						decls[obj] = fd
+					}
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body, name := goroutineBody(pkg, decls, g)
+				if body == nil {
+					p.Reportf(g.Pos(), "go statement spawns %s, which cannot be resolved to a body in this package; spawn a package-local function that installs a deferred recover guard", name)
+					return true
+				}
+				if !leadingRecoverGuard(pkg, decls, body) {
+					p.Reportf(g.Pos(), "goroutine body %s must install a deferred recover guard before any other statement", name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// packageOptsIntoRecover reports whether any comment in the package carries
+// RecoverDirective.
+func packageOptsIntoRecover(pkg *Package) bool {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			if hasDirective(cg, RecoverDirective) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// goroutineBody resolves the body a go statement will run: an inline
+// function literal, or the declaration of a same-package function or
+// concrete method. Unresolvable targets (other packages, interface methods,
+// function values) return nil.
+func goroutineBody(pkg *Package, decls map[types.Object]*ast.FuncDecl, g *ast.GoStmt) (*ast.BlockStmt, string) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, "the function literal"
+	}
+	f := calleeFunc(pkg.Info, g.Call)
+	if f == nil {
+		return nil, "a function value"
+	}
+	if fd := decls[f]; fd != nil && fd.Body != nil {
+		return fd.Body, f.Name()
+	}
+	return nil, f.FullName()
+}
+
+// leadingRecoverGuard reports whether the body starts with a run of defer
+// statements of which at least one recovers. Scanning stops at the first
+// non-defer statement: a guard installed after real work has begun leaves a
+// window where a panic escapes.
+func leadingRecoverGuard(pkg *Package, decls map[types.Object]*ast.FuncDecl, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		ds, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			return false
+		}
+		if deferRecovers(pkg, decls, ds) {
+			return true
+		}
+	}
+	return false
+}
+
+// deferRecovers reports whether one defer statement is a recover guard: the
+// deferred function — an inline literal or a resolvable same-package
+// function — calls the recover builtin directly.
+func deferRecovers(pkg *Package, decls map[types.Object]*ast.FuncDecl, ds *ast.DeferStmt) bool {
+	if lit, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok {
+		return callsRecoverDirectly(pkg.Info, lit.Body)
+	}
+	f := calleeFunc(pkg.Info, ds.Call)
+	if f == nil {
+		return false
+	}
+	fd := decls[f]
+	return fd != nil && fd.Body != nil && callsRecoverDirectly(pkg.Info, fd.Body)
+}
+
+// callsRecoverDirectly reports whether the body calls recover() outside any
+// nested function literal — the only position where recover stops a panic
+// (a nested literal is a different function, whose recover is a no-op for
+// the deferred frame).
+func callsRecoverDirectly(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

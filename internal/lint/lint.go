@@ -18,6 +18,9 @@
 //     mismatches in *Into kernel calls.
 //   - floateq: ==/!= on floating-point operands (exact-zero sentinel and
 //     sparsity-skip comparisons are exempt).
+//   - gorecover: in packages marked //edgepc:goroutines-must-recover, every
+//     goroutine body must install a deferred recover guard before any other
+//     statement (panic isolation for the serving layer).
 //
 // A finding is suppressed by the directive
 //
@@ -93,7 +96,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{HotPathAlloc, WorkspacePair, ParallelCapture, IntoAlias, FloatEq}
+	return []*Analyzer{HotPathAlloc, WorkspacePair, ParallelCapture, IntoAlias, FloatEq, GoRecover}
 }
 
 // Run executes the analyzers over the target packages and returns the

@@ -30,6 +30,12 @@ func TestFloatEq(t *testing.T) {
 	runFixture(t, "floateq_clean", FloatEq)
 }
 
+func TestGoRecover(t *testing.T) {
+	runFixture(t, "gorecover_bad", GoRecover)
+	runFixture(t, "gorecover_clean", GoRecover)
+	runFixture(t, "gorecover_unmarked", GoRecover)
+}
+
 // TestMalformedIgnores asserts that broken suppression directives are
 // reported as [lint] diagnostics and do NOT suppress the findings they sit
 // above: three malformed directives, three live floateq findings.

@@ -1,0 +1,52 @@
+// Package gorecover_bad spawns goroutines without recover guards in a
+// package that promises panic isolation.
+//
+//edgepc:goroutines-must-recover
+package gorecover_bad
+
+// Unguarded spawns an inline body with no deferred recover at all.
+func Unguarded(work func()) {
+	go func() { // want `goroutine body the function literal must install a deferred recover guard`
+		work()
+	}()
+}
+
+// loop has a defer, but it never recovers.
+func loop(ch chan int) {
+	defer close(ch)
+	for range ch {
+	}
+}
+
+// NamedUnguarded spawns a named function whose leading defer does not
+// recover.
+func NamedUnguarded(ch chan int) {
+	go loop(ch) // want `goroutine body loop must install a deferred recover guard`
+}
+
+// LateGuard installs the recover only after real work has started: the first
+// statement can already panic with nothing deferred.
+func LateGuard(work func()) {
+	go func() { // want `goroutine body the function literal must install a deferred recover guard`
+		work()
+		defer func() { recover() }()
+		work()
+	}()
+}
+
+// NestedRecover recovers inside a nested literal, which the spec makes a
+// no-op for the goroutine's frame.
+func NestedRecover(work func()) {
+	go func() { // want `goroutine body the function literal must install a deferred recover guard`
+		defer func() {
+			cleanup := func() { recover() }
+			cleanup()
+		}()
+		work()
+	}()
+}
+
+// Opaque spawns a function value the analyzer cannot resolve to a body.
+func Opaque(work func()) {
+	go work() // want `cannot be resolved to a body in this package`
+}

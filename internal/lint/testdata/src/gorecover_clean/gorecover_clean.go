@@ -1,0 +1,54 @@
+// Package gorecover_clean spawns every goroutine behind a deferred recover
+// guard, in each of the accepted shapes.
+//
+//edgepc:goroutines-must-recover
+package gorecover_clean
+
+// InlineGuard: the canonical open-coded guard.
+func InlineGuard(work func()) {
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				_ = v
+			}
+		}()
+		work()
+	}()
+}
+
+// guard is a shared recovery helper called via defer.
+func guard() {
+	if v := recover(); v != nil {
+		_ = v
+	}
+}
+
+// HelperGuard defers a named same-package function that recovers.
+func HelperGuard(work func()) {
+	go func() {
+		defer guard()
+		work()
+	}()
+}
+
+// worker is a named goroutine body with its own leading guard.
+func worker(ch chan int) {
+	defer guard()
+	for range ch {
+	}
+}
+
+// NamedGuarded spawns the guarded named function.
+func NamedGuarded(ch chan int) {
+	go worker(ch)
+}
+
+// MultiDefer installs bookkeeping defers around the guard; any guard within
+// the leading defer run counts.
+func MultiDefer(work func(), done chan struct{}) {
+	go func() {
+		defer close(done)
+		defer guard()
+		work()
+	}()
+}

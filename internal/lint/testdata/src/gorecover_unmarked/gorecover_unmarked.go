@@ -1,0 +1,10 @@
+// Package gorecover_unmarked never opted into the invariant: unguarded
+// goroutines are ordinary Go here and must not be flagged.
+package gorecover_unmarked
+
+// Unguarded is fine outside a marked package.
+func Unguarded(work func()) {
+	go func() {
+		work()
+	}()
+}

@@ -101,6 +101,11 @@ type Options struct {
 	// sweeps it).
 	MortonLayers  int
 	ReuseDistance int // DGCNN reuse distance in S+N configs; default 1
+	// SampleFrac is the per-module down-sampling ratio of the PointNet++ SA
+	// chain (the sample budget); default 0.25, the PointNet++ convention.
+	// Smaller fractions spend less compute per frame at some accuracy cost —
+	// one rung of serve's degradation ladder (DegradeTiers).
+	SampleFrac float64
 	// PPReuseDistance is the PointNet++ SA neighbor-reuse distance in S+N
 	// configs (§5.2.3 generalized across sampled levels). Default 0: off —
 	// unlike DGCNN, reusing across SA levels projects indexes through the
@@ -135,6 +140,9 @@ func (o *Options) defaults(w Workload) {
 	}
 	if o.ReuseDistance == 0 {
 		o.ReuseDistance = 1
+	}
+	if o.SampleFrac == 0 {
+		o.SampleFrac = 0.25
 	}
 	if o.TotalBits == 0 {
 		o.TotalBits = 32

@@ -87,7 +87,7 @@ func buildPointNetPP(w Workload, kind ConfigKind, opts Options) (Net, error) {
 		Depth:        opts.Depth,
 		BaseWidth:    opts.BaseWidth,
 		K:            w.K,
-		SampleFrac:   0.25,
+		SampleFrac:   opts.SampleFrac,
 		Radius:       opts.BallRadius,
 		ExtraFeatDim: opts.ExtraFeatDim,
 		SAStrategies: sa,

@@ -38,3 +38,94 @@ func Replicas(w Workload, kind ConfigKind, opts Options, n int) ([]Net, error) {
 	}
 	return nets, nil
 }
+
+// RebuildReplica constructs a fresh net for the workload/configuration and
+// re-points its parameters at ref's (nn.ShareParams) — the serve-layer
+// quarantine hook: when a worker's replica panics mid-frame, its workspace
+// and caches can no longer be trusted, so the engine swaps in a replica
+// rebuilt from the shared weights. Safe to call concurrently from several
+// workers; ref's parameters are only read.
+func RebuildReplica(ref Net, w Workload, kind ConfigKind, opts Options) (Net, error) {
+	if ref == nil {
+		return nil, fmt.Errorf("pipeline: rebuild needs a reference net")
+	}
+	net, err := Build(w, kind, opts)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: rebuild: %w", err)
+	}
+	if err := nn.ShareParams(net.Params(), ref.Params()); err != nil {
+		return nil, fmt.Errorf("pipeline: rebuild: %w", err)
+	}
+	return net, nil
+}
+
+// MaxDegradeTiers is the depth of the ladder DegradeTiers can derive.
+const MaxDegradeTiers = 3
+
+// DegradeTiers derives up to MaxDegradeTiers option presets for serve's
+// degradation ladder from a base configuration, exploiting the paper's own
+// accuracy/latency knobs (§5, Fig. 15). The steps are cumulative:
+//
+//	tier 1: shrink the Morton neighbor window W to max(k, W/2)
+//	tier 2: + halve the sample budget (PointNet++ SA SampleFrac; floor 0.05)
+//	tier 3: + raise the neighbor-reuse distance by one layer
+//
+// The knobs never change parameter shapes, so every tier's replicas share
+// weights with the base net (TieredReplicas). Knobs a workload doesn't use
+// (W under the baseline config, SampleFrac on DGCNN) degrade gracefully to
+// the previous tier's cost.
+func DegradeTiers(w Workload, opts Options, n int) []Options {
+	if n < 1 {
+		return nil
+	}
+	if n > MaxDegradeTiers {
+		n = MaxDegradeTiers
+	}
+	opts.defaults(w)
+	tiers := make([]Options, 0, n)
+	cur := opts
+	cur.WindowW = cur.WindowW / 2
+	if cur.WindowW < w.K {
+		cur.WindowW = w.K
+	}
+	tiers = append(tiers, cur)
+	if len(tiers) < n {
+		cur.SampleFrac = cur.SampleFrac / 2
+		if cur.SampleFrac < 0.05 {
+			cur.SampleFrac = 0.05
+		}
+		tiers = append(tiers, cur)
+	}
+	if len(tiers) < n {
+		cur.ReuseDistance++
+		cur.PPReuseDistance++
+		tiers = append(tiers, cur)
+	}
+	return tiers
+}
+
+// TieredReplicas builds the replica matrix for a degraded serving ladder:
+// row 0 holds workers full-fidelity replicas of the base options, and row
+// 1+i holds workers replicas built with tiers[i] — every net in every row
+// sharing one set of trainable parameters with the base replica. serve wires
+// row 0 into New and the remaining rows into Config.Degrade.
+func TieredReplicas(w Workload, kind ConfigKind, opts Options, workers int, tiers []Options) ([][]Net, error) {
+	base, err := Replicas(w, kind, opts, workers)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]Net, 1, 1+len(tiers))
+	rows[0] = base
+	for ti, topt := range tiers {
+		row := make([]Net, workers)
+		for i := range row {
+			net, err := RebuildReplica(base[0], w, kind, topt)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: tier %d replica %d: %w", ti+1, i, err)
+			}
+			row[i] = net
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,133 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// tinyWorkload is a scaled-down DGCNN row: replica construction and one
+// forward stay fast while exercising every knob the ladder touches.
+func tinyWorkload() Workload {
+	return Workload{
+		ID: "T", Model: "DGCNN(c)", Dataset: "ModelNet40",
+		Points: 128, Batch: 1, Task: model.TaskClassification,
+		Arch: ArchDGCNN, Classes: 10, K: 4,
+	}
+}
+
+func sharesAllParams(t *testing.T, ref, n Net) {
+	t.Helper()
+	rp, np := ref.Params(), n.Params()
+	if len(rp) != len(np) || len(rp) == 0 {
+		t.Fatalf("param count %d vs %d", len(rp), len(np))
+	}
+	for i := range rp {
+		if rp[i].Value != np[i].Value {
+			t.Fatalf("param %d (%s) not shared", i, rp[i].Name)
+		}
+		if rp[i].Grad == np[i].Grad {
+			t.Fatalf("param %d (%s) shares gradients; only values may alias", i, rp[i].Name)
+		}
+	}
+}
+
+func TestRebuildReplicaSharesParams(t *testing.T) {
+	w := tinyWorkload()
+	ref, err := Build(w, SN, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reb, err := RebuildReplica(ref, w, SN, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reb == ref {
+		t.Fatal("rebuild returned the reference net")
+	}
+	sharesAllParams(t, ref, reb)
+	// The rebuilt replica must actually serve.
+	frame, err := Frame(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunInto(reb, frame, &model.Trace{}, nil, SimConfig(w, SN, Options{})); err != nil {
+		t.Fatalf("rebuilt replica forward: %v", err)
+	}
+	if _, err := RebuildReplica(nil, w, SN, Options{}); err == nil {
+		t.Fatal("nil reference accepted")
+	}
+}
+
+func TestDegradeTiersAreCumulativeAndClamped(t *testing.T) {
+	w := tinyWorkload()
+	base := Options{}
+	base.defaults(w)
+	tiers := DegradeTiers(w, Options{}, MaxDegradeTiers+5)
+	if len(tiers) != MaxDegradeTiers {
+		t.Fatalf("got %d tiers, want clamp at %d", len(tiers), MaxDegradeTiers)
+	}
+	if tiers[0].WindowW >= base.WindowW || tiers[0].WindowW < w.K {
+		t.Fatalf("tier 1 window %d, want < %d and ≥ k=%d", tiers[0].WindowW, base.WindowW, w.K)
+	}
+	if tiers[0].SampleFrac != base.SampleFrac {
+		t.Fatal("tier 1 must not touch the sample budget yet")
+	}
+	if tiers[1].SampleFrac >= base.SampleFrac || tiers[1].SampleFrac < 0.05 {
+		t.Fatalf("tier 2 sample budget %v, want < %v with floor 0.05", tiers[1].SampleFrac, base.SampleFrac)
+	}
+	if tiers[1].WindowW != tiers[0].WindowW {
+		t.Fatal("tier 2 must keep tier 1's window (steps are cumulative)")
+	}
+	if tiers[2].ReuseDistance != base.ReuseDistance+1 || tiers[2].PPReuseDistance != base.PPReuseDistance+1 {
+		t.Fatalf("tier 3 reuse %d/%d, want base+1", tiers[2].ReuseDistance, tiers[2].PPReuseDistance)
+	}
+	if got := DegradeTiers(w, Options{}, 0); got != nil {
+		t.Fatalf("n=0 produced %d tiers", len(got))
+	}
+	if got := DegradeTiers(w, Options{}, 1); len(got) != 1 {
+		t.Fatalf("n=1 produced %d tiers", len(got))
+	}
+}
+
+func TestTieredReplicasShareOneParamSet(t *testing.T) {
+	w := tinyWorkload()
+	const workers = 2
+	tiers := DegradeTiers(w, Options{}, 2)
+	rows, err := TieredReplicas(w, SN, Options{}, workers, tiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(tiers) {
+		t.Fatalf("got %d rows, want %d", len(rows), 1+len(tiers))
+	}
+	seen := map[Net]bool{}
+	for ri, row := range rows {
+		if len(row) != workers {
+			t.Fatalf("row %d has %d nets, want %d", ri, len(row), workers)
+		}
+		for wi, n := range row {
+			if n == nil {
+				t.Fatalf("nil net at row %d worker %d", ri, wi)
+			}
+			if seen[n] {
+				t.Fatalf("net at row %d worker %d duplicated", ri, wi)
+			}
+			seen[n] = true
+			if ri == 0 && wi == 0 {
+				continue
+			}
+			sharesAllParams(t, rows[0][0], n)
+		}
+	}
+	// A degraded replica serves the same frame the full one does.
+	frame, err := Frame(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []Net{rows[0][0], rows[len(rows)-1][workers-1]} {
+		if _, _, err := RunInto(n, frame, &model.Trace{}, nil, SimConfig(w, SN, Options{})); err != nil {
+			t.Fatalf("tiered replica forward: %v", err)
+		}
+	}
+}

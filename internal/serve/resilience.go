@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// ErrPanic reports a frame whose forward pass panicked inside a worker. The
+// panic is contained: the request fails with this error (wrapped with the
+// panic value), the worker's replica is quarantined and rebuilt, and serving
+// continues. The captured stack is available via Stats().LastPanic.
+var ErrPanic = errors.New("serve: worker panicked")
+
+// runProtected runs one frame under the panic barrier and reports whether it
+// panicked. The recover guard is open-coded (a single deferred func literal,
+// no closure state beyond the loop variables) so the steady-state no-panic
+// path adds zero allocations to runFrame — the defer is stack-allocated.
+//
+//edgepc:hotpath
+func (e *Engine) runProtected(w *worker, r *request, batchSize, tier int) (panicked bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			panicked = true
+			e.panics.Add(1)
+			e.notePanic(w.id, v)
+			e.failRequest(w, r, batchSize, tier, fmt.Errorf("%w: worker %d: %v", ErrPanic, w.id, v))
+		}
+	}()
+	e.runFrame(w, r, batchSize, tier)
+	return false
+}
+
+// failRequest delivers a failure for a request that has not yet received a
+// result. The done guard makes it safe to call from recover paths: if the
+// panic fired after finish delivered (e.g. inside a deferred hook), a second
+// send would wedge the cap-1 reply channel forever.
+func (e *Engine) failRequest(w *worker, r *request, batchSize, tier int, err error) {
+	if r == nil || r.done {
+		return
+	}
+	r.done = true
+	r.reply <- Result{Err: err, Worker: w.id, BatchSize: batchSize, Tier: tier, Wait: time.Since(r.enq), Total: time.Since(r.enq)}
+}
+
+// notePanic records the most recent panic's worker, value and stack for
+// Stats. Only the latest is kept: the counter says how many, the capture
+// says what the last one looked like.
+func (e *Engine) notePanic(workerID int, v any) {
+	stack := debug.Stack()
+	e.panicMu.Lock()
+	e.lastPanic = fmt.Sprintf("worker %d: %v\n%s", workerID, v, stack)
+	e.panicMu.Unlock()
+}
+
+// quarantine retires a worker's replica after a panic: a forward pass that
+// died mid-frame may have left the replica's workspace views, layer caches
+// or reuse cache in an inconsistent state, and the next frame would compute
+// garbage (or panic again) on top of it. The replacement is rebuilt from the
+// shared parameters via Config.Rebuild (pipeline.RebuildReplica); without a
+// hook — or if the rebuild itself fails — the old replica stays, which is
+// still safe for process liveness, just not for cache hygiene.
+func (e *Engine) quarantine(w *worker, tier int) {
+	e.quarantines.Add(1)
+	if e.cfg.Rebuild == nil {
+		return
+	}
+	n, err := e.cfg.Rebuild(w.id, tier)
+	if err != nil || n == nil {
+		return
+	}
+	w.nets[tier] = n
+}
+
+// trip parks the worker for the circuit-breaker backoff: PanicTrip
+// consecutive panics mean the failure is not frame-local (poisoned weights,
+// a deterministic bug, injected chaos), and hammering the replica with
+// fresh requests at full rate just burns rebuilds. The park doubles per
+// consecutive trip (BackoffBase up to BackoffMax) and is interrupted
+// immediately by Close so a draining engine never waits out a backoff.
+func (e *Engine) trip(w *worker) {
+	e.trips.Add(1)
+	shift := w.trips
+	if shift > 20 {
+		shift = 20
+	}
+	d := e.cfg.BackoffBase << shift
+	if d <= 0 || d > e.cfg.BackoffMax {
+		d = e.cfg.BackoffMax
+	}
+	w.trips++
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-e.closing:
+	}
+}
+
+// maxRespawns bounds lastResort's worker resurrection: a goroutine that
+// re-dies this many times has a failure the recover wrappers cannot contain,
+// and respawning it forever would spin.
+const maxRespawns = 8
+
+// lastResort is the outermost guard on a worker goroutine: runProtected
+// contains per-frame panics, so anything arriving here escaped the engine's
+// own machinery (a panic in coalesce, the batcher, or the resilience code
+// itself). It fails the batch in flight, then respawns the worker goroutine
+// so the pool keeps its capacity — bounded by maxRespawns to avoid a
+// crash-loop. Deliberately minimal: no rebuild, no breaker, just "do not
+// take the process down and do not lose requests".
+func (e *Engine) lastResort(w *worker) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	e.panics.Add(1)
+	e.notePanic(w.id, v)
+	err := fmt.Errorf("%w: worker %d (outside frame execution): %v", ErrPanic, w.id, v)
+	for i, r := range w.batch {
+		if r != nil {
+			e.failRequest(w, r, len(w.batch), int(e.tier.Load()), err)
+			w.batch[i] = nil
+		}
+	}
+	if w.respawns >= maxRespawns {
+		return
+	}
+	w.respawns++
+	e.wg.Add(1)
+	go e.workerLoop(w)
+}
+
+// currentTier loads the ladder position, clamped to the configured rungs.
+//
+//edgepc:hotpath
+func (e *Engine) currentTier() int {
+	t := int(e.tier.Load())
+	if t < 0 {
+		return 0
+	}
+	if t >= e.numTiers {
+		return e.numTiers - 1
+	}
+	return t
+}
+
+// maybeStepDown runs on the Submit path after every successful enqueue:
+// when the queue has filled past the high watermark the engine steps one
+// tier down so workers start draining faster, instead of letting the next
+// submitter hit ErrQueueFull. The CAS keeps concurrent submitters from
+// double-stepping past the pressure they jointly observed.
+func (e *Engine) maybeStepDown() {
+	if e.numTiers == 1 {
+		return
+	}
+	if len(e.queue) < e.highN {
+		return
+	}
+	t := e.tier.Load()
+	if int(t) >= e.numTiers-1 {
+		return
+	}
+	if e.tier.CompareAndSwap(t, t+1) {
+		e.stepDowns.Add(1)
+		e.calm.Store(0)
+	}
+}
+
+// observeLoad runs on the worker path after every batch: Hysteresis
+// consecutive observations of a queue at or below the low watermark step
+// one tier back up. The hysteresis gap (lowN well under highN plus the
+// consecutive-calm requirement) keeps the ladder from oscillating when load
+// hovers at a watermark.
+func (e *Engine) observeLoad() {
+	if e.numTiers == 1 {
+		return
+	}
+	if len(e.queue) > e.lowN {
+		e.calm.Store(0)
+		return
+	}
+	t := e.tier.Load()
+	if t == 0 {
+		return
+	}
+	if int(e.calm.Add(1)) < e.cfg.Hysteresis {
+		return
+	}
+	if e.tier.CompareAndSwap(t, t-1) {
+		e.stepUps.Add(1)
+	}
+	e.calm.Store(0)
+}

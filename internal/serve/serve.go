@@ -4,7 +4,7 @@
 // frames on a constrained device, where queueing, deadlines and graceful
 // overload behavior matter as much as per-frame latency).
 //
-// Architecture (DESIGN.md §9):
+// Architecture (DESIGN.md §9, fault model §11):
 //
 //   - A sharded worker pool: each worker goroutine owns one model replica
 //     (weights shared read-only across replicas via nn.ShareParams — see
@@ -14,6 +14,10 @@
 //   - A bounded submission queue with reject-on-full backpressure: Submit
 //     never blocks the caller on admission — a full queue returns
 //     ErrQueueFull immediately and the caller sheds or retries.
+//   - Input admission: frames are validated at Submit (non-finite
+//     coordinates, empty/oversized clouds, degenerate bounding boxes, shape
+//     mismatches) and rejected with ErrInvalidInput before a worker is
+//     burned — see admission.go.
 //   - Per-request deadlines: a frame whose deadline passed while queued is
 //     dropped with ErrDeadline instead of wasting a worker on a stale result.
 //   - An adaptive micro-batcher: a worker that dequeues a frame coalesces
@@ -22,8 +26,20 @@
 //     waits up to BatchWindow for stragglers. At low load frames run
 //     immediately with zero added latency; under load batches grow and
 //     amortize per-dispatch overhead.
+//   - Panic isolation: every frame runs under a recover wrapper; a panic
+//     fails that one request with ErrPanic (stack captured in Stats), the
+//     worker's replica is quarantined and rebuilt via Config.Rebuild, and
+//     repeated panics trip a per-worker circuit breaker with exponential
+//     backoff — see resilience.go.
+//   - A degradation ladder: when queue depth crosses the high watermark the
+//     engine steps down to cheaper approximation tiers (Config.Degrade,
+//     built from pipeline.DegradeTiers) instead of rejecting, and steps back
+//     up with hysteresis as load drains. Results carry the tier they were
+//     served at.
 //   - Graceful shutdown: Close stops admission, drains every queued frame
-//     through the workers, and returns when all in-flight work is done.
+//     through the workers, and returns when all in-flight work is done — a
+//     breaker-parked worker is woken immediately so Close never waits out a
+//     backoff.
 package serve
 
 import (
@@ -35,13 +51,15 @@ import (
 	"time"
 
 	"repro/internal/edgesim"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/pipeline"
 )
 
-// Engine errors returned by Submit.
+// Engine errors returned by Submit. ErrInvalidInput is declared in
+// admission.go and ErrPanic in resilience.go.
 var (
 	// ErrClosed reports a Submit after Close started.
 	ErrClosed = errors.New("serve: engine closed")
@@ -52,6 +70,17 @@ var (
 	// could run it.
 	ErrDeadline = errors.New("serve: request deadline exceeded")
 )
+
+// Tier is one degraded rung of the serving ladder: a named set of cheaper
+// replica nets, one per worker. pipeline.TieredReplicas builds weight-sharing
+// rows ready to be wired here.
+type Tier struct {
+	// Name labels the tier in stats output (e.g. "W/2+budget/2").
+	Name string
+	// Nets holds one replica per worker, sharing weights with the primary
+	// replicas but built with a cheaper approximation preset.
+	Nets []pipeline.Net
+}
 
 // Config tunes the engine. The zero value selects sane defaults for every
 // field.
@@ -72,6 +101,44 @@ type Config struct {
 	// LatencyWindow is the sample capacity of the latency quantile window
 	// (metrics.DefaultLatencyWindow when zero).
 	LatencyWindow int
+
+	// MaxPoints is the admission cap on cloud size; larger frames are
+	// rejected with ErrInvalidInput. Default DefaultMaxPoints.
+	MaxPoints int
+
+	// Degrade is the degradation ladder: Degrade[i] serves tier i+1 (tier 0
+	// is the full-fidelity replica set given to New). Empty disables
+	// degradation — overload then rejects with ErrQueueFull as before.
+	Degrade []Tier
+	// HighWatermark is the queue-fill fraction at which the engine steps one
+	// tier down. Default 0.75.
+	HighWatermark float64
+	// LowWatermark is the queue-fill fraction at or below which a batch
+	// counts as calm; Hysteresis consecutive calm batches step one tier back
+	// up. Default HighWatermark/3.
+	LowWatermark float64
+	// Hysteresis is the number of consecutive calm batches required before
+	// stepping a tier back up. Default 4.
+	Hysteresis int
+
+	// PanicTrip is the number of consecutive panics on one worker that trip
+	// its circuit breaker. Default 3.
+	PanicTrip int
+	// BackoffBase is the first breaker park duration; it doubles on every
+	// consecutive trip up to BackoffMax. Defaults 100ms / 5s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Rebuild, when set, is called after a replica panics to build its
+	// replacement (pipeline.RebuildReplica shares weights with the old set).
+	// worker is the pool slot, tier the ladder rung that panicked. A nil
+	// hook (or a failing rebuild) keeps the old replica: panics are still
+	// isolated, but a corrupted workspace would persist.
+	Rebuild func(worker, tier int) (pipeline.Net, error)
+
+	// Faults, when non-nil, threads a deterministic fault-injection plan
+	// through the engine's internals (chaos testing). Nil — the default —
+	// costs one pointer check per frame.
+	Faults *faultinject.Plan
 }
 
 func (c *Config) defaults(workers int) {
@@ -86,6 +153,30 @@ func (c *Config) defaults(workers int) {
 	}
 	if c.BatchWindow < 0 {
 		c.BatchWindow = 0
+	}
+	if c.MaxPoints <= 0 {
+		c.MaxPoints = DefaultMaxPoints
+	}
+	if c.HighWatermark <= 0 || c.HighWatermark > 1 {
+		c.HighWatermark = 0.75
+	}
+	if c.LowWatermark <= 0 || c.LowWatermark >= c.HighWatermark {
+		c.LowWatermark = c.HighWatermark / 3
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 4
+	}
+	if c.PanicTrip <= 0 {
+		c.PanicTrip = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax < c.BackoffBase {
+		c.BackoffMax = 5 * time.Second
+		if c.BackoffMax < c.BackoffBase {
+			c.BackoffMax = c.BackoffBase
+		}
 	}
 }
 
@@ -118,6 +209,9 @@ type Result struct {
 	// BatchSize is the number of frames in the micro-batch this frame rode
 	// in.
 	BatchSize int
+	// Tier is the degradation rung the frame was served at: 0 is full
+	// fidelity, i ≥ 1 indexes Config.Degrade[i-1].
+	Tier int
 	// Wait is the time from submission to the worker picking the frame up;
 	// Total is submission to completion.
 	Wait  time.Duration
@@ -128,20 +222,27 @@ type Result struct {
 type request struct {
 	cloud    *geom.Cloud
 	key      string
+	seq      uint64 // admission sequence number (fault-plan domain)
 	ctx      context.Context
 	deadline time.Time // zero: no deadline
 	enq      time.Time
 	reply    chan Result // buffered (cap 1): workers never block on delivery
+	done     bool        // result delivered; owned by the serving worker
 }
 
-// worker is one pool slot: a private net replica (shared weights, private
-// workspace and caches), a reusable trace, and a reusable batch slice.
+// worker is one pool slot: a private net replica per ladder tier (shared
+// weights, private workspace and caches), a reusable trace, and a reusable
+// batch slice. consec/trips/respawns are the circuit-breaker state, touched
+// only by the worker's own goroutine.
 type worker struct {
-	id    int
-	net   pipeline.Net
-	trace model.Trace
-	batch []*request
-	carry *request // dequeued frame with a mismatched key, runs next batch
+	id       int
+	nets     []pipeline.Net // nets[tier]; index 0 is the full-fidelity replica
+	trace    model.Trace
+	batch    []*request
+	carry    *request // dequeued frame with a mismatched key, runs next batch
+	consec   int      // consecutive panicked frames
+	trips    int      // consecutive breaker trips (backoff exponent)
+	respawns int      // lastResort restarts of this worker's goroutine
 }
 
 // Engine is the concurrent batched inference engine. Create with New; all
@@ -152,73 +253,143 @@ type Engine struct {
 	sim     edgesim.Config
 	workers int
 	queue   chan *request
+	closing chan struct{} // closed when Close starts; wakes parked workers
+	faults  *faultinject.Plan
+
+	numTiers int // 1 + len(cfg.Degrade)
+	highN    int // queue length that steps the ladder down
+	lowN     int // queue length at or below which a batch counts as calm
 
 	mu     sync.RWMutex // guards closed against concurrent queue sends
 	closed bool
 	wg     sync.WaitGroup
 
+	seq       atomic.Uint64 // admission sequence numbers
 	submitted atomic.Uint64
 	completed atomic.Uint64
 	failed    atomic.Uint64
 	rejected  atomic.Uint64
 	timedOut  atomic.Uint64
 	canceled  atomic.Uint64
+	invalid   atomic.Uint64
 	batches   atomic.Uint64
 	frames    atomic.Uint64
-	latency   *metrics.LatencyWindow
+
+	tier        atomic.Int32 // current ladder rung
+	calm        atomic.Int32 // consecutive calm batches (hysteresis)
+	stepDowns   atomic.Uint64
+	stepUps     atomic.Uint64
+	degraded    []atomic.Uint64 // completed frames per tier
+	panics      atomic.Uint64
+	quarantines atomic.Uint64
+	trips       atomic.Uint64
+
+	panicMu   sync.Mutex
+	lastPanic string
+
+	latency *metrics.LatencyWindow
 }
 
 // New starts an engine with one worker per net. The nets must be independent
 // replicas (pipeline.Replicas builds weight-sharing ones); a single net must
 // never be given twice — each worker assumes exclusive ownership of its
-// replica's workspace and caches. dev may be nil to skip per-frame cost
-// modelling.
+// replica's workspace and caches. The same holds across cfg.Degrade tiers:
+// every tier needs one exclusive replica per worker
+// (pipeline.TieredReplicas builds the whole matrix). dev may be nil to skip
+// per-frame cost modelling.
 func New(nets []pipeline.Net, dev *edgesim.Device, sim edgesim.Config, cfg Config) (*Engine, error) {
 	if len(nets) == 0 {
 		return nil, fmt.Errorf("serve: need at least one net replica")
 	}
-	for i, n := range nets {
+	all := make([]pipeline.Net, 0, len(nets)*(1+len(cfg.Degrade)))
+	all = append(all, nets...)
+	for t, tier := range cfg.Degrade {
+		if len(tier.Nets) != len(nets) {
+			return nil, fmt.Errorf("serve: degrade tier %d has %d nets for %d workers", t+1, len(tier.Nets), len(nets))
+		}
+		all = append(all, tier.Nets...)
+	}
+	for i, n := range all {
 		if n == nil {
 			return nil, fmt.Errorf("serve: nil net replica %d", i)
 		}
 		for j := 0; j < i; j++ {
-			if nets[j] == n {
+			if all[j] == n {
 				return nil, fmt.Errorf("serve: net replica %d duplicates replica %d (workers need exclusive replicas)", i, j)
 			}
 		}
 	}
 	cfg.defaults(len(nets))
 	e := &Engine{
-		cfg:     cfg,
-		dev:     dev,
-		sim:     sim,
-		workers: len(nets),
-		queue:   make(chan *request, cfg.QueueDepth),
-		latency: metrics.NewLatencyWindow(cfg.LatencyWindow),
+		cfg:      cfg,
+		dev:      dev,
+		sim:      sim,
+		workers:  len(nets),
+		queue:    make(chan *request, cfg.QueueDepth),
+		closing:  make(chan struct{}),
+		faults:   cfg.Faults,
+		numTiers: 1 + len(cfg.Degrade),
+		latency:  metrics.NewLatencyWindow(cfg.LatencyWindow),
 	}
+	e.degraded = make([]atomic.Uint64, e.numTiers)
+	e.highN = int(cfg.HighWatermark*float64(cfg.QueueDepth) + 0.5)
+	if e.highN < 1 {
+		e.highN = 1
+	}
+	e.lowN = int(cfg.LowWatermark * float64(cfg.QueueDepth))
 	for i, n := range nets {
-		w := &worker{id: i, net: n, batch: make([]*request, 0, cfg.MaxBatch)}
+		tiers := make([]pipeline.Net, 1, e.numTiers)
+		tiers[0] = n
+		for _, t := range cfg.Degrade {
+			tiers = append(tiers, t.Nets[i])
+		}
+		w := &worker{id: i, nets: tiers, batch: make([]*request, 0, cfg.MaxBatch)}
 		e.wg.Add(1)
 		go e.workerLoop(w)
 	}
 	return e, nil
 }
 
-// Submit enqueues one frame and waits for its result. Admission never
-// blocks: a full queue returns ErrQueueFull immediately and a closed engine
-// ErrClosed. The wait for the result is bounded by the request deadline (or
-// ctx); cancelling ctx abandons the frame — a worker will still skip past it
-// but no result is delivered.
-func (e *Engine) Submit(ctx context.Context, req Request) (Result, error) {
-	if req.Cloud == nil || req.Cloud.Len() == 0 {
-		return Result{}, fmt.Errorf("serve: empty cloud")
+// TierName names a ladder rung for display: "full" for tier 0, the
+// configured tier name (or "tier<N>") above.
+func (e *Engine) TierName(t int) string {
+	if t <= 0 {
+		return "full"
 	}
+	if t <= len(e.cfg.Degrade) && e.cfg.Degrade[t-1].Name != "" {
+		return e.cfg.Degrade[t-1].Name
+	}
+	return fmt.Sprintf("tier%d", t)
+}
+
+// Submit enqueues one frame and waits for its result. Admission never
+// blocks: an invalid frame returns ErrInvalidInput, a full queue
+// ErrQueueFull, and a closed engine ErrClosed, all immediately. The wait for
+// the result is bounded by the request deadline (or ctx); cancelling ctx
+// abandons the frame — a worker will still skip past it but no result is
+// delivered.
+func (e *Engine) Submit(ctx context.Context, req Request) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	seq := e.seq.Add(1) - 1
+	cloud := req.Cloud
+	if e.faults != nil && cloud != nil {
+		// Corrupt-input injection happens before admission on purpose: the
+		// chaos tests assert that a poisoned frame is rejected here, never
+		// handed to a worker.
+		if d := e.faults.Frame(seq); d.Op == faultinject.OpCorrupt {
+			cloud = faultinject.Corrupt(cloud, e.faults.Seed, seq)
+		}
+	}
+	if err := validateFrame(cloud, e.cfg.MaxPoints); err != nil {
+		e.invalid.Add(1)
+		return Result{}, err
+	}
 	r := &request{
-		cloud: req.Cloud,
+		cloud: cloud,
 		key:   req.Key,
+		seq:   seq,
 		ctx:   ctx,
 		enq:   time.Now(),
 		reply: make(chan Result, 1),
@@ -251,6 +422,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) (Result, error) {
 		return Result{}, ErrQueueFull
 	}
 	e.submitted.Add(1)
+	e.maybeStepDown()
 
 	select {
 	case res := <-r.reply:
@@ -262,9 +434,14 @@ func (e *Engine) Submit(ctx context.Context, req Request) (Result, error) {
 }
 
 // workerLoop is one pool goroutine: dequeue, coalesce, run, repeat until the
-// queue is closed and drained.
+// queue is closed and drained. The leading deferred guard is the package
+// invariant — no panic may escape a serve goroutine and kill the process —
+// enforced statically by the gorecover analyzer:
+//
+//edgepc:goroutines-must-recover
 func (e *Engine) workerLoop(w *worker) {
 	defer e.wg.Done()
+	defer e.lastResort(w)
 	for {
 		first := w.carry
 		w.carry = nil
@@ -334,17 +511,35 @@ func (e *Engine) coalesceWindow(w *worker, key string) {
 // runBatch executes every frame of the worker's batch in submission order.
 // Frames run individually through the replica (the batch amortizes dispatch,
 // not compute — each forward already parallelizes internally), so one bad
-// frame fails alone.
+// frame fails alone. The serving tier is sampled once per batch; a panicked
+// frame quarantines the replica before the next frame runs (resilience.go).
 //
 //edgepc:hotpath
 func (e *Engine) runBatch(w *worker) {
 	n := len(w.batch)
 	e.batches.Add(1)
 	e.frames.Add(uint64(n))
+	tier := e.currentTier()
+	if e.faults != nil {
+		if d := e.faults.Frame(w.batch[0].seq); d.Op == faultinject.OpStall {
+			time.Sleep(d.Sleep)
+		}
+	}
 	for i, r := range w.batch {
-		e.runFrame(w, r, n)
+		if e.runProtected(w, r, n, tier) {
+			e.quarantine(w, tier)
+			w.consec++
+			if w.consec >= e.cfg.PanicTrip {
+				w.consec = 0
+				e.trip(w)
+			}
+		} else {
+			w.consec = 0
+			w.trips = 0
+		}
 		w.batch[i] = nil // release the request for GC; the slice is reused
 	}
+	e.observeLoad()
 }
 
 // runFrame is the per-frame worker hot loop: deadline/cancellation gate,
@@ -354,27 +549,37 @@ func (e *Engine) runBatch(w *worker) {
 // and the detached Output header are the only serve-layer additions.
 //
 //edgepc:hotpath
-func (e *Engine) runFrame(w *worker, r *request, batchSize int) {
+func (e *Engine) runFrame(w *worker, r *request, batchSize, tier int) {
 	now := time.Now()
 	if r.ctx.Err() != nil {
 		// Submitter is gone (counted in canceled at Submit); deliver into
 		// the buffered channel for the record and move on.
-		r.reply <- Result{Err: r.ctx.Err(), Worker: w.id, BatchSize: batchSize}
+		r.done = true
+		r.reply <- Result{Err: r.ctx.Err(), Worker: w.id, BatchSize: batchSize, Tier: tier}
 		return
 	}
 	if !r.deadline.IsZero() && now.After(r.deadline) {
 		e.timedOut.Add(1)
-		e.finish(r, Result{Err: ErrDeadline, Worker: w.id, BatchSize: batchSize, Wait: now.Sub(r.enq)})
+		e.finish(r, Result{Err: ErrDeadline, Worker: w.id, BatchSize: batchSize, Tier: tier, Wait: now.Sub(r.enq)})
 		return
 	}
-	rep, out, err := pipeline.RunInto(w.net, r.cloud, &w.trace, e.dev, e.sim)
+	if e.faults != nil {
+		switch d := e.faults.Frame(r.seq); d.Op {
+		case faultinject.OpPanic:
+			panic(fmt.Sprintf("faultinject: frame %d", r.seq))
+		case faultinject.OpDelay:
+			time.Sleep(d.Sleep)
+		}
+	}
+	rep, out, err := pipeline.RunInto(w.nets[tier], r.cloud, &w.trace, e.dev, e.sim)
 	if err != nil {
 		e.failed.Add(1)
-		e.finish(r, Result{Err: fmt.Errorf("serve: worker %d: %w", w.id, err), Worker: w.id, BatchSize: batchSize, Wait: now.Sub(r.enq)})
+		e.finish(r, Result{Err: fmt.Errorf("serve: worker %d: %w", w.id, err), Worker: w.id, BatchSize: batchSize, Tier: tier, Wait: now.Sub(r.enq)})
 		return
 	}
 	e.completed.Add(1)
-	e.finish(r, Result{Output: out, Report: rep, Worker: w.id, BatchSize: batchSize, Wait: now.Sub(r.enq)})
+	e.degraded[tier].Add(1)
+	e.finish(r, Result{Output: out, Report: rep, Worker: w.id, BatchSize: batchSize, Tier: tier, Wait: now.Sub(r.enq)})
 }
 
 // finish stamps the end-to-end latency, records it, and delivers the result
@@ -384,13 +589,15 @@ func (e *Engine) runFrame(w *worker, r *request, batchSize int) {
 func (e *Engine) finish(r *request, res Result) {
 	res.Total = time.Since(r.enq)
 	e.latency.Observe(res.Total)
+	r.done = true
 	r.reply <- res
 }
 
-// Close stops admission, drains every queued frame through the workers, and
-// returns once all in-flight work has completed. Queued frames are still
-// served (or dropped via their deadlines); new Submits fail with ErrClosed.
-// A second Close returns ErrClosed.
+// Close stops admission, wakes any breaker-parked worker, drains every
+// queued frame through the workers, and returns once all in-flight work has
+// completed. Queued frames are still served (or dropped via their
+// deadlines); new Submits fail with ErrClosed. A second Close returns
+// ErrClosed.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -399,6 +606,7 @@ func (e *Engine) Close() error {
 	}
 	e.closed = true
 	e.mu.Unlock()
+	close(e.closing) // interrupt breaker backoffs: drain must never wait one out
 	close(e.queue)
 	e.wg.Wait()
 	return nil
@@ -417,6 +625,17 @@ type Stats struct {
 	Rejected  uint64 // backpressure rejections (ErrQueueFull)
 	TimedOut  uint64 // frames dropped at their deadline (ErrDeadline)
 	Canceled  uint64 // submitters that abandoned via ctx
+	Invalid   uint64 // frames rejected at admission (ErrInvalidInput)
+
+	Panics       uint64 // frames failed by a worker panic (ErrPanic)
+	Quarantines  uint64 // replica quarantine events after panics
+	BreakerTrips uint64 // circuit-breaker parks across all workers
+	LastPanic    string // worker, value and stack of the most recent panic
+
+	Tier      int      // current degradation tier (0 = full fidelity)
+	StepDowns uint64   // ladder step-down events
+	StepUps   uint64   // ladder step-up (recovery) events
+	Degraded  []uint64 // completed frames per tier; index 0 = full fidelity
 
 	Batches   uint64  // micro-batches executed
 	Frames    uint64  // frames across all batches
@@ -428,19 +647,33 @@ type Stats struct {
 // Stats returns a snapshot; safe to call concurrently with serving.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Workers:   e.workers,
-		QueueLen:  len(e.queue),
-		QueueCap:  cap(e.queue),
-		Submitted: e.submitted.Load(),
-		Completed: e.completed.Load(),
-		Failed:    e.failed.Load(),
-		Rejected:  e.rejected.Load(),
-		TimedOut:  e.timedOut.Load(),
-		Canceled:  e.canceled.Load(),
-		Batches:   e.batches.Load(),
-		Frames:    e.frames.Load(),
-		Latency:   e.latency.Snapshot(),
+		Workers:      e.workers,
+		QueueLen:     len(e.queue),
+		QueueCap:     cap(e.queue),
+		Submitted:    e.submitted.Load(),
+		Completed:    e.completed.Load(),
+		Failed:       e.failed.Load(),
+		Rejected:     e.rejected.Load(),
+		TimedOut:     e.timedOut.Load(),
+		Canceled:     e.canceled.Load(),
+		Invalid:      e.invalid.Load(),
+		Panics:       e.panics.Load(),
+		Quarantines:  e.quarantines.Load(),
+		BreakerTrips: e.trips.Load(),
+		Tier:         int(e.tier.Load()),
+		StepDowns:    e.stepDowns.Load(),
+		StepUps:      e.stepUps.Load(),
+		Batches:      e.batches.Load(),
+		Frames:       e.frames.Load(),
+		Latency:      e.latency.Snapshot(),
 	}
+	s.Degraded = make([]uint64, e.numTiers)
+	for i := range e.degraded {
+		s.Degraded[i] = e.degraded[i].Load()
+	}
+	e.panicMu.Lock()
+	s.LastPanic = e.lastPanic
+	e.panicMu.Unlock()
 	if s.Batches > 0 {
 		s.MeanBatch = float64(s.Frames) / float64(s.Batches)
 	}

@@ -37,7 +37,14 @@ echo "== fuzz smoke (seed corpus only) =="
 # Plain `go test` already runs every f.Add seed through the fuzz targets;
 # this stage just pins the targets by name so a renamed/deleted one fails
 # loudly instead of silently shrinking coverage.
-go test -run '^Fuzz' ./internal/compress/ ./internal/dataset/ ./internal/nn/ ./internal/neighbor/
+go test -run '^Fuzz' ./internal/compress/ ./internal/dataset/ ./internal/nn/ ./internal/neighbor/ ./internal/serve/
+
+echo "== chaos smoke (fault injection under -race; see DESIGN.md §11) =="
+# The resilience layer's promises — panics isolated and quarantined, invalid
+# input rejected at admission, Close never hung by a parked breaker, the
+# degradation ladder stepping both ways — exercised under the race detector.
+go test -race -run 'TestChaos|TestCircuitBreaker|TestCloseDoesNotWaitOutBreakerPark|TestLastResort|TestDegradation|TestAdmission|TestCorruptInjection|TestDelayAndStall' ./internal/serve/
+go test -run '^$' -fuzz '^FuzzSubmitFrame$' -fuzztime 5s ./internal/serve/
 
 echo "== bench smoke (1 iteration) =="
 go test -run '^$' -bench 'BenchmarkMatMulAT' -benchtime=1x -benchmem ./internal/tensor/
@@ -53,9 +60,9 @@ printf '%s\n%s\n' "$bench_out" "$serve_out" | awk '
 	/^Benchmark/ {
 		for (i = 1; i <= NF; i++) if ($i == "allocs/op") allocs = $(i-1)
 		limit = -1
-		if ($1 ~ /^BenchmarkPipelineFrameAllocsPointNetPP/) limit = 93
-		if ($1 ~ /^BenchmarkPipelineFrameAllocsDGCNN/)      limit = 55
-		if ($1 ~ /^BenchmarkServeSteadyState/)              limit = 87
+		if ($1 ~ /^BenchmarkPipelineFrameAllocsPointNetPP/) limit = 80
+		if ($1 ~ /^BenchmarkPipelineFrameAllocsDGCNN/)      limit = 46
+		if ($1 ~ /^BenchmarkServeSteadyState/)              limit = 80
 		if (limit >= 0) {
 			seen++
 			if (allocs + 0 > limit) {
