@@ -51,7 +51,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "model and frame seed")
 		quick    = flag.Bool("quick", false, "laptop-scale model and clouds (smoke mode)")
 
-		degrade      = flag.Int("degrade", 0, "degradation-ladder depth 0..3 (0: off)")
+		degrade      = flag.Int("degrade", 0, "degradation-ladder depth 0..4 (0: off)")
 		chaosPanic   = flag.Float64("chaos-panic", 0, "fault injection: fraction of frames that panic a worker")
 		chaosCorrupt = flag.Float64("chaos-corrupt", 0, "fault injection: fraction of frames corrupted before admission")
 		chaosSeed    = flag.Uint64("chaos-seed", 1, "fault-injection plan seed")
@@ -82,9 +82,11 @@ func tierName(i int) string {
 	case 0:
 		return "W/2"
 	case 1:
-		return "W/2+budget/2"
+		return "W/2+bucketfps@0.5"
+	case 2:
+		return "W/2+bucketfps@0.5+budget/2"
 	default:
-		return fmt.Sprintf("W/2+budget/2+reuse+%d", i-1)
+		return fmt.Sprintf("W/2+bucketfps@0.5+budget/2+reuse+%d", i-2)
 	}
 }
 

@@ -54,3 +54,56 @@ func SampleStructurized(s *Structurized, n int) ([]int, error) {
 	}
 	return s.OriginalIndexes(SamplePositions(s.Len(), n)), nil
 }
+
+// BucketSampler runs sample.BucketFPS over the Morton order: it structurizes
+// the cloud, aligns the FPS buckets with Morton prefix runs (Structurized.Runs)
+// so bucket AABBs are tight, and maps the picks back to original indexes. It
+// is the middle ground between MortonSampler (pure stride) and exact FPS —
+// Frac interpolates between them.
+type BucketSampler struct {
+	// Frac is the sample.BucketFPS quality knob in [0,1].
+	Frac float64
+	// Options configure the internal structurization pass.
+	Options StructurizeOptions
+	// Target is the desired bucket count for Runs; 0 derives ≈√N buckets.
+	Target int
+
+	b sample.BucketFPS
+}
+
+// Name implements sample.Sampler.
+func (*BucketSampler) Name() string { return "bucketfps" }
+
+// Sample implements sample.Sampler: structurize, bucketed FPS over the Morton
+// order, map back to original indexes.
+func (s *BucketSampler) Sample(c *geom.Cloud, n int) ([]int, error) {
+	if n < 1 || n > c.Len() {
+		return nil, fmt.Errorf("%w: n=%d with %d points", sample.ErrBadCount, n, c.Len())
+	}
+	st, err := Structurize(c, s.Options)
+	if err != nil {
+		return nil, err
+	}
+	return s.SampleStructurized(st, n)
+}
+
+// SampleStructurized samples n points from an already-structurized cloud,
+// returning original indexes and skipping the re-encoding (mirroring
+// SampleStructurized for the stride sampler).
+func (s *BucketSampler) SampleStructurized(st *Structurized, n int) ([]int, error) {
+	if n < 1 || n > st.Len() {
+		return nil, fmt.Errorf("%w: n=%d with %d points", sample.ErrBadCount, n, st.Len())
+	}
+	target := s.Target
+	if target == 0 {
+		s.b.Buckets = nil // BucketFPS derives ≈√N equal-width buckets
+	} else {
+		s.b.Buckets = st.Runs(target)
+	}
+	s.b.Frac = s.Frac
+	pos, err := s.b.SampleIndexes(st.Cloud.Points, n)
+	if err != nil {
+		return nil, err
+	}
+	return st.OriginalIndexes(pos), nil
+}

@@ -71,6 +71,59 @@ func (s *Structurized) OriginalIndexes(positions []int) []int {
 	return out
 }
 
+// Runs partitions the structurized order into contiguous buckets of equal
+// Morton-code prefixes, aiming for roughly target buckets. It descends the
+// prefix width (octree level) in 3-bit steps until the number of prefix runs
+// reaches target, then splits any run longer than ~2·N/target so a few huge
+// voxels cannot defeat bucket-level pruning. The result is bucket offsets
+// 0 = off[0] < … < off[M] = N, directly usable as sample.BucketFPS.Buckets —
+// prefix-aligned buckets have tight AABBs, which is what makes the
+// distance-bound pruning effective.
+func (s *Structurized) Runs(target int) []int {
+	N := s.Len()
+	if target < 1 {
+		target = 1
+	}
+	if target > N {
+		target = N
+	}
+	shift := s.Encoder.TotalBits()
+	for shift > 0 {
+		shift -= 3
+		if countPrefixRuns(s.Codes, shift) >= target {
+			break
+		}
+	}
+	maxLen := 2*N/target + 1
+	off := []int{0}
+	runStart := 0
+	for i := 1; i <= N; i++ {
+		if i < N && s.Codes[i]>>shift == s.Codes[runStart]>>shift {
+			continue
+		}
+		// Run [runStart, i): emit, splitting over-long runs evenly.
+		if run := i - runStart; run > maxLen {
+			pieces := (run + maxLen - 1) / maxLen
+			for p := 1; p < pieces; p++ {
+				off = append(off, runStart+p*run/pieces)
+			}
+		}
+		off = append(off, i)
+		runStart = i
+	}
+	return off
+}
+
+func countPrefixRuns(codes []uint64, shift int) int {
+	runs := 0
+	for i := range codes {
+		if i == 0 || codes[i]>>shift != codes[i-1]>>shift {
+			runs++
+		}
+	}
+	return runs
+}
+
 // MemoryOverheadBytes returns the extra storage the structurization carries:
 // the Morton codes at the encoder's width (§5.1.3's Na/8 accounting). The
 // permutation is not counted because the SOTA pipeline also materializes

@@ -59,7 +59,15 @@ func (d *Device) StageLatency(r model.StageRecord, cfg Config) time.Duration {
 				b*float64(r.N)/d.SortThroughput +
 				b*float64(r.Q)/d.GatherThroughput
 			launch = 3 * d.KernelLaunch
-		case "morton-pick", "random", "uniform":
+		case "bucketfps":
+			// Bucketed pruned FPS: each of the Q serial picks scans the
+			// ≈√N bucket summaries and replays distances in a handful of
+			// refreshed buckets (≈8·√N points per pick empirically — see
+			// BENCH_fps.json for measured curves) instead of all N points.
+			rootN := math.Sqrt(float64(r.N))
+			perPick := d.SerialStep.Seconds() + 8*b*rootN/d.DistThroughput
+			return time.Duration(float64(r.Q) * perPick * float64(time.Second))
+		case "morton-pick", "random", "uniform", "stride":
 			// Stride pick over an already-structurized level (the encode +
 			// sort cost is the trace's StageStructurize record).
 			sec = b * float64(r.Q) / d.GatherThroughput
@@ -144,7 +152,7 @@ func (d *Device) StagePower(r model.StageRecord, cfg Config) float64 {
 	switch r.Stage {
 	case model.StageSample, model.StageNeighbor, model.StageInterp:
 		switch r.Algo {
-		case "morton", "morton-pick", "morton-window", "morton-interp", "uniform", "reuse":
+		case "morton", "morton-pick", "morton-window", "morton-interp", "uniform", "stride", "reuse":
 			return d.MortonPower
 		default:
 			return d.IrregularPower

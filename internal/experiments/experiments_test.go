@@ -10,7 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig3", "fig5", "fig6", "fig9", "fig11",
 		"fig13", "fig14", "fig15a", "fig15b",
 		"sec541", "sec542", "memory", "sec64", "table2",
-		"ablation-bits", "ablation-reuse", "ablation-sort", "compression", "devices", "stages", "validate",
+		"ablation-bits", "ablation-reuse", "ablation-sort", "compression", "devices", "fps", "stages", "validate",
 	}
 	all := All()
 	if len(all) != len(want) {

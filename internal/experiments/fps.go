@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/parallel"
+	"repro/internal/sample"
+)
+
+func init() {
+	register("fps", "Large-scale sampling: bucketed pruned FPS quality vs. latency", runFPS)
+}
+
+// runFPS measures the coverage-radius-vs-latency curve of the bucketed
+// Morton-FPS sampler against the two extremes the paper describes: exact FPS
+// (best coverage, O(nN) serial) and pure Morton stride (cheapest, uneven
+// under density skew). This is the regime the paper's benches never reach —
+// 100k and 1M point clouds — where exact FPS is seconds per frame and the
+// quality knob buys it back. scripts/bench_fps.sh converts the table to
+// BENCH_fps.json.
+func runFPS(cfg RunConfig) (*Result, error) {
+	cfg.defaults()
+	sizes := []int{100_000, 1_000_000}
+	n := 4096
+	if cfg.Quick {
+		sizes = []int{20_000, 50_000}
+		n = 512
+	}
+	rows := [][]string{{"N", "Sampler", "Quality", "CoverRadius", "RadiusVsFPS", "Measured ms", "Speedup"}}
+	for _, N := range sizes {
+		// Density-skewed blob: the case where stride sampling visibly
+		// under-covers sparse regions and FPS-style refinement pays off.
+		cloud := geom.GenerateShape(geom.ShapeBlob, geom.ShapeOptions{
+			N: N, Noise: 0.02, DensitySkew: 0.6, Seed: cfg.Seed,
+		})
+
+		start := time.Now()
+		selExact, err := sample.FPS{}.Sample(cloud, n)
+		if err != nil {
+			return nil, fmt.Errorf("fps exact N=%d: %w", N, err)
+		}
+		exactDur := time.Since(start)
+		rExact := parCoverRadius(cloud.Points, selExact)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", N), "fps(exact)", "-",
+			fmt.Sprintf("%.4f", rExact), "1.000", ms(exactDur), "1.00x",
+		})
+
+		for _, q := range []float64{1, 0.9, 0.5, 0.25} {
+			bs := &core.BucketSampler{Frac: q}
+			start = time.Now()
+			sel, err := bs.Sample(cloud, n)
+			if err != nil {
+				return nil, fmt.Errorf("bucketfps q=%v N=%d: %w", q, N, err)
+			}
+			dur := time.Since(start)
+			r := parCoverRadius(cloud.Points, sel)
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", N), "bucketfps", fmt.Sprintf("%.2f", q),
+				fmt.Sprintf("%.4f", r), fmt.Sprintf("%.3f", r/rExact),
+				ms(dur), ratio(exactDur, dur),
+			})
+		}
+
+		start = time.Now()
+		selStride, err := core.MortonSampler{}.Sample(cloud, n)
+		if err != nil {
+			return nil, fmt.Errorf("morton stride N=%d: %w", N, err)
+		}
+		strideDur := time.Since(start)
+		rStride := parCoverRadius(cloud.Points, selStride)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", N), "morton-stride", "0.00",
+			fmt.Sprintf("%.4f", rStride), fmt.Sprintf("%.3f", rStride/rExact),
+			ms(strideDur), ratio(exactDur, strideDur),
+		})
+	}
+	return &Result{
+		ID:    "fps",
+		Title: "Large-scale sampling: coverage radius vs. latency, exact FPS / bucketed FPS / stride",
+		Table: table(rows),
+		Notes: "Expected shape: bucketfps at quality ≥0.9 stays within a few percent of exact FPS's " +
+			"coverage radius at ≥10x lower latency (pruning + lazy per-bucket updates over the Morton " +
+			"order); lowering quality slides toward morton-stride's latency and coverage. " +
+			"Timings include the structurization pass the bucketed/stride samplers run internally.",
+	}, nil
+}
+
+// parCoverRadius is coverRadius (max distance of any point to the sampled
+// set) parallelized over the cloud — the quick-mode serial version in
+// metrics.CoverageStats is too slow for 1M-point clouds.
+func parCoverRadius(pts []geom.Point3, sel []int) float64 {
+	selPts := make([]geom.Point3, len(sel))
+	for i, s := range sel {
+		selPts[i] = pts[s]
+	}
+	maxes := make([]float64, parallel.Workers(len(pts)))
+	parallel.ForWorkers(len(pts), func(w, lo, hi int) {
+		worst := 0.0
+		for i := lo; i < hi; i++ {
+			best := math.Inf(1)
+			for _, sp := range selPts {
+				if d := pts[i].DistSq(sp); d < best {
+					best = d
+				}
+			}
+			if best > worst {
+				worst = best
+			}
+		}
+		maxes[w] = worst
+	})
+	worst := 0.0
+	for _, m := range maxes {
+		if m > worst {
+			worst = m
+		}
+	}
+	return math.Sqrt(worst)
+}

@@ -31,12 +31,22 @@ type SAModule struct {
 	Radius float64 // >0: SOTA searcher is ball query with this radius; 0: kNN
 	MLP    *nn.Sequential
 	Strat  ModuleStrategy
+	// Sampler selects the algorithm for the non-Morton sampling path:
+	// exact FPS (default), bucketed pruned FPS, or pure index stride. When
+	// the module's Morton strategy applies, it wins over this knob.
+	Sampler sample.Arch
+	// Quality is the BucketFPS Frac knob (ignored by the other archs).
+	Quality float64
 
 	cache saCache
 	// centersBuf backs the sampled-center slice across frames; the level
 	// handed to the next module aliases it, which is safe because levels live
 	// at most one frame (training's cached levels never read pts in backward).
 	centersBuf []geom.Point3
+	// bucket and selBuf are the BucketFPS sampler state and its output
+	// buffer, reused across frames for a zero-allocation steady state.
+	bucket sample.BucketFPS
+	selBuf []int
 }
 
 type saCache struct {
@@ -83,10 +93,26 @@ func (m *SAModule) forward(parent, next *level, layer int, x *Exec) error {
 			sel = core.SamplePositions(n, nOut)
 			return nil
 		}
-		sampleAlgo = "fps"
-		var e error
-		sel, e = sample.FPSIndexes(parent.pts, nOut, 0)
-		return e
+		switch m.Sampler {
+		case sample.ArchBucketFPS:
+			// Bucketed pruned FPS (quality-adjustable): most effective when
+			// the level is Morton-sorted, but correct on any order.
+			sampleAlgo = "bucketfps"
+			m.bucket.Frac = m.Quality
+			var e error
+			sel, e = m.bucket.SampleInto(parent.pts, nOut, m.selBuf)
+			m.selBuf = sel
+			return e
+		case sample.ArchStride:
+			sampleAlgo = "stride"
+			sel = core.SamplePositions(n, nOut)
+			return nil
+		default:
+			sampleAlgo = "fps"
+			var e error
+			sel, e = sample.FPSIndexes(parent.pts, nOut, 0)
+			return e
+		}
 	})
 	if err != nil {
 		return fmt.Errorf("model: SA%d sample: %w", layer, err)
@@ -403,6 +429,12 @@ type PPConfig struct {
 	K          int     // neighbors per query; default 8
 	SampleFrac float64 // per-module down-sampling ratio; default 0.25
 	Radius     float64 // base ball-query radius (doubles per level); 0 → kNN baseline
+	// SampleArch selects the sampler for SA modules whose Morton strategy
+	// does not apply: exact FPS (default), bucketed pruned FPS, or stride.
+	SampleArch sample.Arch
+	// SampleQuality is the BucketFPS quality knob in [0,1]; 0 defaults to 1
+	// (exact picks, pruning as pure speedup).
+	SampleQuality float64
 	// ExtraFeatDim is the width of per-point input features beyond the
 	// coordinates (e.g. 3 for RGB in S3DIS); input clouds must carry
 	// exactly this FeatDim.
@@ -437,6 +469,9 @@ func (c *PPConfig) defaults() {
 	if c.SampleFrac == 0 {
 		c.SampleFrac = 0.25
 	}
+	if c.SampleQuality == 0 {
+		c.SampleQuality = 1
+	}
 	if c.SAStrategies == nil {
 		c.SAStrategies = make([]ModuleStrategy, c.Depth)
 	}
@@ -454,6 +489,9 @@ func (c *PPConfig) validate() error {
 	}
 	if c.SampleFrac <= 0 || c.SampleFrac > 1 {
 		return fmt.Errorf("model: sample fraction %v out of (0, 1]", c.SampleFrac)
+	}
+	if c.SampleQuality < 0 || c.SampleQuality > 1 {
+		return fmt.Errorf("model: sample quality %v out of [0, 1]", c.SampleQuality)
 	}
 	return nil
 }
@@ -490,11 +528,13 @@ func NewPointNetPP(cfg PPConfig) (*PointNetPP, error) {
 			radius = cfg.Radius * float64(int(1)<<(l-1))
 		}
 		net.SA = append(net.SA, &SAModule{
-			Frac:   cfg.SampleFrac,
-			K:      cfg.K,
-			Radius: radius,
-			MLP:    nn.NewSharedMLP(fmt.Sprintf("sa%d", l), []int{3 + inC, w, w}, rng),
-			Strat:  cfg.SAStrategies[l-1],
+			Frac:    cfg.SampleFrac,
+			K:       cfg.K,
+			Radius:  radius,
+			MLP:     nn.NewSharedMLP(fmt.Sprintf("sa%d", l), []int{3 + inC, w, w}, rng),
+			Strat:   cfg.SAStrategies[l-1],
+			Sampler: cfg.SampleArch,
+			Quality: cfg.SampleQuality,
 		})
 		inC = w
 	}

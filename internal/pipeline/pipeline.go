@@ -13,6 +13,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/model"
 	"repro/internal/nn"
+	"repro/internal/sample"
 	"repro/internal/tensor"
 )
 
@@ -106,6 +107,15 @@ type Options struct {
 	// Smaller fractions spend less compute per frame at some accuracy cost —
 	// one rung of serve's degradation ladder (DegradeTiers).
 	SampleFrac float64
+	// SampleArch selects the sampler for PointNet++ SA modules that run a
+	// real (non-Morton-stride) sampling stage: exact FPS (the default),
+	// bucketed pruned FPS over the Morton order (sample.ArchBucketFPS, the
+	// 100k+-point middle ground), or pure stride.
+	SampleArch sample.Arch
+	// SampleQuality is the BucketFPS quality knob in [0,1]; 0 defaults to 1
+	// (exact FPS picks with pruning as a pure speedup). Lower values trade
+	// coverage for latency — one rung of serve's degradation ladder.
+	SampleQuality float64
 	// PPReuseDistance is the PointNet++ SA neighbor-reuse distance in S+N
 	// configs (§5.2.3 generalized across sampled levels). Default 0: off —
 	// unlike DGCNN, reusing across SA levels projects indexes through the
@@ -143,6 +153,9 @@ func (o *Options) defaults(w Workload) {
 	}
 	if o.SampleFrac == 0 {
 		o.SampleFrac = 0.25
+	}
+	if o.SampleQuality == 0 {
+		o.SampleQuality = 1
 	}
 	if o.TotalBits == 0 {
 		o.TotalBits = 32

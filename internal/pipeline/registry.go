@@ -83,18 +83,20 @@ func buildPointNetPP(w Workload, kind ConfigKind, opts Options) (Net, error) {
 		reuse = core.ReusePolicy{Distance: opts.PPReuseDistance}
 	}
 	return model.NewPointNetPP(model.PPConfig{
-		Classes:      w.Classes,
-		Depth:        opts.Depth,
-		BaseWidth:    opts.BaseWidth,
-		K:            w.K,
-		SampleFrac:   opts.SampleFrac,
-		Radius:       opts.BallRadius,
-		ExtraFeatDim: opts.ExtraFeatDim,
-		SAStrategies: sa,
-		FPStrategies: fp,
-		Reuse:        reuse,
-		Structurize:  mortonStructurize(kind, opts),
-		Seed:         opts.Seed,
+		Classes:       w.Classes,
+		Depth:         opts.Depth,
+		BaseWidth:     opts.BaseWidth,
+		K:             w.K,
+		SampleFrac:    opts.SampleFrac,
+		Radius:        opts.BallRadius,
+		SampleArch:    opts.SampleArch,
+		SampleQuality: opts.SampleQuality,
+		ExtraFeatDim:  opts.ExtraFeatDim,
+		SAStrategies:  sa,
+		FPStrategies:  fp,
+		Reuse:         reuse,
+		Structurize:   mortonStructurize(kind, opts),
+		Seed:          opts.Seed,
 	})
 }
 

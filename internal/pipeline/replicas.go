@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/nn"
+	"repro/internal/sample"
 )
 
 // Replicas constructs n networks for the same workload/configuration whose
@@ -60,15 +61,20 @@ func RebuildReplica(ref Net, w Workload, kind ConfigKind, opts Options) (Net, er
 }
 
 // MaxDegradeTiers is the depth of the ladder DegradeTiers can derive.
-const MaxDegradeTiers = 3
+const MaxDegradeTiers = 4
 
 // DegradeTiers derives up to MaxDegradeTiers option presets for serve's
 // degradation ladder from a base configuration, exploiting the paper's own
-// accuracy/latency knobs (§5, Fig. 15). The steps are cumulative:
+// accuracy/latency knobs (§5, Fig. 15) plus the bucketed sampler's quality
+// knob. The steps are cumulative:
 //
 //	tier 1: shrink the Morton neighbor window W to max(k, W/2)
-//	tier 2: + halve the sample budget (PointNet++ SA SampleFrac; floor 0.05)
-//	tier 3: + raise the neighbor-reuse distance by one layer
+//	tier 2: + step exact-FPS sampling sites onto bucketed pruned FPS at
+//	        quality 0.5 (half refinement picks, half stride seeds). Sites
+//	        already on the cheaper Morton stride are untouched, so the rung
+//	        only ever removes cost.
+//	tier 3: + halve the sample budget (PointNet++ SA SampleFrac; floor 0.05)
+//	tier 4: + raise the neighbor-reuse distance by one layer
 //
 // The knobs never change parameter shapes, so every tier's replicas share
 // weights with the base net (TieredReplicas). Knobs a workload doesn't use
@@ -89,6 +95,11 @@ func DegradeTiers(w Workload, opts Options, n int) []Options {
 		cur.WindowW = w.K
 	}
 	tiers = append(tiers, cur)
+	if len(tiers) < n {
+		cur.SampleArch = sample.ArchBucketFPS
+		cur.SampleQuality = 0.5
+		tiers = append(tiers, cur)
+	}
 	if len(tiers) < n {
 		cur.SampleFrac = cur.SampleFrac / 2
 		if cur.SampleFrac < 0.05 {

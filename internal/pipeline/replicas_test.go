@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/sample"
 )
 
 // tinyWorkload is a scaled-down DGCNN row: replica construction and one
@@ -73,20 +74,69 @@ func TestDegradeTiersAreCumulativeAndClamped(t *testing.T) {
 	if tiers[0].SampleFrac != base.SampleFrac {
 		t.Fatal("tier 1 must not touch the sample budget yet")
 	}
-	if tiers[1].SampleFrac >= base.SampleFrac || tiers[1].SampleFrac < 0.05 {
-		t.Fatalf("tier 2 sample budget %v, want < %v with floor 0.05", tiers[1].SampleFrac, base.SampleFrac)
+	if tiers[0].SampleArch != sample.ArchFPS {
+		t.Fatal("tier 1 must not touch the sampler arch yet")
+	}
+	if tiers[1].SampleArch != sample.ArchBucketFPS || tiers[1].SampleQuality != 0.5 {
+		t.Fatalf("tier 2 sampler %v@%v, want bucketfps@0.5", tiers[1].SampleArch, tiers[1].SampleQuality)
+	}
+	if tiers[1].SampleFrac != base.SampleFrac {
+		t.Fatal("tier 2 must not touch the sample budget yet")
 	}
 	if tiers[1].WindowW != tiers[0].WindowW {
 		t.Fatal("tier 2 must keep tier 1's window (steps are cumulative)")
 	}
-	if tiers[2].ReuseDistance != base.ReuseDistance+1 || tiers[2].PPReuseDistance != base.PPReuseDistance+1 {
-		t.Fatalf("tier 3 reuse %d/%d, want base+1", tiers[2].ReuseDistance, tiers[2].PPReuseDistance)
+	if tiers[2].SampleFrac >= base.SampleFrac || tiers[2].SampleFrac < 0.05 {
+		t.Fatalf("tier 3 sample budget %v, want < %v with floor 0.05", tiers[2].SampleFrac, base.SampleFrac)
+	}
+	if tiers[2].SampleArch != sample.ArchBucketFPS {
+		t.Fatal("tier 3 must keep tier 2's sampler arch (steps are cumulative)")
+	}
+	if tiers[3].ReuseDistance != base.ReuseDistance+1 || tiers[3].PPReuseDistance != base.PPReuseDistance+1 {
+		t.Fatalf("tier 4 reuse %d/%d, want base+1", tiers[3].ReuseDistance, tiers[3].PPReuseDistance)
 	}
 	if got := DegradeTiers(w, Options{}, 0); got != nil {
 		t.Fatalf("n=0 produced %d tiers", len(got))
 	}
 	if got := DegradeTiers(w, Options{}, 1); len(got) != 1 {
 		t.Fatalf("n=1 produced %d tiers", len(got))
+	}
+}
+
+func TestSampleArchReachesBucketFPS(t *testing.T) {
+	// Options.SampleArch must flow through the ArchBuilder registry into the
+	// SA modules: under the baseline config (no Morton stride) every SA
+	// sample stage should report the bucketed sampler in its trace.
+	w := Workload{
+		ID: "T2", Model: "PointNet++(s)", Dataset: "ModelNet40",
+		Points: 256, Batch: 1, Task: model.TaskSegmentation,
+		Arch: ArchPointNetPP, Classes: 10, K: 4,
+	}
+	opts := Options{Depth: 2, SampleArch: sample.ArchBucketFPS, SampleQuality: 0.75}
+	net, err := Build(w, Baseline, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := Frame(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := &model.Trace{}
+	if _, _, err := RunInto(net, frame, trace, nil, SimConfig(w, Baseline, opts)); err != nil {
+		t.Fatal(err)
+	}
+	samples := 0
+	for _, r := range trace.Records {
+		if r.Stage != model.StageSample {
+			continue
+		}
+		samples++
+		if r.Algo != "bucketfps" {
+			t.Fatalf("SA%d sample algo %q, want bucketfps", r.Layer, r.Algo)
+		}
+	}
+	if samples != opts.Depth {
+		t.Fatalf("saw %d sample stages, want %d", samples, opts.Depth)
 	}
 }
 

@@ -1,0 +1,43 @@
+package sample
+
+// Arch names a down-sampling algorithm family for configuration surfaces
+// (pipeline options, degradation tiers, benches) that select samplers by
+// value rather than holding a Sampler instance.
+type Arch int
+
+const (
+	// ArchFPS is exact farthest point sampling (FPS / FPSIndexes).
+	ArchFPS Arch = iota
+	// ArchBucketFPS is bucketed, pruned FPS with the Frac quality knob
+	// (BucketFPS); at quality 1 it matches ArchFPS exactly.
+	ArchBucketFPS
+	// ArchStride is uniform position striding over the cloud's current
+	// order (UniformIndexes) — the EdgePC approximation when that order is
+	// Morton-structurized.
+	ArchStride
+)
+
+// String implements fmt.Stringer with the Sampler.Name vocabulary.
+func (a Arch) String() string {
+	switch a {
+	case ArchBucketFPS:
+		return "bucketfps"
+	case ArchStride:
+		return "stride"
+	default:
+		return "fps"
+	}
+}
+
+// New builds a fresh sampler for the arch. frac is the BucketFPS quality
+// knob; the other archs ignore it.
+func (a Arch) New(frac float64) Sampler {
+	switch a {
+	case ArchBucketFPS:
+		return &BucketFPS{Frac: frac}
+	case ArchStride:
+		return Uniform{}
+	default:
+		return FPS{}
+	}
+}

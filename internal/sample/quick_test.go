@@ -5,6 +5,96 @@ import (
 	"testing/quick"
 )
 
+// TestQuickBucketFPSQualityOneIdentity: on random clouds, BucketFPS at
+// quality 1.0 is index-identical (same picks, same order) to exact FPS for
+// arbitrary cloud sizes, sample counts, start indexes and bucket widths —
+// the pruning and caching are pure speedups.
+func TestQuickBucketFPSQualityOneIdentity(t *testing.T) {
+	b := &BucketFPS{Frac: 1}
+	prop := func(a, bb, cc, dd uint16) bool {
+		N := 2 + int(a)%600
+		n := 1 + int(bb)%N
+		start := int(cc) % N
+		c := randomCloud(N, int64(a)^int64(bb)<<16)
+		exact, err := FPSIndexes(c.Points, n, start)
+		if err != nil {
+			return false
+		}
+		b.StartIndex = start
+		b.BucketSize = int(dd) % (N + 1) // 0 → auto
+		got, err := b.Sample(c, n)
+		if err != nil {
+			return false
+		}
+		for i := range exact {
+			if got[i] != exact[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBucketFPSWellFormed: at every quality, the returned index set is
+// exactly n long, in range, and duplicate-free.
+func TestQuickBucketFPSWellFormed(t *testing.T) {
+	prop := func(a, bb uint16, q uint8) bool {
+		N := 1 + int(a)%500
+		n := 1 + int(bb)%N
+		b := &BucketFPS{Frac: float64(q%11) / 10}
+		c := randomCloud(N, int64(a)*31+int64(bb))
+		sel, err := b.Sample(c, n)
+		if err != nil || len(sel) != n {
+			return false
+		}
+		seen := make(map[int]bool, n)
+		for _, i := range sel {
+			if i < 0 || i >= N || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBucketFPSCoverageMonotone: coverage radius is monotone
+// non-increasing in quality, up to a small slack — refinement picks replace
+// stride seeds one-for-one and each always targets the worst-covered point,
+// but the seed-distance window init is approximate, so strict monotonicity
+// between adjacent qualities is not a theorem. We check the trend across a
+// quality sweep with 10% slack per step.
+func TestQuickBucketFPSCoverageMonotone(t *testing.T) {
+	prop := func(a uint16) bool {
+		N := 400 + int(a)%400
+		c := randomCloud(N, int64(a)+7)
+		n := 32
+		prev := -1.0
+		for _, q := range []float64{1, 0.75, 0.5, 0.25, 0} {
+			b := &BucketFPS{Frac: q}
+			sel, err := b.Sample(c, n)
+			if err != nil {
+				return false
+			}
+			r := coverRadius(c.Points, sel)
+			if prev >= 0 && r*1.10 < prev {
+				return false // radius shrank as quality dropped
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuickUniformIndexes: for every 1 ≤ n ≤ total, stride sampling returns
 // exactly n strictly increasing (hence unique) in-range positions, always
 // covering position 0, and covering total-1 whenever n ≥ 2 — the endpoint

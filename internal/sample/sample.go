@@ -132,8 +132,25 @@ func (r Random) Sample(c *geom.Cloud, n int) ([]int, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(r.Seed))
-	perm := rng.Perm(c.Len())[:n]
-	return perm, nil
+	// Partial Fisher–Yates over a sparse index overlay: only the first n
+	// swaps of a full shuffle are performed, and only displaced entries are
+	// materialized — O(n) time and space where rng.Perm(N)[:n] would pay for
+	// the full N-element permutation on every call.
+	N := c.Len()
+	out := make([]int, n)
+	moved := make(map[int]int, n)
+	get := func(k int) int {
+		if v, ok := moved[k]; ok {
+			return v
+		}
+		return k
+	}
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(N-i)
+		out[i] = get(j)
+		moved[j] = get(i)
+	}
+	return out, nil
 }
 
 // Uniform samples points at evenly spaced positions of the cloud's *current*
@@ -159,16 +176,27 @@ func (Uniform) Sample(c *geom.Cloud, n int) ([]int, error) {
 // 5 points picks positions {0, 2, 4}.
 func UniformIndexes(total, n int) []int {
 	out := make([]int, n)
+	writeUniformIndexes(out, total)
+	return out
+}
+
+// writeUniformIndexes fills out with len(out) evenly spaced positions in
+// [0, total) — the allocation-free core of UniformIndexes, usable from
+// hot-path kernels with a pre-sized destination.
+func writeUniformIndexes(out []int, total int) {
+	n := len(out)
+	if n == 0 {
+		return
+	}
 	if n == 1 {
 		out[0] = 0
-		return out
+		return
 	}
 	num, den := total-1, n-1
 	for k := 0; k < n; k++ {
 		// round(k * (total-1) / (n-1)) in integer arithmetic.
 		out[k] = (k*num + den/2) / den
 	}
-	return out
 }
 
 // Grid performs voxel-grid down-sampling: the cloud is divided into cubic
@@ -229,9 +257,19 @@ func (g Grid) Sample(c *geom.Cloud, n int) ([]int, error) {
 		}
 		return sel, nil
 	}
+	// Fewer occupied voxels than n: top up with the lowest indexes not
+	// already selected. out is sorted, so a single merge-style scan finds
+	// the gaps without re-checking membership per candidate.
+	picked := len(out)
+	next := 0 // next position in the sorted voxel picks to skip over
 	for i := 0; len(out) < n && i < c.Len(); i++ {
+		if next < picked && out[next] == i {
+			next++
+			continue
+		}
 		out = append(out, i)
 	}
+	sort.Ints(out)
 	return out[:n], nil
 }
 

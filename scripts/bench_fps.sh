@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Benchmark large-scale down-sampling (the 'fps' experiment: exact FPS vs
+# bucketed pruned Morton-FPS vs pure stride on 100k/1M synthetic clouds) and
+# emit the coverage-radius-vs-latency curves to BENCH_fps.json at the
+# repository root: one record per (cloud size, sampler, quality) point.
+#
+# Usage: scripts/bench_fps.sh [-quick]
+#   -quick  run the reduced-size clouds (20k/50k points; seconds, used by CI)
+#
+# Environment:
+#   OUT  output JSON path  (default BENCH_fps.json)
+#   RAW  raw table path    (default BENCH_fps.txt)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+QUICK=""
+if [ "${1:-}" = "-quick" ]; then
+	QUICK="-quick"
+fi
+RAW="${RAW:-BENCH_fps.txt}"
+OUT="${OUT:-BENCH_fps.json}"
+
+go run ./cmd/edgepc-bench $QUICK fps >"$RAW"
+
+# Data rows look like (tabwriter-aligned):
+#   100000  bucketfps  0.90  0.0639  1.014  81.399  13.28x
+#   100000  fps(exact) -     0.0630  1.000  1081.116  1.00x
+awk '
+BEGIN { print "["; first = 1 }
+$1 ~ /^[0-9]+$/ && NF == 7 {
+	quality = ($3 == "-") ? "null" : $3
+	speedup = $7
+	sub(/x$/, "", speedup)
+	if (!first) printf ",\n"
+	first = 0
+	printf "  {\"n_points\": %s, \"sampler\": \"%s\", \"quality\": %s, \"cover_radius\": %s, \"radius_vs_fps\": %s, \"ms\": %s, \"speedup_vs_fps\": %s}", \
+		$1, $2, quality, $4, $5, $6, speedup
+}
+END { print "\n]" }
+' "$RAW" >"$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"

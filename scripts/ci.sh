@@ -49,6 +49,14 @@ go test -run '^$' -fuzz '^FuzzSubmitFrame$' -fuzztime 5s ./internal/serve/
 echo "== bench smoke (1 iteration) =="
 go test -run '^$' -bench 'BenchmarkMatMulAT' -benchtime=1x -benchmem ./internal/tensor/
 
+echo "== bench_fps smoke (quick clouds) =="
+# The large-scale sampling bench must keep producing parseable curves; the
+# quick run writes to throwaway paths so the committed full-scale
+# BENCH_fps.json is never clobbered by CI.
+OUT=.bench_fps_smoke.json RAW=.bench_fps_smoke.txt scripts/bench_fps.sh -quick >/dev/null
+grep -q '"sampler": "bucketfps"' .bench_fps_smoke.json
+rm -f .bench_fps_smoke.json .bench_fps_smoke.txt
+
 echo "== allocs/op regression gate =="
 # The zero-allocation hot path (DESIGN.md §6) must not regress: steady-state
 # frame allocation counts are capped per benchmark. Raising a ceiling is a
