@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the whole-module call-graph half of the lint engine (the
+// forward-dataflow half lives in dataflow.go). It gives every analyzer the
+// same three capabilities hotpathalloc bootstrapped in PR 2, now shared:
+//
+//   - a deterministic graph of every declared module function with statically
+//     resolved call edges (package-level functions and methods on concrete
+//     receivers; interface dispatch and function values are not resolved),
+//   - `go` spawn sites resolved the same way, kept separate from synchronous
+//     edges because concurrency analyzers treat the two differently, and
+//   - a bounded fixed-point driver for per-function summaries, so facts like
+//     "this helper releases its receiver's mutex" or "this callee may block"
+//     propagate across call chains (serve → pipeline → model → tensor)
+//     instead of stopping at function boundaries.
+
+// cgEdge is one resolved call (or spawn) site.
+type cgEdge struct {
+	callee *cgNode
+	call   *ast.CallExpr
+}
+
+// cgNode is one declared module function in the shared call graph.
+type cgNode struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+
+	out    []cgEdge // synchronous static calls into module code
+	spawns []cgEdge // `go f(...)` / `go x.m(...)` sites resolved to module code
+
+	// paramSlot maps the receiver and parameter objects of this function to
+	// summary slots: the receiver is slot -1, parameter i is slot i. Summaries
+	// are keyed by slot so they can be rebased onto the caller's arguments.
+	paramSlot map[types.Object]int
+}
+
+// callGraph is the module-wide static call graph, built once per lint Run and
+// shared by every analyzer that asks for it.
+type callGraph struct {
+	nodes  map[*types.Func]*cgNode
+	byDecl map[*ast.FuncDecl]*cgNode
+	order  []*cgNode // deterministic: sorted by declaration position
+}
+
+// cgHolder memoizes one callGraph across the analyzers of a single Run.
+type cgHolder struct {
+	graph *callGraph
+}
+
+// callGraph returns the memoized whole-module call graph, building it on
+// first use.
+func (p *Pass) callGraph() *callGraph {
+	if p.cg == nil {
+		p.cg = &cgHolder{}
+	}
+	if p.cg.graph == nil {
+		p.cg.graph = buildCallGraph(p.Module)
+	}
+	return p.cg.graph
+}
+
+// buildCallGraph indexes every declared function with a body across the
+// module packages and resolves its static call and spawn edges.
+func buildCallGraph(module []*Package) *callGraph {
+	g := &callGraph{nodes: map[*types.Func]*cgNode{}, byDecl: map[*ast.FuncDecl]*cgNode{}}
+	for _, pkg := range module {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &cgNode{obj: obj, decl: fd, pkg: pkg, paramSlot: map[types.Object]int{}}
+				if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+					if o := pkg.Info.Defs[fd.Recv.List[0].Names[0]]; o != nil {
+						n.paramSlot[o] = -1
+					}
+				}
+				slot := 0
+				for _, field := range fd.Type.Params.List {
+					if len(field.Names) == 0 {
+						slot++ // unnamed parameter still occupies a slot
+						continue
+					}
+					for _, name := range field.Names {
+						if o := pkg.Info.Defs[name]; o != nil {
+							n.paramSlot[o] = slot
+						}
+						slot++
+					}
+				}
+				g.nodes[obj] = n
+				g.byDecl[fd] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+	sort.Slice(g.order, func(i, j int) bool { return g.order[i].obj.Pos() < g.order[j].obj.Pos() })
+	for _, n := range g.order {
+		g.resolveEdges(n)
+	}
+	return g
+}
+
+// resolveEdges walks one function body (closures included — a call made from
+// a closure still happens under the enclosing function's dynamic extent) and
+// records module-internal call and spawn edges.
+func (g *callGraph) resolveEdges(n *cgNode) {
+	info := n.pkg.Info
+	spawnCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.GoStmt:
+			spawnCalls[node.Call] = true
+		case *ast.CallExpr:
+			obj := calleeFunc(info, node)
+			if obj == nil {
+				return true
+			}
+			callee, ok := g.nodes[obj]
+			if !ok {
+				return true
+			}
+			if spawnCalls[node] {
+				n.spawns = append(n.spawns, cgEdge{callee: callee, call: node})
+			} else {
+				n.out = append(n.out, cgEdge{callee: callee, call: node})
+			}
+		}
+		return true
+	})
+}
+
+// nodeOf returns the graph node for a statically resolved callee of call, or
+// nil when the call does not resolve to a declared module function.
+func (g *callGraph) nodeOf(info *types.Info, call *ast.CallExpr) *cgNode {
+	obj := calleeFunc(info, call)
+	if obj == nil {
+		return nil
+	}
+	return g.nodes[obj]
+}
+
+// maxFixpointRounds bounds summary propagation. Mutually recursive functions
+// whose summaries keep changing past this many rounds are treated as unknown
+// by the analyzers (conservative silence), never looped on forever.
+const maxFixpointRounds = 8
+
+// fixpoint drives per-function summary computation to a fixed point: compute
+// is invoked over every node (in deterministic order) until one full round
+// changes nothing or maxFixpointRounds is reached. compute reports whether
+// the node's summary changed. The return value is true when the summaries
+// converged.
+func (g *callGraph) fixpoint(compute func(*cgNode) bool) bool {
+	for round := 0; round < maxFixpointRounds; round++ {
+		changed := false
+		for _, n := range g.order {
+			if compute(n) {
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingFuncs computes, to a fixed point over the call graph, the set of
+// module functions that may block the calling goroutine: a channel send or
+// receive, a select with no default, a range over a channel, or a call to one
+// of the blocking standard-library primitives (WaitGroup.Wait, Cond.Wait,
+// Mutex/RWMutex Lock and RLock, time.Sleep). Spawned goroutine bodies do not
+// make the spawner blocking. The result over-approximates: a function that
+// only conditionally blocks is still reported as blocking.
+func (g *callGraph) blockingFuncs() map[*cgNode]bool {
+	blocking := map[*cgNode]bool{}
+	for _, n := range g.order {
+		if directlyBlocks(n) {
+			blocking[n] = true
+		}
+	}
+	g.fixpoint(func(n *cgNode) bool {
+		if blocking[n] {
+			return false
+		}
+		for _, e := range n.out {
+			if blocking[e.callee] {
+				blocking[n] = true
+				return true
+			}
+		}
+		return false
+	})
+	return blocking
+}
+
+// directlyBlocks reports whether n's own body (goroutine bodies excluded)
+// contains a blocking operation.
+func directlyBlocks(n *cgNode) bool {
+	info := n.pkg.Info
+	blocks := false
+	var skip func(ast.Node) bool
+	skip = func(node ast.Node) bool {
+		if blocks {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.GoStmt:
+			return false // the spawned body blocks its own goroutine
+		case *ast.SendStmt:
+			blocks = true
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				blocks = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(node.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					blocks = true
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range node.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				blocks = true
+			}
+		case *ast.CallExpr:
+			if f := calleeFunc(info, node); f != nil && isBlockingStdCall(f) {
+				blocks = true
+			}
+		}
+		return !blocks
+	}
+	ast.Inspect(n.decl.Body, skip)
+	return blocks
+}
+
+// isBlockingStdCall recognizes the blocking standard-library calls the
+// engine's blocking summary seeds from.
+func isBlockingStdCall(f *types.Func) bool {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "sync":
+		switch recvTypeName(f) {
+		case "WaitGroup", "Cond":
+			return f.Name() == "Wait"
+		case "Mutex", "RWMutex":
+			return f.Name() == "Lock" || f.Name() == "RLock"
+		}
+	case "time":
+		return f.Name() == "Sleep"
+	}
+	return false
+}
+
+// recvTypeName returns the name of a method's receiver type ("" for
+// package-level functions), pointer receivers dereferenced.
+func recvTypeName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

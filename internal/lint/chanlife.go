@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanLife checks channel lifecycle discipline through the dataflow engine:
+//
+//   - a send or close on a channel that a statically reachable close has
+//     already closed on the same path is reported (send panics, double close
+//     panics). Closes propagate interprocedurally: a module function that
+//     closes a parameter- or receiver-rooted channel on every return path
+//     gets a summary, and callers see the channel as closed after the call —
+//     `e.shutdown()` closes `e.jobs` exactly like `close(e.jobs)` does.
+//   - a receive (or range) on a locally created channel that nothing can
+//     ever send to or close — the channel never escapes the function and has
+//     no send and no close anywhere in its body, closures included — is
+//     reported as a guaranteed block.
+//
+// Both checks report only definite facts: a channel that is closed on one
+// branch but not the other joins to "maybe closed", which stays silent, and
+// a channel that escapes into code the engine cannot see is never reported.
+var ChanLife = &Analyzer{
+	Name: "chanlife",
+	Doc:  "no send/close on a channel after a statically reachable close; no receive on a local channel nothing can send to or close",
+	Run:  runChanLife,
+}
+
+// Channel lattice: entry/open is 0, definitely closed is 1, flowTop is the
+// maybe-closed join of conflicting paths.
+const (
+	chanOpen   int8 = 0
+	chanClosed int8 = 1
+)
+
+// chanSummary marks the parameter/receiver-rooted channels a function closes
+// on every return path.
+type chanSummary map[slotKey]bool
+
+func chanSummaryEqual(a, b chanSummary) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func runChanLife(p *Pass) {
+	g := p.callGraph()
+	summaries := map[*cgNode]chanSummary{}
+	converged := g.fixpoint(func(n *cgNode) bool {
+		cf := newChanFlow(p, g, n, summaries, false)
+		walkFlow(n.pkg.Info, n.decl, cf)
+		next := cf.summary()
+		if chanSummaryEqual(summaries[n], next) {
+			return false
+		}
+		summaries[n] = next
+		return true
+	})
+	if !converged {
+		summaries = map[*cgNode]chanSummary{}
+	}
+	for _, n := range g.order {
+		cf := newChanFlow(p, g, n, summaries, true)
+		walkFlow(n.pkg.Info, n.decl, cf)
+		checkRecvForever(p, n)
+	}
+}
+
+// chanFlow is the dataflow client tracking definite closes.
+type chanFlow struct {
+	p         *Pass
+	g         *callGraph
+	n         *cgNode
+	summaries map[*cgNode]chanSummary
+	report    bool
+	exits     []absState
+}
+
+func newChanFlow(p *Pass, g *callGraph, n *cgNode, summaries map[*cgNode]chanSummary, report bool) *chanFlow {
+	return &chanFlow{p: p, g: g, n: n, summaries: summaries, report: report}
+}
+
+func (cf *chanFlow) joinVal(a, b int8) int8 { return flowTop }
+
+func (cf *chanFlow) recv(absState, *ast.UnaryExpr) {}
+func (cf *chanFlow) spawn(absState, *ast.GoStmt)   {}
+
+func (cf *chanFlow) exit(st absState, pos token.Pos) {
+	cf.exits = append(cf.exits, st.clone())
+}
+
+func (cf *chanFlow) send(st absState, s *ast.SendStmt) {
+	k, ok := keyOf(cf.n.pkg.Info, s.Chan)
+	if !ok {
+		return
+	}
+	if st[k] == chanClosed && cf.report {
+		cf.p.Reportf(s.Arrow, "send on %s, which is closed on every path reaching here (send on closed channel panics)", k)
+	}
+}
+
+func (cf *chanFlow) call(st absState, call *ast.CallExpr, deferred bool) {
+	info := cf.n.pkg.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) == 1 {
+			k, ok := keyOf(info, call.Args[0])
+			if !ok {
+				return
+			}
+			if st[k] == chanClosed && cf.report {
+				cf.p.Reportf(call.Pos(), "close of %s, which is already closed on every path reaching here (double close panics)", k)
+			}
+			if st[k] != flowTop {
+				st[k] = chanClosed
+			}
+			return
+		}
+	}
+	f := calleeFunc(info, call)
+	if f == nil {
+		return
+	}
+	callee := cf.g.nodes[f]
+	if callee == nil {
+		return
+	}
+	for sk := range cf.summaries[callee] {
+		k, ok := rebase(info, call, sk)
+		if !ok {
+			continue
+		}
+		if st[k] == chanClosed && cf.report {
+			cf.p.Reportf(call.Pos(), "%s closes %s, which is already closed on every path reaching here (double close panics)", funcName(f), k)
+		}
+		if st[k] != flowTop {
+			st[k] = chanClosed
+		}
+	}
+}
+
+// summary reports the parameter/receiver channels closed on every exit.
+func (cf *chanFlow) summary() chanSummary {
+	if len(cf.exits) == 0 {
+		return nil
+	}
+	out := chanSummary{}
+	union := absState{}
+	for _, e := range cf.exits {
+		for k, v := range e {
+			if v != chanOpen {
+				union[k] = 1
+			}
+		}
+	}
+	for _, k := range union.keysSorted() {
+		sk, ok := slotKeyOf(cf.n, k)
+		if !ok {
+			continue
+		}
+		closedEverywhere := true
+		for _, e := range cf.exits {
+			if e[k] != chanClosed {
+				closedEverywhere = false
+				break
+			}
+		}
+		if closedEverywhere {
+			out[sk] = true
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// checkRecvForever finds locally created channels that are received from but
+// that nothing in the function — closures and spawned goroutines included —
+// ever sends to or closes, and that never escape to code that could. Such a
+// receive blocks its goroutine forever.
+func checkRecvForever(p *Pass, n *cgNode) {
+	info := n.pkg.Info
+	type chanUse struct {
+		sends, closes int
+		escaped       bool
+		recvPos       token.Pos // first definitely blocking receive
+	}
+	uses := map[*types.Var]*chanUse{}
+
+	// Locally created channels: `ch := make(chan T, ...)` or var with a make
+	// initializer, where ch is declared inside this function.
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := info.Defs[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			if _, isChan := v.Type().Underlying().(*types.Chan); !isChan {
+				continue
+			}
+			if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+				if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fid.Name == "make" {
+					if _, isBuiltin := info.Uses[fid].(*types.Builtin); isBuiltin {
+						uses[v] = &chanUse{}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(uses) == 0 {
+		return
+	}
+
+	parents := parentMap(n.decl.Body)
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		u := uses[v]
+		if u == nil {
+			return true
+		}
+		// Climb out of parens to the semantically relevant parent.
+		var child ast.Node = id
+		par := parents[child]
+		for {
+			pe, ok := par.(*ast.ParenExpr)
+			if !ok {
+				break
+			}
+			child = pe
+			par = parents[child]
+		}
+		switch par := par.(type) {
+		case *ast.SendStmt:
+			if par.Chan == child {
+				u.sends++
+			} else {
+				u.escaped = true // the channel value itself sent somewhere
+			}
+		case *ast.UnaryExpr:
+			if par.Op == token.ARROW {
+				if !insideSelect(parents, par) && !u.recvPos.IsValid() {
+					u.recvPos = par.Pos()
+				}
+			} else {
+				u.escaped = true // &ch and friends
+			}
+		case *ast.RangeStmt:
+			if par.X == child {
+				if !u.recvPos.IsValid() {
+					u.recvPos = par.For
+				}
+			} else {
+				u.escaped = true
+			}
+		case *ast.CallExpr:
+			name := builtinName(info, par)
+			switch {
+			case name == "close":
+				u.closes++
+			case name == "len" || name == "cap":
+				// neutral
+			default:
+				u.escaped = true // handed to code we cannot see
+			}
+		case *ast.AssignStmt:
+			// Appearing in an assignment other than its own definition means
+			// aliasing or reassignment; give up on it.
+			defining := false
+			if par.Tok == token.DEFINE {
+				for _, l := range par.Lhs {
+					if l == child {
+						defining = info.Defs[id] != nil
+					}
+				}
+			}
+			if !defining {
+				u.escaped = true
+			}
+		default:
+			u.escaped = true
+		}
+		return true
+	})
+
+	for v, u := range uses {
+		if u.escaped || u.sends > 0 || u.closes > 0 || !u.recvPos.IsValid() {
+			continue
+		}
+		p.Reportf(u.recvPos, "receive on %s blocks forever: the channel never escapes this function and nothing sends to or closes it", v.Name())
+	}
+}
+
+// parentMap records each node's parent within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// insideSelect reports whether n sits in a select communication clause (where
+// a receive does not necessarily block this path alone).
+func insideSelect(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch p.(type) {
+		case *ast.CommClause:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return ""
+	}
+	return id.Name
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces deadline threading in the serving layer: a function in a
+// package named "serve" that takes a cancellation- or deadline-carrying
+// parameter — a context.Context, a *faultinject.Plan, or a time.Time whose
+// name mentions "deadline" — must not drop it:
+//
+//   - passing context.Background(), context.TODO(), nil, or a zero composite
+//     literal to a module callee that may block (per the call graph's
+//     blocking fixpoint) and accepts the same kind of value is reported:
+//     the callee would wait forever while the caller's deadline expires;
+//   - a named parameter of such a kind that the function never reads or
+//     forwards at all, in a function that itself may block, is reported as a
+//     dropped deadline.
+//
+// May-block is the engine's over-approximation (channel operations, select
+// without default, WaitGroup/Cond Wait, Mutex/RWMutex Lock, time.Sleep,
+// transitively through module calls). The check stays silent on functions
+// that cannot block: dropping a context on a pure computation is harmless.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "serve-layer functions must thread their Context/Plan/deadline to blocking callees, not replace it with Background/TODO/nil or silently drop it",
+	Run:  runCtxFlow,
+}
+
+// ctxKind classifies deadline-carrying parameter types.
+type ctxKind int
+
+const (
+	ctxNone     ctxKind = iota
+	ctxContext          // context.Context
+	ctxPlan             // *faultinject.Plan
+	ctxDeadline         // time.Time named *deadline*
+)
+
+func (k ctxKind) String() string {
+	switch k {
+	case ctxContext:
+		return "context.Context"
+	case ctxPlan:
+		return "*faultinject.Plan"
+	case ctxDeadline:
+		return "deadline"
+	}
+	return "none"
+}
+
+// ctxKindOf classifies one parameter by type (and, for time.Time, by name).
+func ctxKindOf(t types.Type, name string) ctxKind {
+	if pt, ok := t.(*types.Pointer); ok {
+		if named, ok := pt.Elem().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Plan" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "faultinject") {
+				return ctxPlan
+			}
+		}
+		return ctxNone
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ctxNone
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ctxNone
+	}
+	switch {
+	case obj.Name() == "Context" && obj.Pkg().Path() == "context":
+		return ctxContext
+	case obj.Name() == "Time" && obj.Pkg().Path() == "time" && strings.Contains(strings.ToLower(name), "deadline"):
+		return ctxDeadline
+	}
+	return ctxNone
+}
+
+func runCtxFlow(p *Pass) {
+	g := p.callGraph()
+	blocking := g.blockingFuncs()
+	for _, n := range g.order {
+		if n.pkg.Types.Name() != "serve" {
+			continue
+		}
+		params := ctxParams(n)
+		if len(params) == 0 {
+			continue
+		}
+		checkCtxSubstitution(p, g, n, blocking, params)
+		checkCtxUnused(p, n, blocking, params)
+	}
+}
+
+// ctxParam is one deadline-carrying parameter of the function under check.
+type ctxParam struct {
+	obj  types.Object
+	kind ctxKind
+}
+
+func ctxParams(n *cgNode) []ctxParam {
+	var out []ctxParam
+	for _, field := range n.decl.Type.Params.List {
+		for _, name := range field.Names {
+			obj := n.pkg.Info.Defs[name]
+			if obj == nil || name.Name == "_" {
+				continue
+			}
+			if k := ctxKindOf(obj.Type(), name.Name); k != ctxNone {
+				out = append(out, ctxParam{obj: obj, kind: k})
+			}
+		}
+	}
+	return out
+}
+
+// checkCtxSubstitution reports arguments that replace the caller's deadline
+// with a fresh/empty one at a call into a module function that may block.
+func checkCtxSubstitution(p *Pass, g *callGraph, n *cgNode, blocking map[*cgNode]bool, params []ctxParam) {
+	info := n.pkg.Info
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := g.nodeOf(info, call)
+		if callee == nil || !blocking[callee] || call.Ellipsis.IsValid() {
+			return true
+		}
+		sig, ok := callee.obj.Type().(*types.Signature)
+		if !ok || sig.Variadic() {
+			return true
+		}
+		for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+			pv := sig.Params().At(i)
+			kind := ctxKindOf(pv.Type(), pv.Name())
+			if kind == ctxNone {
+				continue
+			}
+			held := holdsKind(params, kind)
+			if held == nil {
+				continue
+			}
+			if form := dropForm(info, call.Args[i], kind); form != "" {
+				p.Reportf(call.Args[i].Pos(), "passes %s to blocking callee %s instead of threading %s %s", form, funcName(callee.obj), held.kind, held.obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+func holdsKind(params []ctxParam, k ctxKind) *ctxParam {
+	for i := range params {
+		if params[i].kind == k {
+			return &params[i]
+		}
+	}
+	return nil
+}
+
+// dropForm recognizes the argument shapes that discard a deadline: fresh
+// contexts, nil, and zero composite literals. Anything else — the parameter
+// itself, a derived context, a computed deadline — is accepted.
+func dropForm(info *types.Info, arg ast.Expr, kind ctxKind) string {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.CallExpr:
+		f := calleeFunc(info, e)
+		if f != nil && f.Pkg() != nil && f.Pkg().Path() == "context" && (f.Name() == "Background" || f.Name() == "TODO") {
+			return "context." + f.Name() + "()"
+		}
+	case *ast.Ident:
+		if e.Name == "nil" && info.Uses[e] == nil && info.Defs[e] == nil {
+			return "nil"
+		}
+	case *ast.CompositeLit:
+		if len(e.Elts) == 0 && kind == ctxDeadline {
+			return "a zero time.Time"
+		}
+	case *ast.UnaryExpr:
+		if cl, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok && len(cl.Elts) == 0 && kind == ctxPlan {
+			return "an empty Plan"
+		}
+	}
+	return ""
+}
+
+// checkCtxUnused reports a deadline-carrying parameter that a may-block
+// function neither reads nor forwards.
+func checkCtxUnused(p *Pass, n *cgNode, blocking map[*cgNode]bool, params []ctxParam) {
+	if !blocking[n] {
+		return
+	}
+	used := map[types.Object]bool{}
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok {
+			if obj := n.pkg.Info.Uses[id]; obj != nil {
+				used[obj] = true
+			}
+		}
+		return true
+	})
+	for _, cp := range params {
+		if !used[cp.obj] {
+			p.Reportf(cp.obj.Pos(), "%s takes %s %s but never consults or forwards it on a path that may block; thread it or drop the parameter", funcName(n.obj), cp.kind, cp.obj.Name())
+		}
+	}
+}

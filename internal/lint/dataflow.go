@@ -1,0 +1,554 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the forward-dataflow half of the lint engine: a structured
+// abstract interpreter over function bodies. A client analyzer supplies a
+// small per-location lattice (int8 values plus a join) and transfer hooks for
+// the events it cares about (calls, channel sends/receives, goroutine
+// spawns); the walker supplies everything control-flow:
+//
+//   - statements execute in source order; branch states are cloned at
+//     if/switch/select and joined at the merge point,
+//   - loops are approximated as zero-or-one iterations (the body is analyzed
+//     once from the loop-entry state and joined with it), with break and
+//     continue landing where they land; `for {}` without a condition only
+//     exits through break or return,
+//   - defers are recorded in registration order and replayed last-in-first-out
+//     at every exit point — a deferred func literal's body is walked inline at
+//     exit time, so `defer func() { mu.Unlock() }()` releases exactly like
+//     `defer mu.Unlock()`,
+//   - return paths invoke the client's exit hook after defers; panic paths
+//     terminate without an exit event (held locks on a dying goroutine are a
+//     different failure than a leaked lock on a live one),
+//   - goroutine bodies are NOT inlined into the spawning flow — they run
+//     concurrently; the spawn hook receives the site and the client decides
+//     what it means.
+//
+// The abstract state maps refKeys — root variable plus selector path, the
+// engine's name for "a storage location we can identify statically" — to
+// lattice values. Anything without a stable identity (index expressions,
+// call results) is simply not tracked.
+
+// refKey names a storage location: the local variable mu is {obj(mu), ""},
+// s.mu is {obj(s), ".mu"}, e.cfg.Faults is {obj(e), ".cfg.Faults"}. Pointer
+// indirection is transparent: (*p).mu and p.mu are the same location.
+type refKey struct {
+	root types.Object
+	path string
+}
+
+// String renders the key for diagnostics, e.g. "e.mu" or "wg".
+func (k refKey) String() string {
+	if k.root == nil {
+		return "<nil>" + k.path
+	}
+	return k.root.Name() + k.path
+}
+
+// keyOf resolves an expression to a refKey. ok is false for expressions
+// without a stable static identity (calls, index expressions, literals).
+func keyOf(info *types.Info, e ast.Expr) (refKey, bool) {
+	path := ""
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			if v, ok := obj.(*types.Var); ok {
+				return refKey{root: v, path: path}, true
+			}
+			return refKey{}, false
+		case *ast.SelectorExpr:
+			// A package-qualified identifier (pkg.Var) selects from a package
+			// name, not a value; resolve the selection to its object directly.
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+						return refKey{root: v, path: path}, true
+					}
+					return refKey{}, false
+				}
+			}
+			path = "." + x.Sel.Name + path
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return refKey{}, false
+			}
+			e = x.X
+		default:
+			return refKey{}, false
+		}
+	}
+}
+
+// flowTop is the lattice's "conflicting paths" element. Clients must treat it
+// as absorbing in their join.
+const flowTop int8 = 127
+
+// absState is the abstract state at one program point: tracked locations to
+// lattice values. A nil absState marks an unreachable point.
+type absState map[refKey]int8
+
+func (s absState) clone() absState {
+	if s == nil {
+		return nil
+	}
+	c := make(absState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// keysSorted returns the state's keys in deterministic order (by declaration
+// position, then path) so clients can iterate reproducibly.
+func (s absState) keysSorted() []refKey {
+	keys := make([]refKey, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].root.Pos() != keys[j].root.Pos() {
+			return keys[i].root.Pos() < keys[j].root.Pos()
+		}
+		return keys[i].path < keys[j].path
+	})
+	return keys
+}
+
+// flowClient is the analyzer half of the dataflow engine. Hooks mutate the
+// state in place; the walker owns cloning and joining.
+type flowClient interface {
+	// call fires for every call expression in execution order. deferred is
+	// true when the call is a replayed `defer f(...)` at an exit point.
+	call(st absState, call *ast.CallExpr, deferred bool)
+	// send fires for every channel send statement.
+	send(st absState, s *ast.SendStmt)
+	// recv fires for every receive expression (<-ch).
+	recv(st absState, u *ast.UnaryExpr)
+	// spawn fires for every go statement; the spawned body is not walked.
+	spawn(st absState, g *ast.GoStmt)
+	// exit fires at every function exit (returns and fall-off), after defers.
+	exit(st absState, pos token.Pos)
+	// joinVal merges the lattice values of one location across two paths.
+	// It is only called with a != b; flowTop must be absorbing.
+	joinVal(a, b int8) int8
+}
+
+// flowWalker drives one function's walk.
+type flowWalker struct {
+	info   *types.Info
+	client flowClient
+	defers []*ast.CallExpr // registered defer sites, in registration order
+	depth  int             // deferred-literal nesting guard
+}
+
+// breakable is one enclosing construct a break/continue can target.
+type breakable struct {
+	label   string
+	isLoop  bool
+	breakSt absState // join of states flowing out via break
+	contSt  absState // join of states flowing out via continue (loops only)
+}
+
+// walkFlow runs the client over one declared function body.
+func walkFlow(info *types.Info, decl *ast.FuncDecl, client flowClient) {
+	w := &flowWalker{info: info, client: client}
+	st := w.stmts(absState{}, decl.Body.List, nil, "")
+	if st != nil {
+		w.applyDefersAndExit(st, decl.Body.Rbrace)
+	}
+}
+
+// join merges two path states; nil marks an unreachable path.
+func (w *flowWalker) join(a, b absState) absState {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := a
+	for k, bv := range b {
+		av, ok := out[k]
+		switch {
+		case !ok:
+			// Absent means lattice bottom (0): join with the client.
+			if bv != 0 {
+				out[k] = w.client.joinVal(0, bv)
+			}
+		case av != bv:
+			out[k] = w.client.joinVal(av, bv)
+		}
+	}
+	for k, av := range out {
+		if _, ok := b[k]; !ok && av != 0 {
+			out[k] = w.client.joinVal(av, 0)
+		}
+	}
+	return out
+}
+
+// stmts walks a statement list under the innermost breakable stack entry.
+func (w *flowWalker) stmts(st absState, list []ast.Stmt, stack []*breakable, label string) absState {
+	for _, s := range list {
+		if st == nil {
+			return nil
+		}
+		st = w.stmt(st, s, stack, label)
+		label = ""
+	}
+	return st
+}
+
+// stmt walks one statement and returns the fall-through state (nil when
+// control cannot fall through).
+func (w *flowWalker) stmt(st absState, s ast.Stmt, stack []*breakable, label string) absState {
+	if st == nil || s == nil {
+		return st
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(st, s.List, stack, "")
+	case *ast.LabeledStmt:
+		return w.stmt(st, s.Stmt, stack, s.Label.Name)
+	case *ast.ExprStmt:
+		w.expr(st, s.X)
+		if isPanicCall(w.info, s.X) {
+			w.applyDefers(st.clone())
+			return nil // the panic path dies without an exit event
+		}
+		return st
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(st, e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(st, e)
+		}
+		return st
+	case *ast.DeclStmt, *ast.EmptyStmt:
+		if ds, ok := s.(*ast.DeclStmt); ok {
+			ast.Inspect(ds, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					w.expr(st, e)
+					return false
+				}
+				return true
+			})
+		}
+		return st
+	case *ast.IncDecStmt:
+		w.expr(st, s.X)
+		return st
+	case *ast.SendStmt:
+		w.expr(st, s.Chan)
+		w.expr(st, s.Value)
+		w.client.send(st, s)
+		return st
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.expr(st, a)
+		}
+		w.client.spawn(st, s)
+		return st
+	case *ast.DeferStmt:
+		for _, a := range s.Call.Args {
+			w.expr(st, a)
+		}
+		w.defers = append(w.defers, s.Call)
+		return st
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(st, e)
+		}
+		w.applyDefersAndExit(st.clone(), s.Pos())
+		return nil
+	case *ast.BranchStmt:
+		return w.branch(st, s, stack)
+	case *ast.IfStmt:
+		st = w.stmt(st, s.Init, stack, "")
+		if st == nil {
+			return nil
+		}
+		w.expr(st, s.Cond)
+		thenSt := w.stmts(st.clone(), s.Body.List, stack, "")
+		elseSt := st
+		if s.Else != nil {
+			elseSt = w.stmt(st.clone(), s.Else, stack, "")
+		}
+		return w.join(thenSt, elseSt)
+	case *ast.ForStmt:
+		st = w.stmt(st, s.Init, stack, "")
+		if st == nil {
+			return nil
+		}
+		w.expr(st, s.Cond)
+		br := &breakable{label: label, isLoop: true}
+		bodySt := w.stmts(st.clone(), s.Body.List, append(stack, br), "")
+		bodySt = w.join(bodySt, br.contSt)
+		if bodySt != nil && s.Post != nil {
+			bodySt = w.stmt(bodySt, s.Post, stack, "")
+		}
+		if s.Cond == nil {
+			// `for { ... }` exits only via break (or return, already handled).
+			return br.breakSt
+		}
+		return w.join(w.join(st, bodySt), br.breakSt)
+	case *ast.RangeStmt:
+		w.expr(st, s.X)
+		br := &breakable{label: label, isLoop: true}
+		bodySt := w.stmts(st.clone(), s.Body.List, append(stack, br), "")
+		bodySt = w.join(bodySt, br.contSt)
+		return w.join(w.join(st, bodySt), br.breakSt)
+	case *ast.SwitchStmt:
+		st = w.stmt(st, s.Init, stack, "")
+		if st == nil {
+			return nil
+		}
+		w.expr(st, s.Tag)
+		return w.switchBody(st, s.Body.List, stack, label, nil)
+	case *ast.TypeSwitchStmt:
+		st = w.stmt(st, s.Init, stack, "")
+		if st == nil {
+			return nil
+		}
+		st = w.stmt(st, s.Assign, stack, "")
+		return w.switchBody(st, s.Body.List, stack, label, nil)
+	case *ast.SelectStmt:
+		return w.selectStmt(st, s, stack, label)
+	default:
+		return st
+	}
+}
+
+// branch handles break/continue/goto/fallthrough. goto and fallthrough are
+// approximated as path ends (conservative: no exit event, no report).
+func (w *flowWalker) branch(st absState, s *ast.BranchStmt, stack []*breakable) absState {
+	target := func(needLoop bool) *breakable {
+		for i := len(stack) - 1; i >= 0; i-- {
+			b := stack[i]
+			if needLoop && !b.isLoop {
+				continue
+			}
+			if s.Label == nil || b.label == s.Label.Name {
+				return b
+			}
+		}
+		return nil
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if b := target(false); b != nil {
+			b.breakSt = w.join(b.breakSt, st.clone())
+		}
+	case token.CONTINUE:
+		if b := target(true); b != nil {
+			b.contSt = w.join(b.contSt, st.clone())
+		}
+	}
+	return nil
+}
+
+// switchBody joins the case-clause states; a switch without a default also
+// joins the entry state (no case may match).
+func (w *flowWalker) switchBody(st absState, clauses []ast.Stmt, stack []*breakable, label string, after absState) absState {
+	br := &breakable{label: label}
+	hasDefault := false
+	for _, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cst := st.clone()
+		for _, e := range cc.List {
+			w.expr(cst, e)
+		}
+		after = w.join(after, w.stmts(cst, cc.Body, append(stack, br), ""))
+	}
+	if !hasDefault {
+		after = w.join(after, st)
+	}
+	return w.join(after, br.breakSt)
+}
+
+// selectStmt walks each communication clause from the entry state and joins.
+// A select with no clauses blocks forever (unreachable fall-through).
+func (w *flowWalker) selectStmt(st absState, s *ast.SelectStmt, stack []*breakable, label string) absState {
+	if len(s.Body.List) == 0 {
+		return nil
+	}
+	br := &breakable{label: label}
+	var after absState
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		cst := st.clone()
+		if cc.Comm != nil {
+			cst = w.stmt(cst, cc.Comm, stack, "")
+		}
+		after = w.join(after, w.stmts(cst, cc.Body, append(stack, br), ""))
+	}
+	return w.join(after, br.breakSt)
+}
+
+// expr fires client events for the calls and receives inside one expression,
+// in preorder. Function-literal bodies are skipped: a closure's effects
+// happen when it runs, not where it is written (deferred literals are walked
+// at exit by applyDefers; spawned literals belong to the spawn hook).
+func (w *flowWalker) expr(st absState, e ast.Expr) {
+	if e == nil || st == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.client.call(st, n, false)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.client.recv(st, n)
+			}
+		}
+		return true
+	})
+}
+
+// applyDefersAndExit replays the registered defers LIFO onto st and fires the
+// exit hook.
+func (w *flowWalker) applyDefersAndExit(st absState, pos token.Pos) {
+	w.applyDefers(st)
+	w.client.exit(st, pos)
+}
+
+// applyDefers replays deferred calls last-in-first-out. Conditionally
+// registered defers are approximated as always registered (the standard
+// approximation; a conditional defer-unlock joins to flowTop at the exit
+// either way). A deferred func literal is walked inline: its body's events
+// fire at exit time against the exit state.
+func (w *flowWalker) applyDefers(st absState) {
+	for i := len(w.defers) - 1; i >= 0; i-- {
+		d := w.defers[i]
+		if lit, ok := ast.Unparen(d.Fun).(*ast.FuncLit); ok {
+			if w.depth < 4 { // defensive: deferred literals deferring literals
+				sub := &flowWalker{info: w.info, client: &exitMuted{w.client}, depth: w.depth + 1}
+				if out := sub.stmts(st, lit.Body.List, nil, ""); out != nil {
+					sub.applyDefers(out)
+				}
+			}
+			continue
+		}
+		w.client.call(st, d, true)
+	}
+}
+
+// exitMuted wraps a client so that returns inside a deferred func literal do
+// not fire the outer function's exit hook.
+type exitMuted struct{ flowClient }
+
+func (exitMuted) exit(absState, token.Pos) {}
+
+// isPanicCall reports whether e is a direct call to the builtin panic.
+func isPanicCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// funcLitOf returns the func literal spawned or called by call, if any.
+func funcLitOf(call *ast.CallExpr) *ast.FuncLit {
+	lit, _ := ast.Unparen(call.Fun).(*ast.FuncLit)
+	return lit
+}
+
+// pathJoin concatenates two selector paths.
+func pathJoin(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	return a + b
+}
+
+// slotKey keys a function summary entry: slot -1 is the receiver, slot i ≥ 0
+// is parameter i; path is the selector chain below it.
+type slotKey struct {
+	slot int
+	path string
+}
+
+// slotKeyOf maps a refKey rooted at one of n's parameters (or receiver) to
+// its summary slot form; ok is false for keys rooted elsewhere (locals,
+// globals — those do not survive the function boundary).
+func slotKeyOf(n *cgNode, k refKey) (slotKey, bool) {
+	slot, ok := n.paramSlot[k.root]
+	if !ok {
+		return slotKey{}, false
+	}
+	return slotKey{slot: slot, path: k.path}, true
+}
+
+// rebase maps a callee summary key onto the caller's state through one call
+// site: the receiver slot comes from the selector base, parameter slots from
+// the argument list. ok is false when the argument has no stable identity or
+// the call shape does not line up (variadic spread, method values).
+func rebase(info *types.Info, call *ast.CallExpr, sk slotKey) (refKey, bool) {
+	var arg ast.Expr
+	if sk.slot == -1 {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return refKey{}, false
+		}
+		arg = sel.X
+	} else {
+		if sk.slot >= len(call.Args) || call.Ellipsis.IsValid() {
+			return refKey{}, false
+		}
+		arg = call.Args[sk.slot]
+	}
+	k, ok := keyOf(info, arg)
+	if !ok {
+		return refKey{}, false
+	}
+	return refKey{root: k.root, path: pathJoin(k.path, sk.path)}, true
+}
+
+// describeSlot renders a summary slot for diagnostics relative to a callee,
+// e.g. "(*Engine).lock's receiver field .mu".
+func describeSlot(sk slotKey) string {
+	base := "receiver"
+	if sk.slot >= 0 {
+		base = "parameter"
+	}
+	if sk.path == "" {
+		return base
+	}
+	return base + " " + strings.TrimPrefix(sk.path, ".")
+}

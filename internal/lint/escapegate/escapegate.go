@@ -1,0 +1,373 @@
+// Package escapegate is the compiler-backed static allocation gate: it
+// parses the escape-analysis diagnostics `go build -gcflags='-m -m'` emits
+// and fails when a //edgepc:hotpath function gains a heap escape.
+//
+// The benchmark allocs/op ceiling (scripts/ci.sh) catches a regression as a
+// number; this gate catches it as a file:line the moment it is introduced,
+// whether or not a benchmark happens to exercise the path. The two are
+// complementary and both run in CI.
+//
+// Mechanics: the compiler prints one diagnostic per escaping value
+// ("escapes to heap", "moved to heap"). With `-m -m` each site is printed
+// twice — once with a trailing colon followed by an indented flow
+// explanation, once bare — so the parser dedupes by position and normalized
+// message. Escapes are attributed to the //edgepc:hotpath functions whose
+// source span contains them (regions come from a parse-only scan, no type
+// checking needed). The committed baseline records the escapes that are
+// accepted today, keyed by (file, function, message, count) — deliberately
+// line-number-free so unrelated edits shifting lines do not churn it. The
+// gate is a two-way ratchet: a new escape fails, and a baseline entry the
+// compiler no longer reports also fails (run scripts/escape_gate.sh -update
+// to shrink the baseline and lock in the improvement).
+package escapegate
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HotPathDirective mirrors lint.HotPathDirective; escapegate is parse-only
+// and keeps no dependency on the type-checked analyzer framework.
+const HotPathDirective = "//edgepc:hotpath"
+
+// Region is the source span of one //edgepc:hotpath function.
+type Region struct {
+	File      string // module-root-relative, slash-separated
+	Func      string // display name, e.g. (*Engine).runBatch or FarthestPoint
+	StartLine int
+	EndLine   int
+}
+
+// HotpathRegions scans every non-test .go file under root (skipping
+// testdata, vendor, hidden, and underscore directories) and returns the
+// spans of all functions annotated //edgepc:hotpath.
+func HotpathRegions(root string) ([]Region, error) {
+	var regions []Region
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("escapegate: parsing %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotpathDirective(fd.Doc) {
+				continue
+			}
+			regions = append(regions, Region{
+				File:      rel,
+				Func:      funcDisplayName(fd),
+				StartLine: fset.Position(fd.Pos()).Line,
+				EndLine:   fset.Position(fd.End()).Line,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		if regions[i].File != regions[j].File {
+			return regions[i].File < regions[j].File
+		}
+		return regions[i].StartLine < regions[j].StartLine
+	})
+	return regions, nil
+}
+
+func hasHotpathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == HotPathDirective || strings.HasPrefix(c.Text, HotPathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDisplayName renders a declaration as (*T).name, (T).name, or name.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	ptr := ""
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+		ptr = "*"
+	}
+	// Strip type parameters on generic receivers.
+	switch x := t.(type) {
+	case *ast.IndexExpr:
+		t = x.X
+	case *ast.IndexListExpr:
+		t = x.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(" + ptr + id.Name + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// Escape is one deduplicated heap-escape diagnostic.
+type Escape struct {
+	File    string // as printed by the compiler: module-root-relative
+	Line    int
+	Message string // normalized: no trailing colon
+}
+
+var diagRE = regexp.MustCompile(`^([^\s:][^:]*\.go):(\d+):(?:\d+:)? (.*)$`)
+
+// ParseDiagnostics extracts heap escapes from `go build -gcflags='-m -m'`
+// stderr. Indented flow-explanation lines are skipped; "leaking param" and
+// "does not escape" diagnostics are informational, not escapes; the
+// duplicate with-colon/without-colon pair `-m -m` prints collapses to one.
+func ParseDiagnostics(r io.Reader) ([]Escape, error) {
+	type key struct {
+		file string
+		line int
+		msg  string
+	}
+	seen := map[key]bool{}
+	var escapes []Escape
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || line[0] == ' ' || line[0] == '\t' {
+			continue // flow explanation emitted under a with-colon diagnostic
+		}
+		m := diagRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := strings.TrimSuffix(strings.TrimSpace(m[3]), ":")
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		ln, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		k := key{file: path.Clean(filepath.ToSlash(m[1])), line: ln, msg: msg}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		escapes = append(escapes, Escape{File: k.file, Line: ln, Message: msg})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("escapegate: reading diagnostics: %w", err)
+	}
+	sort.Slice(escapes, func(i, j int) bool {
+		if escapes[i].File != escapes[j].File {
+			return escapes[i].File < escapes[j].File
+		}
+		if escapes[i].Line != escapes[j].Line {
+			return escapes[i].Line < escapes[j].Line
+		}
+		return escapes[i].Message < escapes[j].Message
+	})
+	return escapes, nil
+}
+
+// Finding is one escape attributed to a hotpath region.
+type Finding struct {
+	Region Region
+	Escape Escape
+}
+
+// Assign attributes escapes to the hotpath regions containing them; escapes
+// outside every region are dropped (allocating cold paths are fine).
+func Assign(regions []Region, escapes []Escape) []Finding {
+	var out []Finding
+	for _, e := range escapes {
+		for _, r := range regions {
+			if e.File == r.File && e.Line >= r.StartLine && e.Line <= r.EndLine {
+				out = append(out, Finding{Region: r, Escape: e})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Entry is one baseline line: a (file, function, message) class of accepted
+// escapes and how many of them that function has. Line numbers are omitted
+// on purpose: unrelated edits move lines, not escapes.
+type Entry struct {
+	File    string
+	Func    string
+	Count   int
+	Message string
+}
+
+func (e Entry) String() string {
+	return fmt.Sprintf("%s\t%s\t%d\t%s", e.File, e.Func, e.Count, e.Message)
+}
+
+// Summarize aggregates findings into baseline entries.
+func Summarize(findings []Finding) []Entry {
+	type key struct {
+		file, fn, msg string
+	}
+	counts := map[key]int{}
+	for _, f := range findings {
+		counts[key{f.Region.File, f.Region.Func, f.Escape.Message}]++
+	}
+	var out []Entry
+	for k, c := range counts {
+		out = append(out, Entry{File: k.file, Func: k.fn, Count: c, Message: k.msg})
+	}
+	sortEntries(out)
+	return out
+}
+
+func sortEntries(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.Message < b.Message
+	})
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty baseline.
+// Blank lines and #-comments are skipped.
+func LoadBaseline(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []Entry
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("escapegate: %s:%d: want file<TAB>func<TAB>count<TAB>message, got %q", path, i+1, line)
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("escapegate: %s:%d: bad count %q", path, i+1, parts[2])
+		}
+		out = append(out, Entry{File: parts[0], Func: parts[1], Count: n, Message: parts[3]})
+	}
+	sortEntries(out)
+	return out, nil
+}
+
+// WriteBaseline writes entries in the format LoadBaseline reads.
+func WriteBaseline(path string, entries []Entry) error {
+	var b strings.Builder
+	b.WriteString("# edgepc escape-gate baseline: accepted heap escapes in //edgepc:hotpath functions.\n")
+	b.WriteString("# One class per line: file<TAB>func<TAB>count<TAB>compiler message.\n")
+	b.WriteString("# Regenerate with scripts/escape_gate.sh -update.\n")
+	for _, e := range entries {
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// Violation is one gate failure with a human explanation.
+type Violation struct {
+	Entry Entry
+	Why   string
+}
+
+// Check compares current escapes against the baseline, two-way: an escape
+// class above its baselined count is a regression; a baselined class the
+// compiler no longer reports is stale and must be removed so the improvement
+// is locked in.
+func Check(current, baseline []Entry) []Violation {
+	type key struct {
+		file, fn, msg string
+	}
+	base := map[key]int{}
+	for _, e := range baseline {
+		base[key{e.File, e.Func, e.Message}] += e.Count
+	}
+	cur := map[key]int{}
+	for _, e := range current {
+		cur[key{e.File, e.Func, e.Message}] += e.Count
+	}
+	var out []Violation
+	seenCur := map[key]bool{}
+	for _, e := range current {
+		k := key{e.File, e.Func, e.Message}
+		if seenCur[k] {
+			continue
+		}
+		seenCur[k] = true
+		if cur[k] > base[k] {
+			why := "new heap escape in a hotpath function"
+			if base[k] > 0 {
+				why = fmt.Sprintf("escape count grew: baseline %d, now %d", base[k], cur[k])
+			}
+			out = append(out, Violation{Entry: Entry{File: e.File, Func: e.Func, Count: cur[k], Message: e.Message}, Why: why})
+		}
+	}
+	seenBase := map[key]bool{}
+	for _, e := range baseline {
+		k := key{e.File, e.Func, e.Message}
+		if seenBase[k] {
+			continue
+		}
+		seenBase[k] = true
+		if cur[k] < base[k] {
+			out = append(out, Violation{Entry: e, Why: fmt.Sprintf("stale baseline entry: compiler now reports %d (baseline %d); run scripts/escape_gate.sh -update to lock in the improvement", cur[k], base[k])})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Entry, out[j].Entry
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.Message < b.Message
+	})
+	return out
+}

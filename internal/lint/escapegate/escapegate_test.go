@@ -1,0 +1,235 @@
+package escapegate
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseDiagnostics checks the -m -m quirks: the with-colon/without-colon
+// duplicate collapses to one escape, indented flow explanations are skipped,
+// and informational lines (leaking param, does not escape) are not escapes.
+func TestParseDiagnostics(t *testing.T) {
+	input := strings.Join([]string{
+		"internal/model/level.go:10:6: can inline wsGet",
+		"internal/model/level.go:42:13: make([]float32, n) escapes to heap:",
+		"internal/model/level.go:42:13:   flow: {heap} = &{storage for make([]float32, n)}:",
+		"internal/model/level.go:42:13:     from make([]float32, n) (spill) at level.go:42:13",
+		"internal/model/level.go:42:13: make([]float32, n) escapes to heap",
+		"internal/model/level.go:50:20: leaking param: pts to result ~r0 level=0",
+		"internal/model/level.go:51:7: q does not escape",
+		"internal/morton/sort.go:77:2: moved to heap: buf:",
+		"internal/morton/sort.go:77:2: moved to heap: buf",
+		"\tflow: buf = &buf:",
+	}, "\n")
+	escs, err := ParseDiagnostics(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(escs) != 2 {
+		t.Fatalf("got %d escapes, want 2: %+v", len(escs), escs)
+	}
+	if escs[0].File != "internal/model/level.go" || escs[0].Line != 42 || escs[0].Message != "make([]float32, n) escapes to heap" {
+		t.Errorf("escape 0 = %+v", escs[0])
+	}
+	if escs[1].File != "internal/morton/sort.go" || escs[1].Line != 77 || escs[1].Message != "moved to heap: buf" {
+		t.Errorf("escape 1 = %+v", escs[1])
+	}
+}
+
+// TestRegionsAndAssign scans a synthetic tree for hotpath spans and checks
+// that only escapes inside them are attributed.
+func TestRegionsAndAssign(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+//edgepc:hotpath
+func Hot(n int) []int {
+	s := make([]int, n)
+	return s
+}
+
+func Cold(n int) []int {
+	return make([]int, n)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A testdata subdirectory must be skipped even if it parses.
+	if err := os.MkdirAll(filepath.Join(dir, "testdata"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "testdata", "x.go"), []byte("package broken\n//edgepc:hotpath\nfunc ???"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	regions, err := HotpathRegions(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 1 || regions[0].Func != "Hot" || regions[0].File != "p.go" {
+		t.Fatalf("regions = %+v, want one region for Hot in p.go", regions)
+	}
+	escapes := []Escape{
+		{File: "p.go", Line: 5, Message: "make([]int, n) escapes to heap"},  // inside Hot
+		{File: "p.go", Line: 10, Message: "make([]int, n) escapes to heap"}, // inside Cold
+	}
+	findings := Assign(regions, escapes)
+	if len(findings) != 1 || findings[0].Region.Func != "Hot" || findings[0].Escape.Line != 5 {
+		t.Fatalf("findings = %+v, want exactly the Hot escape", findings)
+	}
+}
+
+// TestCheckTwoWayRatchet covers all three verdicts: within baseline is
+// clean, above baseline fails, and a baselined escape the compiler no longer
+// reports fails as stale.
+func TestCheckTwoWayRatchet(t *testing.T) {
+	baseline := []Entry{
+		{File: "a.go", Func: "F", Count: 2, Message: "x escapes to heap"},
+		{File: "b.go", Func: "G", Count: 1, Message: "moved to heap: y"},
+	}
+	// Identical current: clean.
+	if v := Check(baseline, baseline); len(v) != 0 {
+		t.Fatalf("identical current/baseline should be clean, got %+v", v)
+	}
+	// New class + grown count + stale entry: three violations.
+	current := []Entry{
+		{File: "a.go", Func: "F", Count: 3, Message: "x escapes to heap"}, // grew
+		{File: "c.go", Func: "H", Count: 1, Message: "z escapes to heap"}, // new
+	}
+	v := Check(current, baseline)
+	if len(v) != 3 {
+		t.Fatalf("got %d violations, want 3 (grown, new, stale): %+v", len(v), v)
+	}
+	var grown, fresh, stale bool
+	for _, x := range v {
+		switch {
+		case strings.Contains(x.Why, "grew"):
+			grown = true
+		case strings.Contains(x.Why, "new heap escape"):
+			fresh = true
+		case strings.Contains(x.Why, "stale baseline"):
+			stale = true
+		}
+	}
+	if !grown || !fresh || !stale {
+		t.Errorf("missing a verdict: grown=%v new=%v stale=%v (%+v)", grown, fresh, stale, v)
+	}
+}
+
+// TestBaselineRoundTrip writes and reloads a baseline file.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	entries := []Entry{
+		{File: "a.go", Func: "(*T).M", Count: 2, Message: "x escapes to heap"},
+		{File: "b.go", Func: "G", Count: 1, Message: "moved to heap: y"},
+	}
+	if err := WriteBaseline(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("round trip lost entries: %+v", got)
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Errorf("entry %d: got %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+	// Missing file is an empty baseline, not an error.
+	if got, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.txt")); err != nil || got != nil {
+		t.Errorf("missing baseline: got %+v, %v; want nil, nil", got, err)
+	}
+}
+
+// TestGateEndToEnd is the negative test the gate exists for: a real module
+// with a deliberate heap escape in a //edgepc:hotpath function must fail
+// against an empty baseline, pass against a baseline written from itself,
+// and fail stale once the escape is fixed but the baseline still lists it.
+func TestGateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module escapetest\n\ngo 1.21\n")
+	write("hot.go", `package escapetest
+
+//edgepc:hotpath
+func Hot() *int {
+	x := 42
+	return &x
+}
+`)
+	build := func() []Escape {
+		t.Helper()
+		cmd := exec.Command("go", "build", "-gcflags=-m -m", "./...")
+		cmd.Dir = dir
+		stderr, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build: %v\n%s", err, stderr)
+		}
+		escs, err := ParseDiagnostics(strings.NewReader(string(stderr)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return escs
+	}
+	regions, err := HotpathRegions(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 1 || regions[0].Func != "Hot" {
+		t.Fatalf("regions = %+v", regions)
+	}
+	current := Summarize(Assign(regions, build()))
+	if len(current) == 0 {
+		t.Fatal("compiler reported no escape for &x returned from Hot; the parser or attribution is broken")
+	}
+
+	// Empty baseline: the deliberate escape must fail the gate.
+	violations := Check(current, nil)
+	if len(violations) == 0 {
+		t.Fatal("gate passed a brand-new hotpath escape")
+	}
+	for _, v := range violations {
+		if !strings.Contains(v.Why, "new heap escape") {
+			t.Errorf("unexpected verdict: %+v", v)
+		}
+	}
+
+	// Baseline written from the current state: gate must pass.
+	if v := Check(current, current); len(v) != 0 {
+		t.Fatalf("gate failed against its own baseline: %+v", v)
+	}
+
+	// Escape fixed, baseline still lists it: stale, must fail.
+	write("hot.go", `package escapetest
+
+//edgepc:hotpath
+func Hot() int {
+	x := 42
+	return x
+}
+`)
+	fixed := Summarize(Assign(regions, build()))
+	v := Check(fixed, current)
+	if len(v) == 0 {
+		t.Fatal("gate passed with a stale baseline entry")
+	}
+	for _, x := range v {
+		if !strings.Contains(x.Why, "stale baseline") {
+			t.Errorf("unexpected verdict: %+v", x)
+		}
+	}
+}

@@ -22,6 +22,25 @@
 //     goroutine body must install a deferred recover guard before any other
 //     statement (panic isolation for the serving layer).
 //
+// Four analyzers are interprocedural, built on the shared call-graph +
+// forward-dataflow engine (callgraph.go, dataflow.go):
+//
+//   - lockpair: sync.Mutex/RWMutex Lock must be Unlocked on every return
+//     path, defer-aware, RLock/RUnlock matched separately from the write
+//     side, lock/unlock helper pairs tracked across function boundaries.
+//   - wgbalance: WaitGroup Add/Done must balance per loop iteration and
+//     across the goroutine spawn boundary (Done inside the spawned closure
+//     counts; Add inside one races with Wait and is reported).
+//   - chanlife: no send or close on a channel after a statically reachable
+//     close; no receive on a local channel nothing can send to or close.
+//   - ctxflow: serve-layer functions must thread their Context/Plan/deadline
+//     parameters to blocking callees instead of substituting
+//     context.Background()/nil or dropping them.
+//
+// The escapegate subpackage adds a compiler-backed static allocation gate:
+// it parses `go build -gcflags='-m -m'` output and fails when a
+// //edgepc:hotpath function gains a heap escape (see scripts/escape_gate.sh).
+//
 // A finding is suppressed by the directive
 //
 //	//edgepc:lint-ignore <analyzer> <reason>
@@ -81,6 +100,7 @@ type Pass struct {
 	analyzer    *Analyzer
 	targetFiles map[string]bool
 	diags       *[]Diagnostic
+	cg          *cgHolder
 }
 
 // Reportf records a finding at pos. Findings outside the target packages are
@@ -96,7 +116,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{HotPathAlloc, WorkspacePair, ParallelCapture, IntoAlias, FloatEq, GoRecover}
+	return []*Analyzer{HotPathAlloc, WorkspacePair, ParallelCapture, IntoAlias, FloatEq, GoRecover, LockPair, WGBalance, ChanLife, CtxFlow}
 }
 
 // Run executes the analyzers over the target packages and returns the
@@ -116,15 +136,18 @@ func Run(loader *Loader, targets []*Package, analyzers []*Analyzer) []Diagnostic
 		}
 	}
 	var diags []Diagnostic
+	holder := &cgHolder{} // one shared call graph across the suite
+	module := loader.Module()
 	for _, a := range analyzers {
 		pass := &Pass{
 			Fset:        fset,
 			ModPath:     loader.ModulePath(),
 			Targets:     targets,
-			Module:      loader.Module(),
+			Module:      module,
 			analyzer:    a,
 			targetFiles: targetFiles,
 			diags:       &diags,
+			cg:          holder,
 		}
 		a.Run(pass)
 	}
@@ -132,12 +155,33 @@ func Run(loader *Loader, targets []*Package, analyzers []*Analyzer) []Diagnostic
 	kept := diags[:0]
 	for _, d := range diags {
 		key := ignoreKey{file: d.Pos.Filename, analyzer: d.Analyzer}
-		if lines := ignores[key]; lines[d.Pos.Line] || lines[d.Pos.Line-1] {
-			continue
+		if ig := ignores[key]; ig != nil {
+			if use, ok := ig[d.Pos.Line]; ok {
+				use.used = true
+				continue
+			}
+			if use, ok := ig[d.Pos.Line-1]; ok {
+				use.used = true
+				continue
+			}
 		}
 		kept = append(kept, d)
 	}
 	diags = append(kept, malformed...)
+	// A suppression that matched no finding is dead documentation: either the
+	// violation was fixed (delete the directive) or the directive is on the
+	// wrong line (move it).
+	for key, ig := range ignores {
+		for _, use := range ig {
+			if !use.used {
+				diags = append(diags, Diagnostic{
+					Pos:      use.pos,
+					Analyzer: "lint",
+					Message:  fmt.Sprintf("stale lint-ignore: no %s finding on this line or the next; delete the suppression", key.analyzer),
+				})
+			}
+		}
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -159,16 +203,23 @@ type ignoreKey struct {
 	analyzer string
 }
 
+// ignoreUse tracks one well-formed suppression directive: its position for
+// stale reporting and whether any diagnostic actually matched it.
+type ignoreUse struct {
+	pos  token.Position
+	used bool
+}
+
 // collectIgnores gathers //edgepc:lint-ignore directives from the target
-// packages, keyed by (file, analyzer) → set of directive lines. Directives
-// missing an analyzer name, missing a reason, or naming an unknown analyzer
-// are returned as diagnostics instead of being honored.
-func collectIgnores(fset *token.FileSet, targets []*Package, analyzers []*Analyzer) (map[ignoreKey]map[int]bool, []Diagnostic) {
+// packages, keyed by (file, analyzer) → directive line → usage record.
+// Directives missing an analyzer name, missing a reason, or naming an unknown
+// analyzer are returned as diagnostics instead of being honored.
+func collectIgnores(fset *token.FileSet, targets []*Package, analyzers []*Analyzer) (map[ignoreKey]map[int]*ignoreUse, []Diagnostic) {
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	ignores := map[ignoreKey]map[int]bool{}
+	ignores := map[ignoreKey]map[int]*ignoreUse{}
 	var malformed []Diagnostic
 	for _, pkg := range targets {
 		for _, f := range pkg.Files {
@@ -190,9 +241,9 @@ func collectIgnores(fset *token.FileSet, targets []*Package, analyzers []*Analyz
 					default:
 						key := ignoreKey{file: pos.Filename, analyzer: fields[0]}
 						if ignores[key] == nil {
-							ignores[key] = map[int]bool{}
+							ignores[key] = map[int]*ignoreUse{}
 						}
-						ignores[key][pos.Line] = true
+						ignores[key][pos.Line] = &ignoreUse{pos: pos}
 					}
 				}
 			}

@@ -36,6 +36,33 @@ func TestGoRecover(t *testing.T) {
 	runFixture(t, "gorecover_unmarked", GoRecover)
 }
 
+func TestLockPair(t *testing.T) {
+	runFixture(t, "lockpair_bad", LockPair)
+	runFixture(t, "lockpair_clean", LockPair)
+}
+
+func TestWGBalance(t *testing.T) {
+	runFixture(t, "wgbalance_bad", WGBalance)
+	runFixture(t, "wgbalance_clean", WGBalance)
+}
+
+func TestChanLife(t *testing.T) {
+	runFixture(t, "chanlife_bad", ChanLife)
+	runFixture(t, "chanlife_clean", ChanLife)
+}
+
+func TestCtxFlow(t *testing.T) {
+	runFixture(t, "ctxflow_bad", CtxFlow)
+	runFixture(t, "ctxflow_clean", CtxFlow)
+}
+
+// TestStaleIgnores asserts the stale-suppression satellite: a directive that
+// matches a finding is honored silently, one that matches nothing is itself
+// a diagnostic.
+func TestStaleIgnores(t *testing.T) {
+	runFixture(t, "ignore_stale", FloatEq)
+}
+
 // TestMalformedIgnores asserts that broken suppression directives are
 // reported as [lint] diagnostics and do NOT suppress the findings they sit
 // above: three malformed directives, three live floateq findings.
@@ -91,8 +118,8 @@ func TestSuiteMetadata(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) < 5 {
-		t.Errorf("suite has %d analyzers, want at least 5", len(seen))
+	if len(seen) < 10 {
+		t.Errorf("suite has %d analyzers, want at least 10", len(seen))
 	}
 }
 

@@ -13,6 +13,39 @@ import (
 	"strings"
 )
 
+// LoadErrorKind classifies loader failures so callers (and tests) can tell a
+// broken input from a misconfigured invocation without string matching.
+type LoadErrorKind string
+
+const (
+	// LoadParse: a source file does not parse.
+	LoadParse LoadErrorKind = "parse"
+	// LoadType: the package parses but does not type-check.
+	LoadType LoadErrorKind = "type"
+	// LoadOutsideModule: the requested directory is not inside the module.
+	LoadOutsideModule LoadErrorKind = "outside-module"
+	// LoadNoFiles: the directory holds no non-test Go files.
+	LoadNoFiles LoadErrorKind = "no-files"
+	// LoadIO: the directory cannot be read.
+	LoadIO LoadErrorKind = "io"
+)
+
+// LoadError is the typed error every loader failure surfaces: which package
+// (or directory) failed, how, and the underlying cause. The loader returns
+// errors, never panics, on broken input — a syntax error, a type error, or a
+// path outside the module all come back as *LoadError.
+type LoadError struct {
+	Path string // import path, or directory when no path could be derived
+	Kind LoadErrorKind
+	Err  error
+}
+
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("lint: loading %s (%s): %v", e.Path, e.Kind, e.Err)
+}
+
+func (e *LoadError) Unwrap() error { return e.Err }
+
 // Package is one type-checked module package: its syntax trees plus the type
 // information the analyzers consult. Only packages inside this module are
 // loaded from source; standard-library dependencies are imported through the
@@ -97,7 +130,7 @@ func (l *Loader) importPathFor(dir string) (string, error) {
 		return l.modPath, nil
 	}
 	if strings.HasPrefix(rel, "..") {
-		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.root)
+		return "", &LoadError{Path: dir, Kind: LoadOutsideModule, Err: fmt.Errorf("%s is outside module %s", dir, l.root)}
 	}
 	return l.modPath + "/" + filepath.ToSlash(rel), nil
 }
@@ -129,7 +162,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, &LoadError{Path: path, Kind: LoadIO, Err: err}
 	}
 	var names []string
 	for _, e := range ents {
@@ -141,13 +174,13 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+		return nil, &LoadError{Path: path, Kind: LoadNoFiles, Err: fmt.Errorf("no Go files in %s", dir)}
 	}
 	var files []*ast.File
 	for _, n := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, err
+			return nil, &LoadError{Path: path, Kind: LoadParse, Err: err}
 		}
 		files = append(files, f)
 	}
@@ -160,7 +193,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	conf := types.Config{Importer: l}
 	tpkg, err := conf.Check(path, l.Fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+		return nil, &LoadError{Path: path, Kind: LoadType, Err: err}
 	}
 	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = p

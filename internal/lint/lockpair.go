@@ -1,0 +1,361 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockPair enforces lock/unlock discipline on sync.Mutex and sync.RWMutex
+// through the dataflow engine: every Lock must be released on every return
+// path (directly, via defer — including defer func literals — or by a callee
+// whose summary releases it), RLock/RUnlock are matched separately from the
+// write side, double Lock without an intervening Unlock is reported as a
+// self-deadlock, and Unlock of a lock not held on the path is reported for
+// locally declared mutexes.
+//
+// Interprocedural behavior: a module function whose every return path leaves
+// a receiver- or parameter-rooted mutex held gets a "+1" summary; one that
+// releases a caller-held mutex gets a "-1" summary. Summaries are propagated
+// to a fixed point over the whole-module call graph, so the classic
+// lock()/unlock() helper-pair idiom is tracked across function boundaries —
+// lockpair sees through `s.lock(); defer s.unlock()` exactly as it sees
+// through `s.mu.Lock(); defer s.mu.Unlock()`.
+//
+// Paths that end in panic are not treated as returns: the deferred unlocks
+// still replay, but a lock held where a goroutine dies is a different
+// failure (gorecover's domain), not a leak on a live path. TryLock poisons
+// the lock's state to "unknown" — conditional acquisition cannot be paired
+// statically — which silences, never false-positives.
+var LockPair = &Analyzer{
+	Name: "lockpair",
+	Doc:  "sync.Mutex/RWMutex Lock must be Unlocked on all return paths (defer-aware, RLock matched separately, summaries cross function boundaries)",
+	Run:  runLockPair,
+}
+
+// Lattice values for the write side of a mutex. The read side uses counts:
+// lockEntry, or lockReadBase+n for n RLocks currently held on the path.
+const (
+	lockEntry    int8 = 0   // function entry / never touched on this path
+	lockHeld     int8 = 1   // locked by this function on this path
+	lockReleased int8 = 2   // released on this path (by us, or a caller's lock handed back)
+	lockReadBase int8 = 20  // read side: lockReadBase+n encodes n held RLocks
+	lockReadMax  int8 = 110 // read-count saturation
+)
+
+// readSuffix distinguishes the read-side key of an RWMutex from the write
+// side: e.mu tracks Lock/Unlock, e.mu+readSuffix tracks RLock/RUnlock.
+const readSuffix = "\x00r"
+
+// lockSummary is one function's net effect per parameter/receiver-rooted
+// mutex: +1 locks it on every return path, -1 releases a caller-held lock.
+type lockSummary map[slotKey]int8
+
+func runLockPair(p *Pass) {
+	g := p.callGraph()
+	summaries := map[*cgNode]lockSummary{}
+	converged := g.fixpoint(func(n *cgNode) bool {
+		lf := newLockFlow(p, g, n, summaries, false)
+		walkFlow(n.pkg.Info, n.decl, lf)
+		next := lf.summary()
+		if lockSummaryEqual(summaries[n], next) {
+			return false
+		}
+		summaries[n] = next
+		return true
+	})
+	if !converged {
+		// Mutually recursive lockers that never stabilized: drop every summary
+		// rather than report from half-propagated facts.
+		summaries = map[*cgNode]lockSummary{}
+	}
+	for _, n := range g.order {
+		lf := newLockFlow(p, g, n, summaries, true)
+		walkFlow(n.pkg.Info, n.decl, lf)
+		lf.reportExits()
+	}
+}
+
+func lockSummaryEqual(a, b lockSummary) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// lockExit is one recorded return point.
+type lockExit struct {
+	st  absState
+	pos token.Pos
+}
+
+// lockFlow is the dataflow client for one function.
+type lockFlow struct {
+	p         *Pass
+	g         *callGraph
+	n         *cgNode
+	summaries map[*cgNode]lockSummary
+	report    bool
+
+	lockPos       map[refKey]token.Pos // latest acquisition site per key
+	entryReleased map[refKey]bool      // Unlock hit a caller-held (entry) lock
+	exits         []lockExit
+}
+
+func newLockFlow(p *Pass, g *callGraph, n *cgNode, summaries map[*cgNode]lockSummary, report bool) *lockFlow {
+	return &lockFlow{
+		p: p, g: g, n: n, summaries: summaries, report: report,
+		lockPos:       map[refKey]token.Pos{},
+		entryReleased: map[refKey]bool{},
+	}
+}
+
+func (lf *lockFlow) joinVal(a, b int8) int8 {
+	if a == flowTop || b == flowTop {
+		return flowTop
+	}
+	// entry and released both mean "not held here"; released wins so the
+	// exit check sees a consistent not-held pair.
+	if (a == lockEntry && b == lockReleased) || (a == lockReleased && b == lockEntry) {
+		return lockReleased
+	}
+	if (a == lockEntry && b == lockReadBase) || (a == lockReadBase && b == lockEntry) {
+		return lockReadBase
+	}
+	return flowTop
+}
+
+func (lf *lockFlow) send(absState, *ast.SendStmt)  {}
+func (lf *lockFlow) recv(absState, *ast.UnaryExpr) {}
+func (lf *lockFlow) spawn(absState, *ast.GoStmt)   {}
+
+func (lf *lockFlow) exit(st absState, pos token.Pos) {
+	lf.exits = append(lf.exits, lockExit{st: st.clone(), pos: pos})
+}
+
+// localRoot reports whether k is rooted at a variable declared inside this
+// function (as opposed to a parameter, receiver, or package-level variable).
+func (lf *lockFlow) localRoot(k refKey) bool {
+	if _, isParam := lf.n.paramSlot[k.root]; isParam {
+		return false
+	}
+	return k.root.Pos() >= lf.n.decl.Pos() && k.root.Pos() <= lf.n.decl.End()
+}
+
+func (lf *lockFlow) call(st absState, call *ast.CallExpr, deferred bool) {
+	f := calleeFunc(lf.n.pkg.Info, call)
+	if f == nil {
+		return
+	}
+	if f.Pkg() != nil && f.Pkg().Path() == "sync" {
+		lf.syncCall(st, call, f)
+		return
+	}
+	callee := lf.g.nodes[f]
+	if callee == nil {
+		return
+	}
+	sum := lf.summaries[callee]
+	for sk, net := range sum {
+		k, ok := rebase(lf.n.pkg.Info, call, sk)
+		if !ok {
+			continue
+		}
+		switch {
+		case net > 0:
+			if st[k] == lockHeld && lf.report {
+				lf.p.Reportf(call.Pos(), "%s acquires %s, which is already held on this path (deadlock)", funcName(f), k)
+			}
+			if st[k] != flowTop {
+				st[k] = lockHeld
+				lf.lockPos[k] = call.Pos()
+			}
+		case net < 0:
+			switch st[k] {
+			case lockHeld:
+				st[k] = lockReleased
+			case lockReleased:
+				if lf.report {
+					lf.p.Reportf(call.Pos(), "%s releases %s, which was already released on this path", funcName(f), k)
+				}
+			case lockEntry:
+				st[k] = lockReleased
+				lf.noteEntryRelease(k)
+			}
+		}
+	}
+}
+
+// syncCall applies one sync.Mutex / sync.RWMutex method to the state.
+func (lf *lockFlow) syncCall(st absState, call *ast.CallExpr, f *types.Func) {
+	recv := recvTypeName(f)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	k, ok := keyOf(lf.n.pkg.Info, sel.X)
+	if !ok {
+		return
+	}
+	rk := refKey{root: k.root, path: k.path + readSuffix}
+	switch f.Name() {
+	case "Lock":
+		if st[k] == lockHeld && lf.report {
+			lf.p.Reportf(call.Pos(), "second %s.Lock without an intervening Unlock on this path (self-deadlock)", k)
+		}
+		if st[k] != flowTop {
+			st[k] = lockHeld
+			lf.lockPos[k] = call.Pos()
+		}
+	case "Unlock":
+		switch st[k] {
+		case lockHeld:
+			st[k] = lockReleased
+		case lockReleased:
+			if lf.report {
+				lf.p.Reportf(call.Pos(), "%s.Unlock but the lock was already released on this path", k)
+			}
+		case lockEntry:
+			if lf.localRoot(k) {
+				if lf.report {
+					lf.p.Reportf(call.Pos(), "%s.Unlock but no Lock is held on this path", k)
+				}
+			} else {
+				// Releasing a lock the caller holds: a legitimate unlock
+				// helper. Recorded for this function's summary.
+				st[k] = lockReleased
+				lf.noteEntryRelease(k)
+			}
+		}
+	case "RLock":
+		switch {
+		case st[rk] == flowTop:
+		case st[rk] == lockEntry:
+			st[rk] = lockReadBase + 1
+			lf.lockPos[rk] = call.Pos()
+		case st[rk] >= lockReadBase && st[rk] < lockReadMax:
+			st[rk]++
+			lf.lockPos[rk] = call.Pos()
+		}
+	case "RUnlock":
+		switch {
+		case st[rk] == flowTop:
+		case st[rk] > lockReadBase && st[rk] <= lockReadMax:
+			st[rk]--
+		case st[rk] == lockReadBase:
+			if lf.report {
+				lf.p.Reportf(call.Pos(), "%s.RUnlock but no RLock is held on this path", k)
+			}
+		case st[rk] == lockEntry:
+			if lf.localRoot(k) {
+				if lf.report {
+					lf.p.Reportf(call.Pos(), "%s.RUnlock but no RLock is held on this path", k)
+				}
+			} else {
+				// Caller-held read lock being released; tolerated, not
+				// summarized (read-side handoff is rare enough not to model).
+				st[rk] = lockReadBase
+			}
+		}
+	case "TryLock":
+		st[k] = flowTop
+	case "TryRLock":
+		st[rk] = flowTop
+	}
+}
+
+func (lf *lockFlow) noteEntryRelease(k refKey) {
+	if !lf.localRoot(k) {
+		lf.entryReleased[k] = true
+	}
+}
+
+// summary derives this function's net lock effect: +1 for a key held at
+// every return, -1 for a caller-held key released on every return.
+func (lf *lockFlow) summary() lockSummary {
+	if len(lf.exits) == 0 {
+		return nil
+	}
+	out := lockSummary{}
+	for _, k := range lf.exitKeys() {
+		sk, ok := slotKeyOf(lf.n, k)
+		if !ok {
+			continue
+		}
+		held, notheld, unknown := lf.classifyExits(k)
+		switch {
+		case unknown > 0:
+		case held == len(lf.exits):
+			out[sk] = 1
+		case lf.entryReleased[k] && notheld == len(lf.exits):
+			out[sk] = -1
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// exitKeys returns every key observed in any exit state, deterministically.
+func (lf *lockFlow) exitKeys() []refKey {
+	union := absState{}
+	for _, e := range lf.exits {
+		for k, v := range e.st {
+			if v != lockEntry {
+				union[k] = 1
+			}
+		}
+	}
+	return union.keysSorted()
+}
+
+// classifyExits counts, across return paths, where k is held, not held, or
+// unknown. Read-side keys count any positive RLock depth as held.
+func (lf *lockFlow) classifyExits(k refKey) (held, notheld, unknown int) {
+	for _, e := range lf.exits {
+		switch v := e.st[k]; {
+		case v == lockHeld || v > lockReadBase:
+			held++
+		case v == lockEntry || v == lockReleased || v == lockReadBase:
+			notheld++
+		default:
+			unknown++
+		}
+	}
+	return
+}
+
+// reportExits fires the core diagnostic: a lock held on some return paths
+// but not others. (Held on all paths is a summary — the lock() helper idiom
+// — and never reported; the caller's own exits are checked instead.)
+func (lf *lockFlow) reportExits() {
+	if len(lf.exits) < 2 {
+		return
+	}
+	for _, k := range lf.exitKeys() {
+		held, notheld, unknown := lf.classifyExits(k)
+		if unknown > 0 || held == 0 || notheld == 0 {
+			continue
+		}
+		pos := lf.lockPos[k]
+		if !pos.IsValid() {
+			pos = lf.exits[0].pos
+		}
+		name := k
+		verb := "Lock"
+		if len(k.path) >= len(readSuffix) && k.path[len(k.path)-len(readSuffix):] == readSuffix {
+			name = refKey{root: k.root, path: k.path[:len(k.path)-len(readSuffix)]}
+			verb = "RLock"
+		}
+		lf.p.Reportf(pos, "%s.%s is released on %d return path(s) but still held on %d other(s); unlock on every path or use defer", name, verb, notheld, held)
+	}
+}

@@ -1,0 +1,7 @@
+// Package typeerr parses but deliberately fails type checking; load_test.go
+// asserts the loader surfaces this as a typed *LoadError (kind type).
+package typeerr
+
+func Mismatched() int {
+	return "not an int"
+}

@@ -1,0 +1,50 @@
+// Package chanlife_bad exercises the chanlife analyzer's violation shapes:
+// send after a definite close, double close (direct and through a helper
+// whose summary closes the channel), and a receive on a local channel that
+// nothing can ever send to or close.
+package chanlife_bad
+
+// SendAfterClose sends on a channel every path has already closed.
+func SendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want `send on ch, which is closed on every path reaching here`
+}
+
+// DoubleClose closes the same channel twice in sequence.
+func DoubleClose(done chan struct{}) {
+	close(done)
+	close(done) // want `close of done, which is already closed on every path reaching here`
+}
+
+type pipe struct {
+	out chan int
+}
+
+func (p *pipe) shutdown() {
+	close(p.out)
+}
+
+// DoubleViaHelper closes through the helper, then again directly — the
+// helper's summary marks p.out closed at the call site.
+func DoubleViaHelper(p *pipe) {
+	p.shutdown()
+	close(p.out) // want `close of p\.out, which is already closed on every path reaching here`
+}
+
+// RecvForever receives on a channel that never escapes this function and has
+// no sender and no close anywhere in it.
+func RecvForever() {
+	ch := make(chan int)
+	<-ch // want `receive on ch blocks forever`
+}
+
+// RangeForever ranges over the same kind of dead channel.
+func RangeForever() int {
+	ch := make(chan int)
+	n := 0
+	for v := range ch { // want `receive on ch blocks forever`
+		n += v
+	}
+	return n
+}

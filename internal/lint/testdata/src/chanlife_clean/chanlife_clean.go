@@ -1,0 +1,57 @@
+// Package chanlife_clean holds compliant channel lifecycles: send-then-close
+// producer, close on one branch only (maybe-closed joins stay silent), a
+// spawned producer feeding a local channel, a select receive with a default,
+// and a channel handed to code outside the static call graph.
+package chanlife_clean
+
+// Producer sends everything, then closes, then drains.
+func Producer(n int) int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}
+
+// CloseOnSignal closes on the stop path only; the send runs on the other
+// path, where the channel is definitely open.
+func CloseOnSignal(ch chan int, stop bool) {
+	if stop {
+		close(ch)
+		return
+	}
+	ch <- 1
+}
+
+// FanIn spawns a producer for its local channel: the closure's send is
+// visible, so the receive is not a dead block.
+func FanIn() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+// PollLocal receives inside a select with a default: never a guaranteed
+// block, even though nothing sends.
+func PollLocal() int {
+	ch := make(chan int, 1)
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// Escaped hands its channel to an unresolvable callee; lifecycle unknown,
+// nothing reported.
+func Escaped(feed func(chan int)) int {
+	ch := make(chan int)
+	feed(ch)
+	return <-ch
+}

@@ -1,0 +1,45 @@
+// Package serve (fixture ctxflow_bad) exercises the ctxflow analyzer, which
+// applies to packages named "serve": dropping a held context by minting a
+// fresh one at a blocking call, substituting nil, passing a zero deadline,
+// and taking a deadline-carrying parameter without ever consulting it.
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// waitReady blocks on its context.
+func waitReady(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// deadlineWait blocks and honors its deadline.
+func deadlineWait(deadline time.Time, ch chan int) {
+	if deadline.IsZero() {
+		<-ch
+	}
+}
+
+// BadSubstitute holds a context but mints a fresh one for the blocking call.
+func BadSubstitute(ctx context.Context) {
+	_ = ctx.Err()
+	waitReady(context.Background()) // want `passes context\.Background\(\) to blocking callee ctxflow_bad\.waitReady instead of threading context\.Context ctx`
+}
+
+// BadTODO is the same drop via context.TODO.
+func BadTODO(ctx context.Context) {
+	_ = ctx.Err()
+	waitReady(context.TODO()) // want `passes context\.TODO\(\) to blocking callee ctxflow_bad\.waitReady instead of threading context\.Context ctx`
+}
+
+// BadZeroDeadline erases the deadline it was handed.
+func BadZeroDeadline(deadline time.Time, ch chan int) {
+	_ = deadline.IsZero()
+	deadlineWait(time.Time{}, ch) // want `passes a zero time\.Time to blocking callee ctxflow_bad\.deadlineWait instead of threading deadline deadline`
+}
+
+// BadUnused blocks without ever consulting the context it demands.
+func BadUnused(ctx context.Context, ch chan int) int { // want `ctxflow_bad\.BadUnused takes context\.Context ctx but never consults or forwards it`
+	return <-ch
+}

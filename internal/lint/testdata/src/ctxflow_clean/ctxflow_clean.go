@@ -1,0 +1,47 @@
+// Package serve (fixture ctxflow_clean) holds compliant deadline threading:
+// forwarding the held context, deriving a child context, entry points that
+// own no deadline and may mint one, and non-blocking functions that are free
+// to ignore their context.
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+func waitDone(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func deadlineWait(deadline time.Time, ch chan int) {
+	if deadline.IsZero() {
+		<-ch
+	}
+}
+
+// GoodThread forwards its context to the blocking callee.
+func GoodThread(ctx context.Context) {
+	waitDone(ctx)
+}
+
+// GoodDerived threads a derived child context.
+func GoodDerived(ctx context.Context) {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	waitDone(child)
+}
+
+// GoodDeadline passes its own deadline through.
+func GoodDeadline(deadline time.Time, ch chan int) {
+	deadlineWait(deadline, ch)
+}
+
+// Root owns no deadline: minting a fresh context here is legitimate.
+func Root() {
+	waitDone(context.Background())
+}
+
+// NonBlocking never blocks, so its unused context is not a dropped deadline.
+func NonBlocking(ctx context.Context) int {
+	return 1
+}

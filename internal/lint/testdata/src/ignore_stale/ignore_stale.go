@@ -1,0 +1,16 @@
+// Package ignore_stale pairs a live suppression with a dead one: the first
+// matches a real floateq finding and is honored silently; the second matches
+// nothing and is reported as stale documentation.
+package ignore_stale
+
+// Compare has a real finding, deliberately suppressed: not stale.
+func Compare(a, b float64) bool {
+	//edgepc:lint-ignore floateq exact sentinel comparison is intentional here
+	return a == b
+}
+
+// Scale is innocent; the suppression below covers nothing.
+func Scale(a float64) float64 {
+	//edgepc:lint-ignore floateq legacy comparison, since removed // want `stale lint-ignore: no floateq finding on this line or the next`
+	return a * 2
+}

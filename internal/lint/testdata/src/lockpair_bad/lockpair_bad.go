@@ -1,0 +1,92 @@
+// Package lockpair_bad exercises the lockpair analyzer's violation shapes:
+// a lock leaked on one return path, a self-deadlock, an unlock of a lock
+// that is not held, the read side of an RWMutex, and the same leak routed
+// through a lock()/unlock() helper pair (interprocedural summaries).
+package lockpair_bad
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// LeakOnError locks, then returns early on the failure path without
+// unlocking.
+func (c *counter) LeakOnError(fail bool) int {
+	c.mu.Lock() // want `c\.mu\.Lock is released on 1 return path\(s\) but still held on 1 other\(s\)`
+	if fail {
+		return -1
+	}
+	c.n++
+	c.mu.Unlock()
+	return c.n
+}
+
+// DoubleLock deadlocks against itself and then over-releases.
+func (c *counter) DoubleLock() {
+	c.mu.Lock()
+	c.mu.Lock() // want `second c\.mu\.Lock without an intervening Unlock`
+	c.mu.Unlock()
+	c.mu.Unlock() // want `c\.mu\.Unlock but the lock was already released`
+}
+
+// UnlockedUnlock releases a local mutex that was never acquired.
+func UnlockedUnlock() {
+	var mu sync.Mutex
+	mu.Unlock() // want `mu\.Unlock but no Lock is held`
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// ReadLeak leaks the read lock on the fast path; the read side is matched
+// separately from Lock/Unlock.
+func (t *table) ReadLeak(k string, fast bool) int {
+	t.mu.RLock() // want `t\.mu\.RLock is released on 1 return path\(s\) but still held on 1 other\(s\)`
+	if fast {
+		return 0
+	}
+	v := t.m[k]
+	t.mu.RUnlock()
+	return v
+}
+
+// BareRUnlock releases a read lock that is not held.
+func BareRUnlock() {
+	var mu sync.RWMutex
+	mu.RUnlock() // want `mu\.RUnlock but no RLock is held`
+}
+
+type guarded struct {
+	mu sync.Mutex
+}
+
+func (g *guarded) lock()   { g.mu.Lock() }
+func (g *guarded) unlock() { g.mu.Unlock() }
+
+// HelperLeak acquires through the helper pair and leaks on the error path —
+// the summaries see through lock()/unlock() exactly as through the direct
+// calls.
+func (g *guarded) HelperLeak(fail bool) error {
+	g.lock() // want `g\.mu\.Lock is released on 1 return path\(s\) but still held on 1 other\(s\)`
+	if fail {
+		return errFail
+	}
+	g.unlock()
+	return nil
+}
+
+// HelperDeadlock re-enters through the helper while already holding the lock.
+func (g *guarded) HelperDeadlock() {
+	g.lock()
+	g.lock() // want `lock acquires g\.mu, which is already held on this path \(deadlock\)`
+	g.unlock()
+}

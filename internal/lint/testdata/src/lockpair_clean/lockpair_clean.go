@@ -1,0 +1,118 @@
+// Package lockpair_clean holds compliant locking patterns the lockpair
+// analyzer must stay silent on: defer-unlock (direct and via func literal),
+// branch-balanced unlocks, early return before acquisition, the helper-pair
+// idiom, TryLock's conditional acquisition, and read-side counting.
+package lockpair_clean
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// DeferUnlock is the canonical pattern: every return path releases.
+func (c *counter) DeferUnlock(fail bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fail {
+		return -1
+	}
+	c.n++
+	return c.n
+}
+
+// DeferLiteral releases through a deferred func literal.
+func (c *counter) DeferLiteral() {
+	c.mu.Lock()
+	defer func() {
+		c.n++
+		c.mu.Unlock()
+	}()
+	c.n++
+}
+
+// BranchBalanced unlocks explicitly on both paths.
+func (c *counter) BranchBalanced(fail bool) int {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		return -1
+	}
+	c.n++
+	c.mu.Unlock()
+	return c.n
+}
+
+// EarlyReturn exits before acquiring: no lock is held on that path.
+func (c *counter) EarlyReturn(skip bool) {
+	if skip {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// TryLock acquires conditionally; the analyzer cannot pair it statically and
+// stays silent.
+func (c *counter) TryLock() bool {
+	if c.mu.TryLock() {
+		c.n++
+		c.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+type guarded struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (g *guarded) lock()   { g.mu.Lock() }
+func (g *guarded) unlock() { g.mu.Unlock() }
+
+// HelperPair uses the lock()/unlock() helpers with defer — the summaries
+// release on every path.
+func (g *guarded) HelperPair(fail bool) int {
+	g.lock()
+	defer g.unlock()
+	if fail {
+		return -1
+	}
+	g.v++
+	return g.v
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// Read holds the read lock across the lookup; the write side is untouched.
+func (t *table) Read(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// NestedRead takes the read lock twice (legal for RWMutex) and releases both.
+func (t *table) NestedRead(k string) int {
+	t.mu.RLock()
+	t.mu.RLock()
+	v := t.m[k]
+	t.mu.RUnlock()
+	t.mu.RUnlock()
+	return v
+}
+
+// WriteThenRead switches sides in sequence.
+func (t *table) WriteThenRead(k string, v int) int {
+	t.mu.Lock()
+	t.m[k] = v
+	t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}

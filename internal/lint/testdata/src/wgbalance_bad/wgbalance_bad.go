@@ -1,0 +1,47 @@
+// Package wgbalance_bad exercises the wgbalance analyzer's violation shapes:
+// an Add with no reachable Done, an Add placed inside the spawned goroutine
+// (racing with Wait), a per-iteration leak in a loop, and a Done with no Add.
+package wgbalance_bad
+
+import "sync"
+
+func work() {}
+
+// MissingDone spawns a worker that never signals completion.
+func MissingDone() {
+	var wg sync.WaitGroup
+	wg.Add(1) // want `WaitGroup wg: 1 Add\(s\) but 0 Done\(s\) are statically reachable; Wait will never return`
+	go func() {
+		work()
+	}()
+	wg.Wait()
+}
+
+// AddInGoroutine increments the counter from inside the spawned body: Wait
+// may run before the goroutine is scheduled and observe zero.
+func AddInGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want `WaitGroup wg\.Add inside a spawned goroutine races with Wait`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// LoopLeak adds once per iteration but nothing ever calls Done.
+func LoopLeak(jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1) // want `WaitGroup wg gains 1 Add\(s\) but only 0 Done\(s\) per iteration`
+		go work()
+	}
+	wg.Wait()
+}
+
+// ExtraDone decrements a counter that was never incremented.
+func ExtraDone() {
+	var wg sync.WaitGroup
+	wg.Done() // want `WaitGroup wg: 0 Add\(s\) but 1 Done\(s\) are statically reachable; Wait will panic on a negative counter`
+	wg.Wait()
+}

@@ -1,0 +1,72 @@
+// Package wgbalance_clean holds compliant WaitGroup patterns: Add before the
+// go statement with Done deferred inside the spawned closure, per-iteration
+// balance in fan-out loops, Done routed through a module helper (summaries),
+// bulk Add(n) with consumer-loop Dones (unknown multiplicity stays silent),
+// and a WaitGroup handed to unresolvable code (also silent).
+package wgbalance_clean
+
+import "sync"
+
+func work() {}
+
+// Classic is the canonical spawn pattern.
+func Classic() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// FanOut balances one Add against one deferred Done per iteration.
+func FanOut(jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+func signalDone(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+// SpawnHelper spawns a named module function whose summary carries the Done.
+func SpawnHelper() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go signalDone(&wg)
+	wg.Wait()
+}
+
+// BulkConsumers adds up front and lets each consumer Done per drained job;
+// the loop's surplus Dones make the multiplicity dynamic, which is silence,
+// not a report.
+func BulkConsumers(jobs chan int) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			for range jobs {
+			}
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Escaped hands the WaitGroup to code the call graph cannot resolve; its
+// balance is unknown and unreported.
+func Escaped(run func(*sync.WaitGroup)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	run(&wg)
+	wg.Wait()
+}

@@ -1,0 +1,580 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// WGBalance checks sync.WaitGroup accounting across the goroutine spawn
+// boundary: every Add must be matched by a Done that is statically reachable
+// — directly, deferred, inside a spawned closure, or inside a spawned module
+// function whose summary the call graph provides. Loop bodies are balanced
+// per iteration (an Add in a loop needs its Done in the same iteration's
+// reach, because the iteration count is not statically known), and an Add
+// placed lexically inside a spawned goroutine is reported as a race with
+// Wait regardless of balance.
+//
+// The analysis is deliberately one-sided to stay quiet on correct code:
+//
+//   - counts are only compared when every Add uses a constant argument and
+//     the WaitGroup never escapes to code the call graph cannot see (function
+//     values, interface calls, address-taken in non-call position);
+//   - a loop whose body has more Dones than Adds (the consumer-loop idiom)
+//     makes the WaitGroup's multiplicity unknown instead of reporting;
+//   - recursion that keeps summaries growing saturates and degrades to
+//     unknown.
+//
+// The serve engine's respawn chain (workerLoop → deferred lastResort →
+// Add + go workerLoop) is exactly such a saturating cycle: it degrades to
+// unknown, which is the truth — its balance argument is temporal, not
+// structural.
+var WGBalance = &Analyzer{
+	Name: "wgbalance",
+	Doc:  "sync.WaitGroup Add/Done must balance per loop iteration and across the goroutine spawn boundary; Add inside a spawned goroutine races with Wait",
+	Run:  runWGBalance,
+}
+
+// wgSat is the saturation ceiling for Add/Done counts; past it a count means
+// "many" and comparisons degrade to balanced (under-reporting, never noise).
+const wgSat = 8
+
+// wgTally accumulates one WaitGroup's events inside one region.
+type wgTally struct {
+	adds, dones int
+	unknown     bool
+	addPos      token.Pos // first Add (or Done) site, for reporting
+	waits       int
+}
+
+func (t *wgTally) note(pos token.Pos) {
+	if !t.addPos.IsValid() {
+		t.addPos = pos
+	}
+}
+
+func satAdd(a, b int) int {
+	if s := a + b; s < wgSat {
+		return s
+	}
+	return wgSat
+}
+
+// wgSummary is a function's net WaitGroup effect per parameter/receiver slot.
+type wgSummary map[slotKey]*wgTally
+
+func wgSummaryEqual(a, b wgSummary) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || av.adds != bv.adds || av.dones != bv.dones || av.unknown != bv.unknown {
+			return false
+		}
+	}
+	return true
+}
+
+// wgMaxRounds bounds the summary fixpoint. Counts saturate at wgSat and
+// unknown is monotone, so the system converges; the cap is a backstop, after
+// which still-changing nodes are poisoned to unknown.
+const wgMaxRounds = 32
+
+func runWGBalance(p *Pass) {
+	g := p.callGraph()
+	summaries := map[*cgNode]wgSummary{}
+	compute := func(n *cgNode) bool {
+		s := &wgScan{p: p, g: g, n: n, summaries: summaries}
+		body := s.region(n.decl.Body.List, false)
+		next := s.summarize(body)
+		if wgSummaryEqual(summaries[n], next) {
+			return false
+		}
+		summaries[n] = next
+		return true
+	}
+	converged := false
+	for round := 0; round < wgMaxRounds && !converged; round++ {
+		converged = true
+		for _, n := range g.order {
+			if compute(n) {
+				converged = false
+			}
+		}
+	}
+	if !converged {
+		for _, sum := range summaries {
+			for _, t := range sum {
+				t.unknown = true
+			}
+		}
+	}
+	for _, n := range g.order {
+		s := &wgScan{p: p, g: g, n: n, summaries: summaries, report: true}
+		body := s.region(n.decl.Body.List, false)
+		s.checkFunction(body)
+	}
+}
+
+// wgScan walks one function, building per-region tallies.
+type wgScan struct {
+	p         *Pass
+	g         *callGraph
+	n         *cgNode
+	summaries map[*cgNode]wgSummary
+	report    bool
+}
+
+type wgRegion map[refKey]*wgTally
+
+func (s *wgScan) tally(r wgRegion, k refKey) *wgTally {
+	t := r[k]
+	if t == nil {
+		t = &wgTally{}
+		r[k] = t
+	}
+	return t
+}
+
+// region scans a statement list, recursing into branches (same region) and
+// loops (subregions checked per iteration). inGo marks that the statements
+// run inside a spawned goroutine body: Adds there are reported as races.
+func (s *wgScan) region(stmts []ast.Stmt, inGo bool) wgRegion {
+	r := wgRegion{}
+	for _, st := range stmts {
+		s.stmt(r, st, inGo)
+	}
+	return r
+}
+
+func (s *wgScan) stmt(r wgRegion, st ast.Stmt, inGo bool) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, x := range st.List {
+			s.stmt(r, x, inGo)
+		}
+	case *ast.LabeledStmt:
+		s.stmt(r, st.Stmt, inGo)
+	case *ast.IfStmt:
+		s.stmt(r, st.Init, inGo)
+		s.expr(r, st.Cond, inGo)
+		s.stmt(r, st.Body, inGo)
+		s.stmt(r, st.Else, inGo)
+	case *ast.SwitchStmt:
+		s.stmt(r, st.Init, inGo)
+		s.expr(r, st.Tag, inGo)
+		s.stmt(r, st.Body, inGo)
+	case *ast.TypeSwitchStmt:
+		s.stmt(r, st.Init, inGo)
+		s.stmt(r, st.Assign, inGo)
+		s.stmt(r, st.Body, inGo)
+	case *ast.SelectStmt:
+		s.stmt(r, st.Body, inGo)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			s.expr(r, e, inGo)
+		}
+		for _, x := range st.Body {
+			s.stmt(r, x, inGo)
+		}
+	case *ast.CommClause:
+		s.stmt(r, st.Comm, inGo)
+		for _, x := range st.Body {
+			s.stmt(r, x, inGo)
+		}
+	case *ast.ForStmt:
+		s.stmt(r, st.Init, inGo)
+		s.expr(r, st.Cond, inGo)
+		s.loop(r, st.Body.List, st.For, inGo)
+		s.stmt(r, st.Post, inGo)
+	case *ast.RangeStmt:
+		s.expr(r, st.X, inGo)
+		s.loop(r, st.Body.List, st.For, inGo)
+	case *ast.GoStmt:
+		s.spawn(r, st, inGo)
+	case *ast.DeferStmt:
+		// A deferred Done/helper runs at function exit but exactly once per
+		// execution of this defer statement, so it tallies in its lexical
+		// region — pairing `wg.Add(1)` with `defer wg.Done()` per iteration.
+		s.callExpr(r, st.Call, inGo)
+	case *ast.ExprStmt:
+		s.expr(r, st.X, inGo)
+	case *ast.SendStmt:
+		s.expr(r, st.Chan, inGo)
+		s.expr(r, st.Value, inGo)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(r, e, inGo)
+		}
+		for _, e := range st.Lhs {
+			s.expr(r, e, inGo)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(r, e, inGo)
+		}
+	case *ast.IncDecStmt:
+		s.expr(r, st.X, inGo)
+	case *ast.DeclStmt:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				s.expr(r, e, inGo)
+				return false
+			}
+			return true
+		})
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				s.expr(r, e, inGo)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// loop scans a loop body as its own region, reports per-iteration Add leaks,
+// and folds the verdict into the parent region.
+func (s *wgScan) loop(parent wgRegion, body []ast.Stmt, pos token.Pos, inGo bool) {
+	sub := s.region(body, inGo)
+	for _, k := range wgKeysSorted(sub) {
+		t := sub[k]
+		pt := s.tally(parent, k)
+		pt.note(t.addPos)
+		pt.waits += t.waits
+		switch {
+		case t.unknown:
+			pt.unknown = true
+		case t.adds > t.dones:
+			if s.report {
+				at := t.addPos
+				if !at.IsValid() {
+					at = pos
+				}
+				s.p.Reportf(at, "WaitGroup %s gains %d Add(s) but only %d Done(s) per iteration of this loop; Wait will never return", k, t.adds, t.dones)
+			}
+			// Reported; contribute nothing so the function-level check does
+			// not double-report.
+		case t.dones > t.adds:
+			// Consumer-loop idiom (Done per received job): the multiplicity
+			// is the queue length, not a static count.
+			pt.unknown = true
+		}
+	}
+}
+
+// spawn folds a goroutine body into the spawning region: its Dones count
+// toward the spawn site's balance (that is the entire point of a WaitGroup),
+// its Adds are a race with Wait and are reported.
+func (s *wgScan) spawn(r wgRegion, g *ast.GoStmt, inGo bool) {
+	for _, a := range g.Call.Args {
+		s.expr(r, a, inGo)
+	}
+	if lit := funcLitOf(g.Call); lit != nil {
+		sub := s.region(lit.Body.List, true)
+		s.foldSpawned(r, sub, g.Pos())
+		return
+	}
+	if callee := s.g.nodeOf(s.n.pkg.Info, g.Call); callee != nil {
+		s.applySummary(r, g.Call, callee, true)
+		return
+	}
+	// Unresolved spawn target: any WaitGroup passed to it is out of sight.
+	s.escapeArgs(r, g.Call)
+}
+
+// foldSpawned merges a spawned closure's region into the parent: its Dones
+// count toward the spawn site's balance; its Adds were already reported by
+// the in-goroutine scan and poison the key to unknown.
+func (s *wgScan) foldSpawned(r wgRegion, sub wgRegion, at token.Pos) {
+	for _, k := range wgKeysSorted(sub) {
+		t := sub[k]
+		pt := s.tally(r, k)
+		pt.note(at)
+		if t.adds > 0 || t.unknown {
+			pt.unknown = true
+		}
+		pt.dones = satAdd(pt.dones, t.dones)
+	}
+}
+
+func (s *wgScan) callExpr(r wgRegion, call *ast.CallExpr, inGo bool) {
+	for _, a := range call.Args {
+		s.expr(r, a, inGo)
+	}
+	f := calleeFunc(s.n.pkg.Info, call)
+	if f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync" && recvTypeName(f) == "WaitGroup" {
+		s.wgMethod(r, call, f, inGo)
+		return
+	}
+	if f != nil {
+		if callee := s.g.nodes[f]; callee != nil {
+			s.applySummary(r, call, callee, false)
+			return
+		}
+	}
+	s.escapeArgs(r, call)
+}
+
+// wgMethod tallies one Add/Done/Wait call.
+func (s *wgScan) wgMethod(r wgRegion, call *ast.CallExpr, f *types.Func, inGo bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	k, ok := keyOf(s.n.pkg.Info, sel.X)
+	if !ok {
+		return
+	}
+	t := s.tally(r, k)
+	t.note(call.Pos())
+	switch f.Name() {
+	case "Add":
+		n, known := constIntArg(s.n.pkg.Info, call, 0)
+		switch {
+		case !known:
+			t.unknown = true
+		case n >= 0:
+			t.adds = satAdd(t.adds, n)
+			if inGo && s.report && n > 0 {
+				s.p.Reportf(call.Pos(), "WaitGroup %s.Add inside a spawned goroutine races with Wait; call Add before the go statement", k)
+			}
+			if inGo {
+				t.unknown = true
+			}
+		default:
+			t.dones = satAdd(t.dones, -n)
+		}
+	case "Done":
+		t.dones = satAdd(t.dones, 1)
+	case "Wait":
+		t.waits++
+	}
+}
+
+// applySummary folds a module callee's WaitGroup summary into the caller's
+// region. At a spawn site the callee's Adds cannot be ordered against the
+// caller's Wait, so they poison the key to unknown instead of counting.
+func (s *wgScan) applySummary(r wgRegion, call *ast.CallExpr, callee *cgNode, spawned bool) {
+	sum := s.summaries[callee]
+	for sk, t := range sum {
+		k, ok := rebase(s.n.pkg.Info, call, sk)
+		if !ok {
+			// The argument feeding this slot has no stable identity; whatever
+			// WaitGroup flows there is out of sight.
+			s.escapeArgs(r, call)
+			continue
+		}
+		pt := s.tally(r, k)
+		pt.note(call.Pos())
+		if t.unknown {
+			pt.unknown = true
+		}
+		pt.dones = satAdd(pt.dones, t.dones)
+		if spawned && t.adds > 0 {
+			pt.unknown = true
+		} else {
+			pt.adds = satAdd(pt.adds, t.adds)
+		}
+	}
+	// A WaitGroup handed to a callee with no summary entry for it is
+	// untouched by that callee — nothing to fold.
+}
+
+// expr scans an expression for WaitGroup escapes and nested calls. A func
+// literal that is neither spawned nor immediately called makes every
+// WaitGroup it mentions unknown (its execution count is out of reach).
+func (s *wgScan) expr(r wgRegion, e ast.Expr, inGo bool) {
+	if e == nil {
+		return
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if lit := funcLitOf(e); lit != nil {
+			// Immediately invoked literal: same region.
+			for _, a := range e.Args {
+				s.expr(r, a, inGo)
+			}
+			for _, st := range lit.Body.List {
+				s.stmt(r, st, inGo)
+			}
+			return
+		}
+		s.callExpr(r, e, inGo)
+	case *ast.FuncLit:
+		s.markEscapes(r, e)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if k, ok := keyOf(s.n.pkg.Info, e.X); ok && s.isWaitGroupKey(e.X) {
+				// Address taken outside a resolvable call: out of sight.
+				s.tally(r, k).unknown = true
+				s.tally(r, k).note(e.Pos())
+			}
+			return
+		}
+		s.expr(r, e.X, inGo)
+	case *ast.BinaryExpr:
+		s.expr(r, e.X, inGo)
+		s.expr(r, e.Y, inGo)
+	case *ast.StarExpr:
+		s.expr(r, e.X, inGo)
+	case *ast.IndexExpr:
+		s.expr(r, e.X, inGo)
+		s.expr(r, e.Index, inGo)
+	case *ast.SliceExpr:
+		s.expr(r, e.X, inGo)
+		s.expr(r, e.Low, inGo)
+		s.expr(r, e.High, inGo)
+		s.expr(r, e.Max, inGo)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			s.expr(r, el, inGo)
+		}
+	case *ast.KeyValueExpr:
+		s.expr(r, e.Value, inGo)
+	case *ast.SelectorExpr, *ast.Ident, *ast.BasicLit, *ast.TypeAssertExpr:
+	}
+}
+
+// escapeArgs marks every WaitGroup reachable from a call's arguments (or
+// receiver) as unknown: the callee is outside the static call graph.
+func (s *wgScan) escapeArgs(r wgRegion, call *ast.CallExpr) {
+	mark := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			x, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if s.isWaitGroupKey(x) {
+				if k, ok := keyOf(s.n.pkg.Info, x); ok {
+					s.tally(r, k).unknown = true
+					s.tally(r, k).note(x.Pos())
+				}
+			}
+			return true
+		})
+	}
+	for _, a := range call.Args {
+		mark(a)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		mark(sel.X)
+	}
+}
+
+// markEscapes poisons every WaitGroup mentioned inside a stray func literal.
+func (s *wgScan) markEscapes(r wgRegion, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		x, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if s.isWaitGroupKey(x) {
+			if k, ok := keyOf(s.n.pkg.Info, x); ok {
+				s.tally(r, k).unknown = true
+				s.tally(r, k).note(x.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// isWaitGroupKey reports whether e denotes a sync.WaitGroup (or pointer to
+// one) with a stable identity.
+func (s *wgScan) isWaitGroupKey(e ast.Expr) bool {
+	t := s.n.pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "WaitGroup" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
+}
+
+// summarize extracts the parameter/receiver-rooted tallies as the function's
+// summary.
+func (s *wgScan) summarize(body wgRegion) wgSummary {
+	out := wgSummary{}
+	for _, k := range wgKeysSorted(body) {
+		sk, ok := slotKeyOf(s.n, k)
+		if !ok {
+			continue
+		}
+		t := body[k]
+		out[sk] = &wgTally{adds: t.adds, dones: t.dones, unknown: t.unknown}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// checkFunction reports function-level imbalance for locally declared
+// WaitGroups: if the counts are fully known and Adds exceed Dones, a Wait
+// hangs; parameter- and receiver-rooted groups are judged by callers through
+// the summary instead.
+func (s *wgScan) checkFunction(body wgRegion) {
+	for _, k := range wgKeysSorted(body) {
+		t := body[k]
+		if t.unknown {
+			continue
+		}
+		if _, isParam := s.n.paramSlot[k.root]; isParam {
+			continue
+		}
+		if k.root.Pos() < s.n.decl.Pos() || k.root.Pos() > s.n.decl.End() {
+			continue // package-level WaitGroup: cross-function by design
+		}
+		if t.adds != t.dones {
+			s.p.Reportf(t.addPos, "WaitGroup %s: %d Add(s) but %d Done(s) are statically reachable; Wait will %s", k, t.adds, t.dones,
+				verdict(t.adds > t.dones))
+		}
+	}
+}
+
+func verdict(hangs bool) string {
+	if hangs {
+		return "never return"
+	}
+	return "panic on a negative counter"
+}
+
+func constIntArg(info *types.Info, call *ast.CallExpr, i int) (int, bool) {
+	if i >= len(call.Args) {
+		return 0, false
+	}
+	tv, ok := info.Types[call.Args[i]]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return int(v), true
+}
+
+func wgKeysSorted(r wgRegion) []refKey {
+	keys := make([]refKey, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].root.Pos() != keys[j].root.Pos() {
+			return keys[i].root.Pos() < keys[j].root.Pos()
+		}
+		return keys[i].path < keys[j].path
+	})
+	return keys
+}

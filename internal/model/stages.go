@@ -297,7 +297,6 @@ func (s *globalPoolStage) Params() []*nn.Param { return nil }
 //edgepc:hotpath
 func (s *globalPoolStage) Forward(x *Exec) error {
 	in := x.chain
-	//edgepc:lint-ignore hotpathalloc ColMax and the pooled row are one C-wide vector per frame
 	vals, argmax := tensor.ColMax(in)
 	wsPut(x.ws, in)
 	pooled, err := tensor.FromSlice(1, len(vals), vals)

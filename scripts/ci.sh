@@ -25,7 +25,23 @@ echo "== go build ./... =="
 go build ./...
 
 echo "== edgepc-lint ./... (static invariants; see DESIGN.md §7) =="
+# Pin the interprocedural analyzer pack by name so a renamed/deleted analyzer
+# fails loudly instead of silently shrinking coverage (mirrors the fuzz-target
+# pinning below).
+lint_list=$(go run ./cmd/edgepc-lint -list)
+for a in lockpair wgbalance chanlife ctxflow; do
+	if ! printf '%s\n' "$lint_list" | grep -q "^$a "; then
+		echo "edgepc-lint: analyzer '$a' missing from -list" >&2
+		exit 1
+	fi
+done
 go run ./cmd/edgepc-lint ./...
+
+echo "== escape gate (hotpath heap escapes vs baseline; see DESIGN.md §7) =="
+scripts/escape_gate.sh
+
+echo "== go test -race ./internal/lint/... (analyzer engine) =="
+go test -race ./internal/lint/...
 
 echo "== go test -race (parallel kernels + workspace hot path + serving) =="
 go test -race ./internal/tensor/... ./internal/parallel/... ./internal/morton/... ./internal/pipeline/... ./internal/nn/... ./internal/model/... ./internal/serve/...

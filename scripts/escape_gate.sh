@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Static allocation gate: fail if any //edgepc:hotpath function gains a heap
+# escape according to the compiler's own escape analysis (-gcflags='-m -m').
+#
+#   scripts/escape_gate.sh           check against scripts/escape_baseline.txt
+#   scripts/escape_gate.sh -update   regenerate the baseline (after reviewing
+#                                    why an escape is acceptable, or to lock in
+#                                    a removed one)
+#
+# Go replays cached compiler diagnostics on rebuilds, so a warm build cache
+# still yields the full -m output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=check
+if [[ "${1:-}" == "-update" ]]; then
+  mode=update
+fi
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+# Escape diagnostics land on stderr; a failed build must surface its errors.
+if ! go build -gcflags='-m -m' ./... 2>"$out" >/dev/null; then
+  cat "$out" >&2
+  echo "escape_gate: go build failed" >&2
+  exit 2
+fi
+
+if [[ $mode == update ]]; then
+  go run ./cmd/edgepc-lint -escapes "$out" -escape-write
+else
+  go run ./cmd/edgepc-lint -escapes "$out"
+fi
