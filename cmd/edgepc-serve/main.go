@@ -10,6 +10,7 @@
 //	edgepc-serve -workload W1 -config S+N -workers 2 -frames 64 -clients 4
 //	edgepc-serve -quick -workload W3 -frames 8          # laptop-scale smoke
 //	edgepc-serve -quick -degrade 2 -chaos-panic 0.1     # ladder + chaos drill
+//	edgepc-serve -quick -engines 4 -tenants 8 -qos-rate 50   # fleet router
 //
 // -quick shrinks the model and cloud far below the paper's scale so the
 // command completes in seconds on a development machine. -degrade N arms an
@@ -17,6 +18,10 @@
 // presets down under queue pressure instead of rejecting; -chaos-* thread a
 // deterministic fault-injection plan (internal/faultinject) through the
 // engine to demonstrate panic isolation and admission rejection live.
+// -engines N (N > 1) switches to fleet mode: requests carry tenant/stream
+// identities and route through the consistent-hash fleet router
+// (serve.Router) with optional per-tenant QoS token buckets (-qos-rate,
+// -qos-burst), priority load shedding, spillover, and quarantine.
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"repro/internal/edgesim"
 	"repro/internal/faultinject"
 	"repro/internal/geom"
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/serve"
 )
@@ -55,10 +61,16 @@ func main() {
 		chaosPanic   = flag.Float64("chaos-panic", 0, "fault injection: fraction of frames that panic a worker")
 		chaosCorrupt = flag.Float64("chaos-corrupt", 0, "fault injection: fraction of frames corrupted before admission")
 		chaosSeed    = flag.Uint64("chaos-seed", 1, "fault-injection plan seed")
+
+		engines  = flag.Int("engines", 1, "fleet size; >1 routes via the consistent-hash fleet router")
+		tenants  = flag.Int("tenants", 4, "fleet mode: distinct tenant ids the clients cycle through")
+		qosRate  = flag.Float64("qos-rate", 0, "fleet mode: per-tenant token-bucket rate, frames/s (0: unlimited)")
+		qosBurst = flag.Float64("qos-burst", 0, "fleet mode: per-tenant burst capacity (0: max(rate,1))")
 	)
 	flag.Parse()
 	if err := run(*workload, *config, *workers, *queue, *batch, *window, *timeout,
-		*frames, *clients, *seed, *quick, *degrade, *chaosPanic, *chaosCorrupt, *chaosSeed); err != nil {
+		*frames, *clients, *seed, *quick, *degrade, *chaosPanic, *chaosCorrupt, *chaosSeed,
+		*engines, *tenants, *qosRate, *qosBurst); err != nil {
 		fmt.Fprintln(os.Stderr, "edgepc-serve:", err)
 		os.Exit(1)
 	}
@@ -91,7 +103,8 @@ func tierName(i int) string {
 }
 
 func run(workload, config string, workers, queue, batch int, window, timeout time.Duration,
-	frames, clients int, seed int64, quick bool, degrade int, chaosPanic, chaosCorrupt float64, chaosSeed uint64) error {
+	frames, clients int, seed int64, quick bool, degrade int, chaosPanic, chaosCorrupt float64, chaosSeed uint64,
+	engines, tenants int, qosRate, qosBurst float64) error {
 	w, err := pipeline.WorkloadByID(workload)
 	if err != nil {
 		return err
@@ -109,12 +122,22 @@ func run(workload, config string, workers, queue, batch int, window, timeout tim
 	if chaosPanic < 0 || chaosPanic > 1 || chaosCorrupt < 0 || chaosCorrupt > 1 {
 		return fmt.Errorf("chaos fractions must be in [0,1]")
 	}
+	if engines < 1 || engines > 64 {
+		return fmt.Errorf("engines must be 1..64")
+	}
+	if tenants < 1 || qosRate < 0 || qosBurst < 0 {
+		return fmt.Errorf("tenants must be positive, qos-rate/qos-burst non-negative")
+	}
 	opts := pipeline.Options{Seed: seed}
 	if quick {
 		w.Points, w.Batch = 256, 1
 		opts.BaseWidth, opts.Depth, opts.Modules = 8, 2, 2
 	}
 	tierOpts := pipeline.DegradeTiers(w, opts, degrade)
+	if engines > 1 {
+		return runFleet(w, kind, opts, tierOpts, engines, workers, queue, batch, window, timeout,
+			frames, clients, seed, chaosPanic, chaosCorrupt, chaosSeed, tenants, qosRate, qosBurst)
+	}
 	rows, err := pipeline.TieredReplicas(w, kind, opts, workers, tierOpts)
 	if err != nil {
 		return err
@@ -227,6 +250,141 @@ func run(workload, config string, workers, queue, batch int, window, timeout tim
 		if tier > 0 && n > 0 {
 			fmt.Printf("  tier %d (%s): %d frames\n", tier, engine.TierName(tier), n)
 		}
+	}
+	return nil
+}
+
+// runFleet drives a multi-engine fleet through the consistent-hash router
+// (internal/serve.Router): weight-sharing replicas fleet-wide
+// (pipeline.FleetReplicas), per-tenant QoS token buckets, priority load
+// shedding and spillover, with clients cycling tenant/stream identities.
+func runFleet(w pipeline.Workload, kind pipeline.ConfigKind, opts pipeline.Options, tierOpts []pipeline.Options,
+	engines, workers, queue, batch int, window, timeout time.Duration,
+	frames, clients int, seed int64, chaosPanic, chaosCorrupt float64, chaosSeed uint64,
+	tenants int, qosRate, qosBurst float64) error {
+	fleet, err := pipeline.FleetReplicas(w, kind, opts, engines, workers, tierOpts)
+	if err != nil {
+		return err
+	}
+	pool := make([]*serve.Engine, engines)
+	for e := range pool {
+		cfg := serve.Config{
+			QueueDepth:     queue,
+			MaxBatch:       batch,
+			BatchWindow:    window,
+			DefaultTimeout: timeout,
+			Rebuild: func(worker, tier int) (pipeline.Net, error) {
+				o := opts
+				if tier > 0 {
+					o = tierOpts[tier-1]
+				}
+				return pipeline.RebuildReplica(fleet[0][0][0], w, kind, o)
+			},
+		}
+		for i, row := range fleet[e][1:] {
+			cfg.Degrade = append(cfg.Degrade, serve.Tier{Name: tierName(i), Nets: row})
+		}
+		if chaosPanic > 0 || chaosCorrupt > 0 {
+			cfg.Faults = &faultinject.Plan{Seed: chaosSeed + uint64(e), PanicFrac: chaosPanic, CorruptFrac: chaosCorrupt}
+		}
+		eng, err := serve.New(fleet[e][0], edgesim.JetsonAGXXavier(), pipeline.SimConfig(w, kind, opts), cfg)
+		if err != nil {
+			return err
+		}
+		pool[e] = eng
+	}
+	rcfg := serve.RouterConfig{}
+	if qosRate > 0 {
+		rcfg.QoS = serve.NewQoS(serve.QoSConfig{Default: serve.TenantLimit{Rate: qosRate, Burst: qosBurst}})
+	}
+	router, err := serve.NewRouter(pool, rcfg)
+	if err != nil {
+		return err
+	}
+
+	nPool := frames
+	if nPool > 8 {
+		nPool = 8
+	}
+	cloudPool := make([]*geom.Cloud, nPool)
+	for i := range cloudPool {
+		if cloudPool[i], err = pipeline.Frame(w, seed+int64(i)); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("edgepc-serve: %s %s fleet, %d engines x %d workers, %d clients, %d frames over %d tenants\n",
+		w.ID, kind, engines, workers, clients, frames, tenants)
+	if qosRate > 0 {
+		fmt.Printf("qos: %.3g frames/s per tenant (burst %.3g)\n", qosRate, qosBurst)
+	}
+
+	var next, okCount, shedCount, failCount, retries atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(frames) {
+					return
+				}
+				tenant := fmt.Sprintf("tenant-%d", i%int64(tenants))
+				req := serve.FleetRequest{
+					Request: serve.Request{Cloud: cloudPool[i%int64(nPool)]},
+					Tenant:  tenant,
+					Stream:  fmt.Sprintf("%s-cam%d", tenant, i%2),
+				}
+				for {
+					_, err := router.Submit(context.Background(), req)
+					switch {
+					case err == nil:
+						okCount.Add(1)
+					case errors.Is(err, serve.ErrQueueFull):
+						// Owner and spill candidates all full: yield, resubmit.
+						retries.Add(1)
+						time.Sleep(200 * time.Microsecond)
+						continue
+					case errors.Is(err, serve.ErrThrottled), errors.Is(err, serve.ErrShed):
+						shedCount.Add(1)
+					case errors.Is(err, serve.ErrDeadline), errors.Is(err, serve.ErrPanic), errors.Is(err, serve.ErrInvalidInput):
+						failCount.Add(1)
+					default:
+						firstErr.CompareAndSwap(nil, err)
+					}
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	s := router.Stats()
+	if err := router.Close(); err != nil {
+		return err
+	}
+	if e, ok := firstErr.Load().(error); ok {
+		return e
+	}
+
+	fmt.Printf("fleet: %d offered, %d completed, %d failed, shed %d/%d/%d (throttle/overload/queue), %d spills, %d quarantines\n",
+		s.Offered, s.Completed, s.Failed, s.ShedThrottled, s.ShedOverload, s.ShedQueueFull, s.Spills, s.Quarantines)
+	fmt.Printf("fleet latency p50 %v p90 %v p99 %v, throughput %.0f frames/s (%d backpressure retries)\n",
+		s.Latency.P50.Round(time.Microsecond), s.Latency.P90.Round(time.Microsecond),
+		s.Latency.P99.Round(time.Microsecond), float64(okCount.Load())/elapsed.Seconds(), retries.Load())
+	shares := make([]float64, 0, len(s.Tenants))
+	for _, ts := range s.Tenants {
+		shares = append(shares, float64(ts.Completed))
+	}
+	fmt.Printf("fleet fairness: %.3f (Jain, completed frames over %d tenants)\n", metrics.JainFairness(shares), len(s.Tenants))
+	for i, es := range s.EngineStats {
+		fmt.Printf("  engine %d: %d completed, %d step-downs, quarantined=%v\n", i, es.Completed, es.StepDowns, s.Quarantined[i])
+	}
+	if shed := shedCount.Load(); shed > 0 {
+		fmt.Printf("clients saw %d sheds, %d frame failures\n", shed, failCount.Load())
 	}
 	return nil
 }

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// The fleet path (-engines > 1) wires FleetReplicas, the router, QoS and the
+// degradation ladder together; this smoke test runs the whole command
+// in-process at laptop scale.
+func TestRunFleetSmoke(t *testing.T) {
+	err := run("W1", "S+N", 1, 0, 1, 100*time.Microsecond, 0,
+		24, 4, 1, true, 2, 0, 0, 1,
+		2, 3, 500, 0)
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+}
+
+func TestRunFleetValidation(t *testing.T) {
+	cases := []struct {
+		name             string
+		engines, tenants int
+		qosRate          float64
+	}{
+		{"too many engines", 65, 4, 0},
+		{"zero tenants", 2, 0, 0},
+		{"negative qos", 2, 4, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run("W1", "S+N", 1, 0, 1, 100*time.Microsecond, 0,
+				1, 1, 1, true, 0, 0, 0, 1,
+				tc.engines, tc.tenants, tc.qosRate, 0)
+			if err == nil {
+				t.Fatal("run accepted bad fleet flags")
+			}
+		})
+	}
+}

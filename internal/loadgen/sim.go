@@ -1,0 +1,597 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// The discrete-event simulator. One goroutine, virtual nanosecond clock,
+// binary event heap with (time, sequence) ordering — every tie breaks the
+// same way on every run. The fleet *control plane* is the real thing: the
+// serve package's consistent-hash Ring, token-bucket QoS (on the virtual
+// clock) and hysteresis ShedController make every admit/shed decision;
+// only frame *execution* is modelled, as a per-tier service time drawn from
+// calibration or the spec, with the engine queue/worker/degradation-ladder
+// state machine mirroring serve.Engine's (same watermarks, same hysteresis
+// rule, same reject-don't-block queue).
+
+// event kinds.
+const (
+	evArrival = iota
+	evComplete
+)
+
+// event is one heap entry. Completion events carry the frame's provenance.
+type event struct {
+	at     int64 // virtual ns
+	seq    uint64
+	kind   uint8
+	prio   uint8
+	tier   int16
+	eng    int32
+	tenant int32
+	arr    int64 // arrival time of the completing frame
+}
+
+// eventHeap is a binary min-heap over (at, seq).
+type eventHeap []event
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess((*h)[i], (*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(old[l], old[small]) {
+			small = l
+		}
+		if r < n && eventLess(old[r], old[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
+}
+
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// qItem is one queued frame in a simulated engine.
+type qItem struct {
+	arr    int64
+	tenant int32
+	prio   uint8
+}
+
+// simEngine mirrors serve.Engine's queue/worker/ladder state: a bounded
+// FIFO (reject-don't-block), Workers service slots, and the degradation
+// ladder's step-down-on-high-watermark / step-up-after-hysteresis rule.
+type simEngine struct {
+	q         []qItem // circular buffer of capacity depth
+	head, n   int
+	depth     int
+	free      int // idle workers
+	tier      int
+	calm      int
+	stepDowns uint64
+	stepUps   uint64
+}
+
+func (e *simEngine) fill() float64 { return float64(e.n) / float64(e.depth) }
+
+func (e *simEngine) push(it qItem) {
+	e.q[(e.head+e.n)%e.depth] = it
+	e.n++
+}
+
+func (e *simEngine) popq() qItem {
+	it := e.q[e.head]
+	e.head = (e.head + 1) % e.depth
+	e.n--
+	return it
+}
+
+// Counts are the exact, reproducibility-bearing outcome counters: same
+// (spec, seed, mult) ⇒ identical Counts, bit for bit.
+type Counts struct {
+	Offered        uint64   `json:"offered"`
+	Admitted       uint64   `json:"admitted"`
+	Completed      uint64   `json:"completed"`
+	ShedThrottled  uint64   `json:"shed_throttle"`
+	ShedOverload   uint64   `json:"shed_overload"`
+	ShedQueueFull  uint64   `json:"shed_queue"`
+	FailedDeadline uint64   `json:"failed_deadline"`
+	Degraded       []uint64 `json:"degraded"` // completed per tier; [0] is full fidelity
+	StepDowns      uint64   `json:"step_downs"`
+	StepUps        uint64   `json:"step_ups"`
+	ShedRaises     uint64   `json:"shed_raises"`
+	ShedDrops      uint64   `json:"shed_drops"`
+	ShedLevelMax   int      `json:"shed_level_max"`
+}
+
+// Shed sums the three shed classes.
+func (c *Counts) Shed() uint64 { return c.ShedThrottled + c.ShedOverload + c.ShedQueueFull }
+
+// ClassMetrics summarizes one priority class.
+type ClassMetrics struct {
+	Priority  string  `json:"priority"`
+	Offered   uint64  `json:"offered"`
+	Completed uint64  `json:"completed"`
+	Shed      uint64  `json:"shed"`
+	Failed    uint64  `json:"failed"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// Metrics is one scenario's full result.
+type Metrics struct {
+	Counts
+	P50              time.Duration  `json:"-"`
+	P99              time.Duration  `json:"-"`
+	Mean             time.Duration  `json:"-"`
+	Max              time.Duration  `json:"-"`
+	P50Ms            float64        `json:"p50_ms"`
+	P99Ms            float64        `json:"p99_ms"`
+	MeanMs           float64        `json:"mean_ms"`
+	MaxMs            float64        `json:"max_ms"`
+	OfferedFPS       float64        `json:"offered_fps"`
+	GoodputFPS       float64        `json:"goodput_fps"`
+	FullFidelityFrac float64        `json:"full_fidelity_frac"`
+	FairnessJain     float64        `json:"fairness_jain"`
+	Classes          []ClassMetrics `json:"classes"`
+}
+
+// sim is one scenario run's state.
+type sim struct {
+	spec    Spec
+	rng     *RNG
+	now     int64
+	durNs   int64
+	seq     uint64
+	events  eventHeap
+	engines []simEngine
+	ring    *serve.Ring
+	shed    *serve.ShedController
+	qos     *serve.QoS
+	names   []string
+	prio    []serve.Priority
+	zipf    *Zipf
+	cand    []int
+
+	rateBase   float64 // spec rate × overload multiplier
+	xmCache    float64 // Pareto xm at the current effective rate
+	rateCache  float64
+	alpha      float64
+	maxTier    int
+	ladderHigh float64
+	ladderLow  float64
+	ladderHyst int
+
+	lat      []int64
+	classLat [numPriorities][]int64
+	classes  [numPriorities]ClassMetrics
+	tOffered []uint32
+	tDone    []uint32
+	counts   Counts
+}
+
+// EffectiveRate is the base arrival rate at multiplier 1: the spec's Rate,
+// or the fleet's modelled capacity when Rate is auto.
+func (s *Spec) EffectiveRate() float64 {
+	if s.Rate > 0 {
+		return s.Rate
+	}
+	return s.capacity()
+}
+
+// Run simulates one scenario at the given overload multiplier and returns
+// its metrics. The spec is validated first; the conservation laws
+// (offered = admitted + shed, admitted = completed + deadline-failed) are
+// checked before returning and violate loudly, never silently.
+func Run(spec Spec, mult float64) (Metrics, error) {
+	if err := spec.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if !(mult > 0) {
+		return Metrics{}, specErr("mult", fmt.Sprint(mult), "overload multiplier must be > 0")
+	}
+	s, err := newSim(spec, mult)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return s.run()
+}
+
+func newSim(spec Spec, mult float64) (*sim, error) {
+	vn := spec.VNodes
+	ring, err := serve.NewRing(spec.Engines, vn)
+	if err != nil {
+		return nil, err
+	}
+	s := &sim{
+		spec:     spec,
+		rng:      NewRNG(spec.Seed),
+		durNs:    int64(spec.Duration),
+		ring:     ring,
+		zipf:     NewZipf(spec.Tenants, spec.ZipfS),
+		engines:  make([]simEngine, spec.Engines),
+		cand:     make([]int, 0, spec.Engines),
+		rateBase: spec.EffectiveRate() * mult,
+		alpha:    spec.ParetoAlpha,
+		maxTier:  len(spec.SvcTiers) - 1,
+		prio:     make([]serve.Priority, spec.Tenants),
+		tOffered: make([]uint32, spec.Tenants),
+		tDone:    make([]uint32, spec.Tenants),
+	}
+	depth := spec.queueDepth()
+	for i := range s.engines {
+		s.engines[i] = simEngine{q: make([]qItem, depth), depth: depth, free: spec.Workers}
+	}
+	// Ladder parameters, defaulted exactly like serve.Config.
+	s.ladderHigh = spec.LadderHigh
+	if s.ladderHigh <= 0 {
+		s.ladderHigh = 0.75
+	}
+	s.ladderLow = spec.LadderLow
+	if s.ladderLow <= 0 || s.ladderLow >= s.ladderHigh {
+		s.ladderLow = s.ladderHigh / 3
+	}
+	s.ladderHyst = spec.LadderHyst
+	if s.ladderHyst <= 0 {
+		s.ladderHyst = 4
+	}
+	s.shed = serve.NewShedController(serve.ShedConfig{
+		HighWatermark: spec.ShedHigh,
+		LowWatermark:  spec.ShedLow,
+		Hysteresis:    spec.ShedHyst,
+	})
+	// Priority classes: each tenant draws its class from the mix by a pure
+	// hash of (seed, tenant) — stable across scenarios of one spec.
+	var cum [numPriorities]float64
+	var total float64
+	for _, m := range spec.Mix {
+		total += m
+	}
+	acc := 0.0
+	for i, m := range spec.Mix {
+		acc += m / total
+		cum[i] = acc
+	}
+	for t := range s.prio {
+		u := float64(hash64(spec.Seed^0x70726f9e3779b9^uint64(t))>>11) * (1.0 / (1 << 53))
+		s.prio[t] = serve.PriorityLow
+		for c := 0; c < numPriorities; c++ {
+			if u < cum[c] {
+				s.prio[t] = serve.Priority(c)
+				break
+			}
+		}
+	}
+	for c := range s.classes {
+		s.classes[c].Priority = serve.Priority(c).String()
+	}
+	// Per-tenant token buckets: the real serve.QoS on the virtual clock.
+	if spec.QoSRate > 0 {
+		s.names = make([]string, spec.Tenants)
+		limits := make(map[string]serve.TenantLimit, spec.Tenants)
+		for t := range s.names {
+			s.names[t] = fmt.Sprintf("t%d", t)
+			limits[s.names[t]] = serve.TenantLimit{Rate: spec.QoSRate, Burst: spec.QoSBurst, Priority: s.prio[t]}
+		}
+		s.qos = serve.NewQoS(serve.QoSConfig{
+			Default: serve.TenantLimit{Rate: spec.QoSRate, Burst: spec.QoSBurst},
+			Tenants: limits,
+			Clock:   func() time.Time { return time.Unix(0, s.now) },
+		})
+	}
+	s.counts.Degraded = make([]uint64, len(spec.SvcTiers))
+	return s, nil
+}
+
+// hash64 is the SplitMix64 finalizer as a pure hash.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rampMult evaluates the diurnal schedule at virtual time t (piecewise
+// linear between breakpoints; flat 1 with no schedule). Clamped to 1e-3 so
+// the arrival chain never stalls on a zero-rate segment.
+func (s *sim) rampMult(t int64) float64 {
+	r := s.spec.Ramp
+	m := 1.0
+	if len(r) > 0 {
+		x := float64(t) / float64(s.durNs)
+		switch {
+		case x <= r[0].At:
+			m = r[0].Mult
+		case x >= r[len(r)-1].At:
+			m = r[len(r)-1].Mult
+		default:
+			for i := 1; i < len(r); i++ {
+				if x <= r[i].At {
+					span := r[i].At - r[i-1].At
+					if span <= 0 {
+						m = r[i].Mult
+					} else {
+						f := (x - r[i-1].At) / span
+						m = r[i-1].Mult + f*(r[i].Mult-r[i-1].Mult)
+					}
+					break
+				}
+			}
+		}
+	}
+	if m < 1e-3 {
+		m = 1e-3
+	}
+	return m
+}
+
+// scheduleArrival draws the next Pareto inter-arrival gap at the current
+// ramped rate and pushes the arrival if it lands inside the scenario.
+func (s *sim) scheduleArrival() {
+	rate := s.rateBase * s.rampMult(s.now)
+	// Exact equality is the point: this is a memo key (recompute xm only when
+	// the ramped rate changes bit-for-bit), not a numeric comparison.
+	//edgepc:lint-ignore floateq memo-key comparison, not arithmetic
+	if rate != s.rateCache {
+		s.rateCache = rate
+		s.xmCache = ParetoXm(s.alpha, rate)
+	}
+	gap := s.rng.Pareto(s.alpha, s.xmCache)
+	at := s.now + int64(gap*1e9)
+	if at <= s.now {
+		at = s.now + 1
+	}
+	if at > s.durNs {
+		return // open-loop stream ends; completions drain
+	}
+	s.seq++
+	s.events.push(event{at: at, seq: s.seq, kind: evArrival})
+}
+
+func (s *sim) fleetFill() float64 {
+	var sum float64
+	for i := range s.engines {
+		sum += s.engines[i].fill()
+	}
+	return sum / float64(len(s.engines))
+}
+
+// arrive processes one arrival: tenant draw, QoS, shed, route, enqueue.
+func (s *sim) arrive() {
+	tenant := s.zipf.Pick(s.rng.Float64())
+	stream := s.rng.IntN(s.spec.Streams)
+	s.counts.Offered++
+	s.tOffered[tenant]++
+	prio := s.prio[tenant]
+	if s.qos != nil {
+		p, err := s.qos.Admit(s.names[tenant])
+		prio = p
+		if err != nil {
+			s.counts.ShedThrottled++
+			s.classes[prio].Offered++
+			s.classes[prio].Shed++
+			return
+		}
+	}
+	s.classes[prio].Offered++
+	s.shed.Observe(s.fleetFill())
+	if l := s.shed.Level(); l > s.counts.ShedLevelMax {
+		s.counts.ShedLevelMax = l
+	}
+	if s.shed.Sheds(prio) {
+		s.counts.ShedOverload++
+		s.classes[prio].Shed++
+		return
+	}
+	h := hash64(hash64(s.spec.Seed^0x726f757465) ^ uint64(tenant)<<10 ^ uint64(stream))
+	s.cand = s.ring.CandidatesHash(h, 1+s.spec.Spill, s.cand)
+	for _, id := range s.cand {
+		e := &s.engines[id]
+		if e.n >= e.depth {
+			continue
+		}
+		s.counts.Admitted++
+		e.push(qItem{arr: s.now, tenant: int32(tenant), prio: uint8(prio)})
+		// Mirror serve.maybeStepDown: a successful enqueue past the high
+		// watermark steps the ladder down one tier.
+		if e.fill() >= s.ladderHigh && e.tier < s.maxTier {
+			e.tier++
+			e.calm = 0
+			e.stepDowns++
+		}
+		s.dispatch(id)
+		return
+	}
+	s.counts.ShedQueueFull++
+	s.classes[prio].Shed++
+}
+
+// dispatch starts service on engine id while workers are idle and frames
+// queued, mirroring serve's at-pickup deadline drop.
+func (s *sim) dispatch(id int) {
+	e := &s.engines[id]
+	for e.free > 0 && e.n > 0 {
+		it := e.popq()
+		if s.spec.Deadline > 0 && s.now-it.arr > int64(s.spec.Deadline) {
+			s.counts.FailedDeadline++
+			s.classes[it.prio].Failed++
+			s.observeCalm(e)
+			continue
+		}
+		e.free--
+		svc := int64(s.spec.SvcTiers[e.tier])
+		s.seq++
+		s.events.push(event{
+			at: s.now + svc, seq: s.seq, kind: evComplete, prio: it.prio,
+			tier: int16(e.tier), eng: int32(id), tenant: it.tenant, arr: it.arr,
+		})
+	}
+}
+
+// observeCalm mirrors serve.observeLoad's hysteresis step-up.
+func (s *sim) observeCalm(e *simEngine) {
+	if e.fill() > s.ladderLow {
+		e.calm = 0
+		return
+	}
+	if e.tier == 0 {
+		return
+	}
+	e.calm++
+	if e.calm < s.ladderHyst {
+		return
+	}
+	e.tier--
+	e.stepUps++
+	e.calm = 0
+}
+
+// complete finishes one frame: latency accounting, ladder calm observation,
+// next dispatch.
+func (s *sim) complete(ev event) {
+	e := &s.engines[ev.eng]
+	e.free++
+	lat := s.now - ev.arr
+	s.lat = append(s.lat, lat)
+	s.classLat[ev.prio] = append(s.classLat[ev.prio], lat)
+	s.counts.Completed++
+	s.counts.Degraded[ev.tier]++
+	s.tDone[ev.tenant]++
+	s.classes[ev.prio].Completed++
+	s.observeCalm(e)
+	s.dispatch(int(ev.eng))
+}
+
+func (s *sim) run() (Metrics, error) {
+	s.scheduleArrival()
+	for len(s.events) > 0 {
+		ev := s.events.pop()
+		s.now = ev.at
+		if ev.kind == evArrival {
+			s.arrive()
+			s.scheduleArrival()
+		} else {
+			s.complete(ev)
+		}
+	}
+	for i := range s.engines {
+		s.counts.StepDowns += s.engines[i].stepDowns
+		s.counts.StepUps += s.engines[i].stepUps
+	}
+	st := s.shed.Stats()
+	s.counts.ShedRaises = st.Raises
+	s.counts.ShedDrops = st.Drops
+
+	c := &s.counts
+	if c.Offered != c.Admitted+c.Shed() {
+		return Metrics{}, fmt.Errorf("loadgen: accounting violated: offered %d != admitted %d + shed %d", c.Offered, c.Admitted, c.Shed())
+	}
+	if c.Admitted != c.Completed+c.FailedDeadline {
+		return Metrics{}, fmt.Errorf("loadgen: accounting violated: admitted %d != completed %d + deadline-failed %d", c.Admitted, c.Completed, c.FailedDeadline)
+	}
+
+	m := Metrics{Counts: s.counts}
+	durSec := s.spec.Duration.Seconds()
+	m.OfferedFPS = float64(c.Offered) / durSec
+	m.GoodputFPS = float64(c.Completed) / durSec
+	if c.Completed > 0 {
+		m.FullFidelityFrac = float64(c.Degraded[0]) / float64(c.Completed)
+	}
+	m.P50, m.P99, m.Mean, m.Max = latSummary(s.lat)
+	m.P50Ms, m.P99Ms = durMs(m.P50), durMs(m.P99)
+	m.MeanMs, m.MaxMs = durMs(m.Mean), durMs(m.Max)
+	for cidx := range s.classes {
+		cl := s.classes[cidx]
+		p50, p99, _, _ := latSummary(s.classLat[cidx])
+		cl.P50Ms, cl.P99Ms = durMs(p50), durMs(p99)
+		m.Classes = append(m.Classes, cl)
+	}
+	shares := make([]float64, 0, s.spec.Tenants)
+	for t := 0; t < s.spec.Tenants; t++ {
+		if s.tOffered[t] == 0 {
+			continue
+		}
+		shares = append(shares, float64(s.tDone[t])/float64(s.tOffered[t]))
+	}
+	m.FairnessJain = metrics.JainFairness(shares)
+	return m, nil
+}
+
+// latSummary computes nearest-rank quantiles over latency samples.
+func latSummary(lat []int64) (p50, p99, mean, max time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0, 0, 0
+	}
+	sorted := append([]int64(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum int64
+	for _, v := range sorted {
+		sum += v
+	}
+	rank := func(q float64) time.Duration {
+		r := int(q*float64(len(sorted)) + 0.5)
+		if r < 1 {
+			r = 1
+		}
+		if r > len(sorted) {
+			r = len(sorted)
+		}
+		return time.Duration(sorted[r-1])
+	}
+	return rank(0.50), rank(0.99), time.Duration(sum / int64(len(sorted))), time.Duration(sorted[len(sorted)-1])
+}
+
+func durMs(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// Scenario is one grid point: the overload multiplier and its metrics.
+type Scenario struct {
+	Mult float64 `json:"mult"`
+	Metrics
+}
+
+// RunGrid runs the spec at each overload multiplier with the same seed.
+func RunGrid(spec Spec, mults []float64) ([]Scenario, error) {
+	out := make([]Scenario, 0, len(mults))
+	for _, mult := range mults {
+		m, err := Run(spec, mult)
+		if err != nil {
+			return nil, fmt.Errorf("mult %g: %w", mult, err)
+		}
+		out = append(out, Scenario{Mult: mult, Metrics: m})
+	}
+	return out, nil
+}

@@ -115,6 +115,46 @@ func DegradeTiers(w Workload, opts Options, n int) []Options {
 	return tiers
 }
 
+// FleetReplicas builds the replica tensor for a multi-engine fleet:
+// result[e] is a TieredReplicas-shaped matrix (row 0 full fidelity, row 1+i
+// tier i) for engine e, and every net across every engine, tier and worker
+// shares one set of trainable parameters with result[0][0][0]. The weights
+// therefore exist once per process however wide the fleet scales — the
+// construction serve.NewRouter expects: one serve.New engine per
+// result[e], wired into one Router.
+func FleetReplicas(w Workload, kind ConfigKind, opts Options, engines, workers int, tiers []Options) ([][][]Net, error) {
+	if engines < 1 {
+		return nil, fmt.Errorf("pipeline: need at least 1 engine, got %d", engines)
+	}
+	fleet := make([][][]Net, engines)
+	rows, err := TieredReplicas(w, kind, opts, workers, tiers)
+	if err != nil {
+		return nil, err
+	}
+	fleet[0] = rows
+	ref := rows[0][0]
+	for e := 1; e < engines; e++ {
+		rows := make([][]Net, 1+len(tiers))
+		for ti := range rows {
+			topt := opts
+			if ti > 0 {
+				topt = tiers[ti-1]
+			}
+			row := make([]Net, workers)
+			for wi := range row {
+				net, err := RebuildReplica(ref, w, kind, topt)
+				if err != nil {
+					return nil, fmt.Errorf("pipeline: engine %d tier %d replica %d: %w", e, ti, wi, err)
+				}
+				row[wi] = net
+			}
+			rows[ti] = row
+		}
+		fleet[e] = rows
+	}
+	return fleet, nil
+}
+
 // TieredReplicas builds the replica matrix for a degraded serving ladder:
 // row 0 holds workers full-fidelity replicas of the base options, and row
 // 1+i holds workers replicas built with tiers[i] — every net in every row

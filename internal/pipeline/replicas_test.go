@@ -181,3 +181,52 @@ func TestTieredReplicasShareOneParamSet(t *testing.T) {
 		}
 	}
 }
+
+func TestFleetReplicasShareOneParamSet(t *testing.T) {
+	w := tinyWorkload()
+	const engines, workers = 3, 2
+	tiers := DegradeTiers(w, Options{}, 1)
+	fleet, err := FleetReplicas(w, SN, Options{}, engines, workers, tiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != engines {
+		t.Fatalf("got %d engines, want %d", len(fleet), engines)
+	}
+	ref := fleet[0][0][0]
+	seen := map[Net]bool{}
+	for ei, rows := range fleet {
+		if len(rows) != 1+len(tiers) {
+			t.Fatalf("engine %d has %d rows, want %d", ei, len(rows), 1+len(tiers))
+		}
+		for ri, row := range rows {
+			if len(row) != workers {
+				t.Fatalf("engine %d row %d has %d nets, want %d", ei, ri, len(row), workers)
+			}
+			for wi, n := range row {
+				if seen[n] {
+					t.Fatalf("net at engine %d row %d worker %d duplicated", ei, ri, wi)
+				}
+				seen[n] = true
+				if n == ref {
+					continue
+				}
+				// One weight set per process, fleet-wide: every net on every
+				// engine aliases the reference parameters.
+				sharesAllParams(t, ref, n)
+			}
+		}
+	}
+	// A replica from the last engine's degraded row serves a frame.
+	frame, err := Frame(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := fleet[engines-1][len(tiers)][workers-1]
+	if _, _, err := RunInto(last, frame, &model.Trace{}, nil, SimConfig(w, SN, Options{})); err != nil {
+		t.Fatalf("fleet replica forward: %v", err)
+	}
+	if _, err := FleetReplicas(w, SN, Options{}, 0, workers, tiers); err == nil {
+		t.Fatal("zero engines accepted")
+	}
+}

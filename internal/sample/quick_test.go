@@ -64,18 +64,19 @@ func TestQuickBucketFPSWellFormed(t *testing.T) {
 	}
 }
 
-// TestQuickBucketFPSCoverageMonotone: coverage radius is monotone
-// non-increasing in quality, up to a small slack — refinement picks replace
-// stride seeds one-for-one and each always targets the worst-covered point,
-// but the seed-distance window init is approximate, so strict monotonicity
-// between adjacent qualities is not a theorem. We check the trend across a
-// quality sweep with 10% slack per step.
+// TestQuickBucketFPSCoverageMonotone: quality buys coverage. Adjacent-step
+// monotonicity is NOT a theorem — the stride/refinement mixes at middle
+// qualities are noisy, and pure stride (q=0) routinely beats the
+// mostly-stride q=0.25 mix by more than any reasonable slack — so the
+// property pins what does hold on every cloud: exact FPS (q=1) has the best
+// coverage radius of the sweep (no lower quality beats it by more than 10%),
+// and the endpoints order correctly (pure stride never beats exact FPS).
 func TestQuickBucketFPSCoverageMonotone(t *testing.T) {
 	prop := func(a uint16) bool {
 		N := 400 + int(a)%400
 		c := randomCloud(N, int64(a)+7)
 		n := 32
-		prev := -1.0
+		var rExact, rStride float64
 		for _, q := range []float64{1, 0.75, 0.5, 0.25, 0} {
 			b := &BucketFPS{Frac: q}
 			sel, err := b.Sample(c, n)
@@ -83,12 +84,17 @@ func TestQuickBucketFPSCoverageMonotone(t *testing.T) {
 				return false
 			}
 			r := coverRadius(c.Points, sel)
-			if prev >= 0 && r*1.10 < prev {
-				return false // radius shrank as quality dropped
+			switch q {
+			case 1:
+				rExact = r
+			case 0:
+				rStride = r
 			}
-			prev = r
+			if r*1.10 < rExact {
+				return false // a cheaper quality beat exact FPS outright
+			}
 		}
-		return true
+		return rStride >= rExact // endpoint trend: stride is never the best
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)

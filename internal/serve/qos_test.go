@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The QoS tests drive the token buckets entirely on a fake clock: exact
+// admit/reject sequences at exact virtual instants, zero wall-clock sleeps.
+// Durations are chosen binary-exact (250ms = 0.25s) so refill arithmetic
+// has no float rounding to hide behind.
+
+// fakeClock is a manually-advanced time source.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// admitSeq runs n Admit calls at the current instant and returns the
+// outcome pattern, 'A' for admitted, 'R' for rejected.
+func admitSeq(t *testing.T, q *QoS, tenant string, n int) string {
+	t.Helper()
+	out := make([]byte, n)
+	for i := range out {
+		_, err := q.Admit(tenant)
+		switch {
+		case err == nil:
+			out[i] = 'A'
+		case errors.Is(err, ErrThrottled):
+			out[i] = 'R'
+		default:
+			t.Fatalf("admit %d: unexpected error %v", i, err)
+		}
+	}
+	return string(out)
+}
+
+func TestQoSExactAdmitSequence(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQoS(QoSConfig{
+		Tenants: map[string]TenantLimit{"t": {Rate: 2, Burst: 3}},
+		Clock:   clk.Now,
+	})
+	// A new bucket starts full: the 3-frame burst is spendable immediately,
+	// the 4th frame at the same instant is throttled.
+	if got := admitSeq(t, q, "t", 4); got != "AAAR" {
+		t.Fatalf("burst drain = %q, want AAAR", got)
+	}
+	// 500ms at 2/s refills exactly 1 token: one admit, then reject again.
+	clk.Advance(500 * time.Millisecond)
+	if got := admitSeq(t, q, "t", 2); got != "AR" {
+		t.Fatalf("after 500ms = %q, want AR", got)
+	}
+	// 250ms refills 0.5 tokens — not a whole frame, still throttled.
+	clk.Advance(250 * time.Millisecond)
+	if got := admitSeq(t, q, "t", 1); got != "R" {
+		t.Fatalf("after +250ms = %q, want R", got)
+	}
+	// Another 250ms completes the token. Fractional credit must survive the
+	// rejected probe above.
+	clk.Advance(250 * time.Millisecond)
+	if got := admitSeq(t, q, "t", 2); got != "AR" {
+		t.Fatalf("after +500ms total = %q, want AR", got)
+	}
+	s := q.Stats()
+	if s.Admitted != 5 || s.Throttled != 4 || s.Tenants != 1 {
+		t.Fatalf("stats = %+v, want 5 admitted / 4 throttled / 1 tenant", s)
+	}
+}
+
+func TestQoSRefillBoundary(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQoS(QoSConfig{
+		Tenants: map[string]TenantLimit{"t": {Rate: 4, Burst: 1}},
+		Clock:   clk.Now,
+	})
+	if got := admitSeq(t, q, "t", 2); got != "AR" {
+		t.Fatalf("drain = %q, want AR", got)
+	}
+	// One token takes exactly 250ms at 4/s. One nanosecond short: reject.
+	clk.Advance(250*time.Millisecond - time.Nanosecond)
+	if got := admitSeq(t, q, "t", 1); got != "R" {
+		t.Fatalf("1ns before boundary = %q, want R", got)
+	}
+	clk.Advance(time.Nanosecond)
+	if got := admitSeq(t, q, "t", 2); got != "AR" {
+		t.Fatalf("at boundary = %q, want AR", got)
+	}
+}
+
+func TestQoSBurstCreditCapped(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQoS(QoSConfig{
+		Tenants: map[string]TenantLimit{"t": {Rate: 1, Burst: 5}},
+		Clock:   clk.Now,
+	})
+	if got := admitSeq(t, q, "t", 6); got != "AAAAAR" {
+		t.Fatalf("initial burst = %q, want AAAAAR", got)
+	}
+	// A long idle refills to the cap, not beyond: an hour at 1/s still
+	// yields exactly 5 burst frames.
+	clk.Advance(time.Hour)
+	if got := admitSeq(t, q, "t", 6); got != "AAAAAR" {
+		t.Fatalf("after idle hour = %q, want AAAAAR", got)
+	}
+}
+
+func TestQoSSustainedRate(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQoS(QoSConfig{
+		Tenants: map[string]TenantLimit{"t": {Rate: 8, Burst: 1}},
+		Clock:   clk.Now,
+	})
+	// Paced exactly at the contracted rate, every frame admits, forever.
+	for i := 0; i < 64; i++ {
+		if _, err := q.Admit("t"); err != nil {
+			t.Fatalf("paced frame %d throttled: %v", i, err)
+		}
+		clk.Advance(125 * time.Millisecond)
+	}
+	// Paced at twice the rate, exactly every other frame admits once the
+	// burst credit is gone.
+	got := ""
+	for i := 0; i < 8; i++ {
+		got += admitSeq(t, q, "t", 1)
+		clk.Advance(62500 * time.Microsecond)
+	}
+	if got != "ARARARAR" {
+		t.Fatalf("2x pace = %q, want ARARARAR", got)
+	}
+}
+
+func TestQoSUnlimitedAndPriority(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQoS(QoSConfig{
+		Tenants: map[string]TenantLimit{
+			"free": {Rate: 0, Priority: PriorityHigh}, // unlimited
+			"slow": {Rate: 0.001, Burst: 1, Priority: PriorityLow},
+		},
+		Clock: clk.Now,
+	})
+	for i := 0; i < 1000; i++ {
+		p, err := q.Admit("free")
+		if err != nil || p != PriorityHigh {
+			t.Fatalf("unlimited tenant frame %d: p=%v err=%v", i, p, err)
+		}
+	}
+	// The priority class comes back even on a throttled admit — the router
+	// needs it for shed accounting.
+	if _, err := q.Admit("slow"); err != nil {
+		t.Fatalf("slow burst frame: %v", err)
+	}
+	p, err := q.Admit("slow")
+	if !errors.Is(err, ErrThrottled) || p != PriorityLow {
+		t.Fatalf("throttled admit: p=%v err=%v, want PriorityLow + ErrThrottled", p, err)
+	}
+}
+
+func TestQoSOverflowBucket(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQoS(QoSConfig{
+		Default:    TenantLimit{Rate: 1, Burst: 1},
+		MaxTenants: 2,
+		Clock:      clk.Now,
+	})
+	// Two tenants get private buckets.
+	if got := admitSeq(t, q, "a", 1) + admitSeq(t, q, "b", 1); got != "AA" {
+		t.Fatalf("private buckets = %q, want AA", got)
+	}
+	// Every further tenant shares one overflow bucket: c spends its single
+	// token and d — a different tenant — finds it empty.
+	if got := admitSeq(t, q, "c", 1); got != "A" {
+		t.Fatalf("overflow first = %q, want A", got)
+	}
+	if got := admitSeq(t, q, "d", 1); got != "R" {
+		t.Fatalf("overflow second tenant = %q, want R (shared bucket)", got)
+	}
+	if s := q.Stats(); s.Tenants != 2 {
+		t.Fatalf("tenants = %d, want cardinality capped at 2", s.Tenants)
+	}
+}
+
+func TestQoSClassifyHook(t *testing.T) {
+	q := NewQoS(QoSConfig{
+		Default: TenantLimit{Priority: PriorityLow},
+		Classify: func(tenant string) TenantLimit {
+			if tenant == "vip" {
+				return TenantLimit{Priority: PriorityHigh}
+			}
+			return TenantLimit{Priority: PriorityNormal}
+		},
+		Clock: newFakeClock().Now,
+	})
+	if p, _ := q.Admit("vip"); p != PriorityHigh {
+		t.Fatalf("vip class = %v, want high", p)
+	}
+	if p, _ := q.Admit("anyone"); p != PriorityNormal {
+		t.Fatalf("default class = %v, want normal from hook", p)
+	}
+	if l := q.Limit("vip"); l.Priority != PriorityHigh {
+		t.Fatalf("Limit(vip) = %+v", l)
+	}
+}
+
+func TestPriorityRoundTrip(t *testing.T) {
+	for p := Priority(0); p < NumPriorities; p++ {
+		got, err := ParsePriority(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: got %v err %v", p, got, err)
+		}
+	}
+	if _, err := ParsePriority("bogus"); err == nil {
+		t.Fatal("bogus priority parsed")
+	}
+}

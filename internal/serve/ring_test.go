@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Ring properties, checked with testing/quick over seeded key populations:
+// affinity (equal keys → same engine), documented balance bound, and the
+// consistent-hashing remap minimality on engine add/remove.
+
+// keysFrom derives n pseudo-random key hashes from a seed.
+func keysFrom(seed uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	s := seed
+	for i := range out {
+		s += 0x9e3779b97f4a7c15
+		x := s
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		out[i] = x ^ (x >> 31)
+	}
+	return out
+}
+
+func TestRingAffinityQuick(t *testing.T) {
+	r, err := NewRing(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(key string) bool {
+		a := r.Lookup(key)
+		b := r.Lookup(key)
+		return a == b && a == r.LookupHash(KeyHash(key)) && a >= 0 && a < 5
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingBalanceQuick(t *testing.T) {
+	// Documented bound (DefaultVNodes doc): with 128 vnodes per engine, no
+	// engine owns more than 2× the mean share of a random key population.
+	prop := func(seed uint64, eng uint8) bool {
+		n := 2 + int(eng%9) // 2..10 engines
+		r, err := NewRing(n, 0)
+		if err != nil {
+			return false
+		}
+		counts := make([]int, n)
+		keys := keysFrom(seed, 4096)
+		for _, h := range keys {
+			counts[r.LookupHash(h)]++
+		}
+		mean := float64(len(keys)) / float64(n)
+		for _, c := range counts {
+			if float64(c) > 2*mean {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingRemovalRemapsOnlyRemovedQuick(t *testing.T) {
+	// Removing engine e remaps exactly e's keys: every key owned by a
+	// surviving engine keeps its owner. Stated via NewRingOf — a vnode's
+	// position depends only on its own (id, replica) pair.
+	prop := func(seed uint64, eng, victim uint8) bool {
+		n := 3 + int(eng%6) // 3..8 engines
+		v := int(victim) % n
+		full, err := NewRing(n, 0)
+		if err != nil {
+			return false
+		}
+		ids := make([]int, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i != v {
+				ids = append(ids, i)
+			}
+		}
+		rest, err := NewRingOf(ids, 0)
+		if err != nil {
+			return false
+		}
+		for _, h := range keysFrom(seed, 2048) {
+			before := full.LookupHash(h)
+			after := rest.LookupHash(h)
+			if before != v && after != before {
+				return false // a survivor's key moved
+			}
+			if before == v && after == v {
+				return false // the removed engine still owns keys
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingAddRemapsOnlyToNewQuick(t *testing.T) {
+	// Adding an engine only moves keys onto the new engine — never between
+	// existing engines — and takes roughly a 1/(n+1) share.
+	prop := func(seed uint64, eng uint8) bool {
+		n := 2 + int(eng%7) // 2..8 engines before the add
+		small, err := NewRing(n, 0)
+		if err != nil {
+			return false
+		}
+		big, err := NewRing(n+1, 0)
+		if err != nil {
+			return false
+		}
+		keys := keysFrom(seed, 4096)
+		moved := 0
+		for _, h := range keys {
+			before := small.LookupHash(h)
+			after := big.LookupHash(h)
+			if after != before {
+				if after != n {
+					return false // moved to an old engine
+				}
+				moved++
+			}
+		}
+		// The new engine's share: ~1/(n+1) of keys, within a generous 3×.
+		return float64(moved) <= 3*float64(len(keys))/float64(n+1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingCandidatesQuick(t *testing.T) {
+	r, err := NewRing(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []int
+	prop := func(h uint64, max uint8) bool {
+		m := int(max % 9) // 0..8, straddling the engine count
+		buf = r.CandidatesHash(h, m, buf)
+		want := m
+		if want > 6 {
+			want = 6
+		}
+		if len(buf) != want {
+			return false
+		}
+		if m > 0 && buf[0] != r.LookupHash(h) {
+			return false // owner must come first
+		}
+		seen := make(map[int]bool, len(buf))
+		for _, id := range buf {
+			if id < 0 || id >= 6 || seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingRejectsBadIDs(t *testing.T) {
+	if _, err := NewRingOf(nil, 0); err == nil {
+		t.Fatal("empty id set accepted")
+	}
+	if _, err := NewRingOf([]int{0, 1, 1}, 0); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := NewRingOf([]int{-1}, 0); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if _, err := NewRing(0, 0); err == nil {
+		t.Fatal("zero engines accepted")
+	}
+}

@@ -362,6 +362,16 @@ func (e *Engine) TierName(t int) string {
 	return fmt.Sprintf("tier%d", t)
 }
 
+// QueueFill reports the submission queue's fill fraction in [0,1] — the
+// pressure signal the fleet router's shed controller averages across
+// engines. Safe for concurrent use; one channel read, no locks.
+func (e *Engine) QueueFill() float64 {
+	if cap(e.queue) == 0 {
+		return 0
+	}
+	return float64(len(e.queue)) / float64(cap(e.queue))
+}
+
 // Submit enqueues one frame and waits for its result. Admission never
 // blocks: an invalid frame returns ErrInvalidInput, a full queue
 // ErrQueueFull, and a closed engine ErrClosed, all immediately. The wait for

@@ -44,7 +44,7 @@ echo "== go test -race ./internal/lint/... (analyzer engine) =="
 go test -race ./internal/lint/...
 
 echo "== go test -race (parallel kernels + workspace hot path + serving) =="
-go test -race ./internal/tensor/... ./internal/parallel/... ./internal/morton/... ./internal/pipeline/... ./internal/nn/... ./internal/model/... ./internal/serve/...
+go test -race ./internal/tensor/... ./internal/parallel/... ./internal/morton/... ./internal/pipeline/... ./internal/nn/... ./internal/model/... ./internal/serve/... ./internal/loadgen/...
 
 echo "== go test ./... =="
 go test ./...
@@ -53,14 +53,15 @@ echo "== fuzz smoke (seed corpus only) =="
 # Plain `go test` already runs every f.Add seed through the fuzz targets;
 # this stage just pins the targets by name so a renamed/deleted one fails
 # loudly instead of silently shrinking coverage.
-go test -run '^Fuzz' ./internal/compress/ ./internal/dataset/ ./internal/nn/ ./internal/neighbor/ ./internal/serve/
+go test -run '^Fuzz' ./internal/compress/ ./internal/dataset/ ./internal/nn/ ./internal/neighbor/ ./internal/serve/ ./internal/loadgen/
 
 echo "== chaos smoke (fault injection under -race; see DESIGN.md §11) =="
 # The resilience layer's promises — panics isolated and quarantined, invalid
 # input rejected at admission, Close never hung by a parked breaker, the
 # degradation ladder stepping both ways — exercised under the race detector.
-go test -race -run 'TestChaos|TestCircuitBreaker|TestCloseDoesNotWaitOutBreakerPark|TestLastResort|TestDegradation|TestAdmission|TestCorruptInjection|TestDelayAndStall' ./internal/serve/
+go test -race -run 'TestChaos|TestCircuitBreaker|TestCloseDoesNotWaitOutBreakerPark|TestLastResort|TestDegradation|TestAdmission|TestCorruptInjection|TestDelayAndStall|TestFleetChaosPanicStorm' ./internal/serve/
 go test -run '^$' -fuzz '^FuzzSubmitFrame$' -fuzztime 5s ./internal/serve/
+go test -run '^$' -fuzz '^FuzzLoadgenConfig$' -fuzztime 5s ./internal/loadgen/
 
 echo "== bench smoke (1 iteration) =="
 go test -run '^$' -bench 'BenchmarkMatMulAT' -benchtime=1x -benchmem ./internal/tensor/
@@ -72,6 +73,20 @@ echo "== bench_fps smoke (quick clouds) =="
 OUT=.bench_fps_smoke.json RAW=.bench_fps_smoke.txt scripts/bench_fps.sh -quick >/dev/null
 grep -q '"sampler": "bucketfps"' .bench_fps_smoke.json
 rm -f .bench_fps_smoke.json .bench_fps_smoke.txt
+
+echo "== bench_serve smoke (quick virtual window, run twice, diff counts) =="
+# The fleet traffic harness promises bit-reproducibility: two same-seed runs
+# must emit identical scenario count lines, and the report must carry the
+# schema the experiment log points at.
+OUT=.bench_serve_smoke.json RAW=.bench_serve_smoke.txt scripts/bench_serve.sh -quick >/dev/null
+grep -q '"bench": "serve_fleet"' .bench_serve_smoke.json
+grep -q '"crossover"' .bench_serve_smoke.json
+grep -q '"fairness_jain"' .bench_serve_smoke.json
+grep '^scenario mult=' .bench_serve_smoke.txt >.bench_serve_counts1.txt
+OUT=.bench_serve_smoke.json RAW=.bench_serve_smoke.txt scripts/bench_serve.sh -quick >/dev/null
+grep '^scenario mult=' .bench_serve_smoke.txt >.bench_serve_counts2.txt
+diff .bench_serve_counts1.txt .bench_serve_counts2.txt
+rm -f .bench_serve_smoke.json .bench_serve_smoke.txt .bench_serve_counts1.txt .bench_serve_counts2.txt
 
 echo "== allocs/op regression gate =="
 # The zero-allocation hot path (DESIGN.md §6) must not regress: steady-state
