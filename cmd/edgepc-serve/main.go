@@ -11,6 +11,7 @@
 //	edgepc-serve -quick -workload W3 -frames 8          # laptop-scale smoke
 //	edgepc-serve -quick -degrade 2 -chaos-panic 0.1     # ladder + chaos drill
 //	edgepc-serve -quick -engines 4 -tenants 8 -qos-rate 50   # fleet router
+//	edgepc-serve -quick -backend int8                   # quantized inference kernels
 //
 // -quick shrinks the model and cloud far below the paper's scale so the
 // command completes in seconds on a development machine. -degrade N arms an
@@ -41,6 +42,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/serve"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -56,8 +58,9 @@ func main() {
 		clients  = flag.Int("clients", 4, "concurrent submitting clients")
 		seed     = flag.Int64("seed", 1, "model and frame seed")
 		quick    = flag.Bool("quick", false, "laptop-scale model and clouds (smoke mode)")
+		backend  = flag.String("backend", "", "compute backend for the inference kernels: naive | blocked | int8 (default naive)")
 
-		degrade      = flag.Int("degrade", 0, "degradation-ladder depth 0..4 (0: off)")
+		degrade      = flag.Int("degrade", 0, fmt.Sprintf("degradation-ladder depth 0..%d (0: off)", pipeline.MaxDegradeTiers))
 		chaosPanic   = flag.Float64("chaos-panic", 0, "fault injection: fraction of frames that panic a worker")
 		chaosCorrupt = flag.Float64("chaos-corrupt", 0, "fault injection: fraction of frames corrupted before admission")
 		chaosSeed    = flag.Uint64("chaos-seed", 1, "fault-injection plan seed")
@@ -68,7 +71,7 @@ func main() {
 		qosBurst = flag.Float64("qos-burst", 0, "fleet mode: per-tenant burst capacity (0: max(rate,1))")
 	)
 	flag.Parse()
-	if err := run(*workload, *config, *workers, *queue, *batch, *window, *timeout,
+	if err := run(*workload, *config, *backend, *workers, *queue, *batch, *window, *timeout,
 		*frames, *clients, *seed, *quick, *degrade, *chaosPanic, *chaosCorrupt, *chaosSeed,
 		*engines, *tenants, *qosRate, *qosBurst); err != nil {
 		fmt.Fprintln(os.Stderr, "edgepc-serve:", err)
@@ -94,15 +97,17 @@ func tierName(i int) string {
 	case 0:
 		return "W/2"
 	case 1:
-		return "W/2+bucketfps@0.5"
+		return "W/2+int8"
 	case 2:
-		return "W/2+bucketfps@0.5+budget/2"
+		return "W/2+int8+bucketfps@0.5"
+	case 3:
+		return "W/2+int8+bucketfps@0.5+budget/2"
 	default:
-		return fmt.Sprintf("W/2+bucketfps@0.5+budget/2+reuse+%d", i-2)
+		return fmt.Sprintf("W/2+int8+bucketfps@0.5+budget/2+reuse+%d", i-3)
 	}
 }
 
-func run(workload, config string, workers, queue, batch int, window, timeout time.Duration,
+func run(workload, config, backend string, workers, queue, batch int, window, timeout time.Duration,
 	frames, clients int, seed int64, quick bool, degrade int, chaosPanic, chaosCorrupt float64, chaosSeed uint64,
 	engines, tenants int, qosRate, qosBurst float64) error {
 	w, err := pipeline.WorkloadByID(workload)
@@ -111,6 +116,11 @@ func run(workload, config string, workers, queue, batch int, window, timeout tim
 	}
 	kind, err := parseConfig(config)
 	if err != nil {
+		return err
+	}
+	// Fail a typo'd -backend before any replicas are built; the name itself is
+	// resolved per replica inside pipeline.Build.
+	if _, err := tensor.NewBackend(backend); err != nil {
 		return err
 	}
 	if workers < 1 || clients < 1 || frames < 1 {
@@ -128,7 +138,7 @@ func run(workload, config string, workers, queue, batch int, window, timeout tim
 	if tenants < 1 || qosRate < 0 || qosBurst < 0 {
 		return fmt.Errorf("tenants must be positive, qos-rate/qos-burst non-negative")
 	}
-	opts := pipeline.Options{Seed: seed}
+	opts := pipeline.Options{Seed: seed, Backend: backend}
 	if quick {
 		w.Points, w.Batch = 256, 1
 		opts.BaseWidth, opts.Depth, opts.Modules = 8, 2, 2
@@ -181,6 +191,9 @@ func run(workload, config string, workers, queue, batch int, window, timeout tim
 
 	fmt.Printf("edgepc-serve: %s %s, %d workers, %d clients, %d frames (%d points each)\n",
 		w.ID, kind, workers, clients, frames, w.Points)
+	if backend != "" {
+		fmt.Printf("compute backend: %s\n", backend)
+	}
 	if degrade > 0 {
 		fmt.Printf("degradation ladder: %d tiers armed\n", degrade)
 	}

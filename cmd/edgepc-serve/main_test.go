@@ -9,7 +9,7 @@ import (
 // degradation ladder together; this smoke test runs the whole command
 // in-process at laptop scale.
 func TestRunFleetSmoke(t *testing.T) {
-	err := run("W1", "S+N", 1, 0, 1, 100*time.Microsecond, 0,
+	err := run("W1", "S+N", "", 1, 0, 1, 100*time.Microsecond, 0,
 		24, 4, 1, true, 2, 0, 0, 1,
 		2, 3, 500, 0)
 	if err != nil {
@@ -29,7 +29,7 @@ func TestRunFleetValidation(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := run("W1", "S+N", 1, 0, 1, 100*time.Microsecond, 0,
+			err := run("W1", "S+N", "", 1, 0, 1, 100*time.Microsecond, 0,
 				1, 1, 1, true, 0, 0, 0, 1,
 				tc.engines, tc.tenants, tc.qosRate, 0)
 			if err == nil {

@@ -23,7 +23,7 @@ func runDevices(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, opts := workloadScale(w, cfg.Quick)
+	w, opts := workloadScale(w, cfg)
 	// Run the pipelines once; the traces are device-independent.
 	frame, err := pipeline.Frame(w, cfg.Seed)
 	if err != nil {

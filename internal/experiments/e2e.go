@@ -18,13 +18,13 @@ func init() {
 
 // workloadScale shrinks the per-frame point counts and widths for Quick runs
 // while preserving the structure.
-func workloadScale(w pipeline.Workload, quick bool) (pipeline.Workload, pipeline.Options) {
+func workloadScale(w pipeline.Workload, cfg RunConfig) (pipeline.Workload, pipeline.Options) {
 	// Width 32 keeps the feature-compute share of the baseline pipelines in
 	// the paper's 38–80% band (the paper's networks are wider still, but
 	// pure-Go execution has to finish; the cost model prices the actual
 	// channel widths the models run).
-	opts := pipeline.Options{Seed: 11, BaseWidth: 32}
-	if quick {
+	opts := pipeline.Options{Seed: 11, BaseWidth: 32, Backend: cfg.Backend}
+	if cfg.Quick {
 		w.Points = 256
 		opts.BaseWidth = 4
 		opts.Depth = 2
@@ -55,7 +55,7 @@ func runFig3(cfg RunConfig) (*Result, error) {
 	rows := [][]string{{"Workload", "Sample+NS ms", "Feature ms", "Total ms", "Sample+NS share"}}
 	lo, hi := 1.0, 0.0
 	for _, wl := range pipeline.Workloads {
-		w, opts := workloadScale(wl, cfg.Quick)
+		w, opts := workloadScale(wl, cfg)
 		rep, err := runWorkload(cfg, w, pipeline.Baseline, opts)
 		if err != nil {
 			return nil, err
@@ -127,7 +127,7 @@ func runFig13(cfg RunConfig) (*Result, error) {
 	}}
 	var snSpeed, e2eSpeed, e2eSpeedF, savings []float64
 	for _, wl := range pipeline.Workloads {
-		w, opts := workloadScale(wl, cfg.Quick)
+		w, opts := workloadScale(wl, cfg)
 		base, err := runWorkload(cfg, w, pipeline.Baseline, opts)
 		if err != nil {
 			return nil, err
@@ -190,7 +190,7 @@ func runSec64(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, opts := workloadScale(w, cfg.Quick)
+	w, opts := workloadScale(w, cfg)
 	net, err := pipeline.Build(w, pipeline.Baseline, opts)
 	if err != nil {
 		return nil, err

@@ -30,7 +30,7 @@ func runStages(cfg RunConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		w, opts := workloadScale(wl, cfg.Quick)
+		w, opts := workloadScale(wl, cfg)
 		for _, kind := range []pipeline.ConfigKind{pipeline.Baseline, pipeline.SN} {
 			sums, err := collectSpans(cfg, w, kind, opts)
 			if err != nil {

@@ -34,7 +34,7 @@ func runValidate(cfg RunConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		w, opts := workloadScale(w, cfg.Quick)
+		w, opts := workloadScale(w, cfg)
 		if !cfg.Quick {
 			// Moderate scale: large enough for stable timings, small
 			// enough to run in seconds.

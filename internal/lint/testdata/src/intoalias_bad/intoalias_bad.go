@@ -41,3 +41,24 @@ func ConcatShapes(ws *tensor.Workspace) error {
 	ws.Put(a)
 	return err
 }
+
+// BackendAlias dispatches through the tensor.Backend interface; the analyzer
+// resolves the interface method to its declaring package, so backend calls
+// are checked exactly like the package-level kernels.
+func BackendAlias(be tensor.Backend, a, b *tensor.Matrix) error {
+	return be.MatMulInto(a, a, b) // want `MatMulInto destination a aliases an input`
+}
+
+// BackendShapes mismatches constant shapes through a backend value.
+func BackendShapes(be tensor.Backend) error {
+	a := tensor.New(4, 3)
+	b := tensor.New(3, 5)
+	out := tensor.New(4, 4)
+	if err := be.MatMulInto(out, a, b); err != nil { // want `MatMulInto destination is 4x4 but the product is 4x5`
+		return err
+	}
+	c := tensor.New(4, 2)
+	d := tensor.New(4, 3)
+	fused := tensor.New(4, 4)
+	return be.ConcatInto(fused, c, d) // want `ConcatInto destination is 4x4 but \[a\|b\] is 4x5`
+}

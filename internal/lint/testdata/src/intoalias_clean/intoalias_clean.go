@@ -30,3 +30,17 @@ func Fuse(ws *tensor.Workspace) error {
 func Unknown(out, a, b *tensor.Matrix) error {
 	return tensor.MatMulBTInto(out, a, b)
 }
+
+// BackendProduct dispatches a correctly shaped product through the backend
+// interface.
+func BackendProduct(be tensor.Backend) error {
+	a := tensor.New(4, 3)
+	b := tensor.New(3, 5)
+	out := tensor.New(4, 5)
+	return be.MatMulInto(out, a, b)
+}
+
+// BackendUnknown leaves runtime-shaped backend calls to the kernels' checks.
+func BackendUnknown(be tensor.Backend, out, a, b *tensor.Matrix) error {
+	return be.MatMulBTInto(out, a, b)
+}

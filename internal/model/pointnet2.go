@@ -194,7 +194,7 @@ func (m *SAModule) forward(parent, next *level, layer int, x *Exec) error {
 				wsPut(ws, grouped)
 			}
 			feats = ws.Get(y.Rows/k, y.Cols)
-			if e = tensor.MaxPoolGroupsInto(feats, nil, y, k); e != nil {
+			if e = x.be.MaxPoolGroupsInto(feats, nil, y, k); e != nil {
 				return e
 			}
 			wsPut(ws, y)
@@ -282,10 +282,13 @@ type fpCache struct {
 }
 
 // forward interpolates coarseFeats (features at the coarse level) onto the
-// fine level and fuses them with the fine level's own features.
+// fine level and fuses them with the fine level's own features. Execution
+// context (trace, train flag, workspace, compute backend) comes from the
+// Graph's Exec, the same contract as SAModule.forward.
 //
 //edgepc:hotpath
-func (m *FPModule) forward(fine, coarse *level, coarseFeats *tensor.Matrix, layer int, trace *Trace, train bool, ws *tensor.Workspace) (*tensor.Matrix, error) {
+func (m *FPModule) forward(fine, coarse *level, coarseFeats *tensor.Matrix, layer int, x *Exec) (*tensor.Matrix, error) {
+	trace, train, ws := x.trace, x.train, x.ws
 	// --- Interpolation planning (the up-sampling stage of Fig. 9) ---
 	var plan *sample.InterpPlan
 	var algo string
@@ -330,7 +333,7 @@ func (m *FPModule) forward(fine, coarse *level, coarseFeats *tensor.Matrix, laye
 		}
 		interpCols = interp.Cols
 		fused := wsGet(ws, fine.len(), interp.Cols+fine.feats.Cols)
-		if e = tensor.ConcatInto(fused, interp, fine.feats); e != nil {
+		if e = x.be.ConcatInto(fused, interp, fine.feats); e != nil {
 			return e
 		}
 		wsPut(ws, interp)
@@ -453,6 +456,9 @@ type PPConfig struct {
 	// Dropout is the head dropout probability; 0 selects the default (0.3),
 	// a negative value disables dropout (useful for gradient checking).
 	Dropout float64
+	// Backend is the compute backend eval frames dispatch their kernels
+	// through (nil → the reference float32 kernels); see tensor.Backend.
+	Backend tensor.Backend
 	Seed    int64
 }
 
@@ -578,6 +584,7 @@ func NewPointNetPP(cfg PPConfig) (*PointNetPP, error) {
 		Structurize:  cfg.Structurize,
 		ExtraFeatDim: cfg.ExtraFeatDim,
 		Reuse:        cfg.Reuse,
+		Backend:      cfg.Backend,
 	})
 	if err != nil {
 		return nil, err

@@ -27,6 +27,7 @@ func (s *saStage) Name() string                      { return s.name }
 func (s *saStage) layer() int                        { return s.idx }
 func (s *saStage) Params() []*nn.Param               { return s.m.MLP.Params() }
 func (s *saStage) SetWorkspace(ws *tensor.Workspace) { s.m.MLP.SetWorkspace(ws) }
+func (s *saStage) SetBackend(be tensor.Backend)      { s.m.MLP.SetBackend(be) }
 
 //edgepc:hotpath
 func (s *saStage) Forward(x *Exec) error {
@@ -62,13 +63,14 @@ func (s *fpStage) Name() string                      { return s.name }
 func (s *fpStage) layer() int                        { return s.idx }
 func (s *fpStage) Params() []*nn.Param               { return s.m.MLP.Params() }
 func (s *fpStage) SetWorkspace(ws *tensor.Workspace) { s.m.MLP.SetWorkspace(ws) }
+func (s *fpStage) SetBackend(be tensor.Backend)      { s.m.MLP.SetBackend(be) }
 
 //edgepc:hotpath
 func (s *fpStage) Forward(x *Exec) error {
 	fine := x.levels[s.depth-1-s.idx]
 	coarse := x.levels[s.depth-s.idx]
 	prev := x.chain
-	out, err := s.m.forward(fine, coarse, prev, s.idx, x.trace, x.train, x.ws)
+	out, err := s.m.forward(fine, coarse, prev, s.idx, x)
 	if err != nil {
 		return err
 	}
@@ -118,6 +120,7 @@ func (s *ecStage) Name() string                      { return s.name }
 func (s *ecStage) layer() int                        { return s.idx }
 func (s *ecStage) Params() []*nn.Param               { return s.m.MLP.Params() }
 func (s *ecStage) SetWorkspace(ws *tensor.Workspace) { s.m.MLP.SetWorkspace(ws) }
+func (s *ecStage) SetBackend(be tensor.Backend)      { s.m.MLP.SetBackend(be) }
 
 //edgepc:hotpath
 func (s *ecStage) Forward(x *Exec) error {
@@ -242,6 +245,7 @@ type mlpStage struct {
 func (s *mlpStage) Name() string                      { return s.name }
 func (s *mlpStage) Params() []*nn.Param               { return s.mlp.Params() }
 func (s *mlpStage) SetWorkspace(ws *tensor.Workspace) { s.mlp.SetWorkspace(ws) }
+func (s *mlpStage) SetBackend(be tensor.Backend)      { s.mlp.SetBackend(be) }
 
 //edgepc:hotpath
 func (s *mlpStage) Forward(x *Exec) error {

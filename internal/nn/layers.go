@@ -15,6 +15,7 @@ type Linear struct {
 	W, B *Param
 	x    *tensor.Matrix // cached input for backward
 	ws   *tensor.Workspace
+	be   tensor.Backend
 }
 
 // NewLinear creates a Linear layer with He initialization.
@@ -30,7 +31,23 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 // SetWorkspace implements WorkspaceUser.
 func (l *Linear) SetWorkspace(ws *tensor.Workspace) { l.ws = ws }
 
-// Forward implements Layer.
+// SetBackend implements BackendUser: eval-mode matmuls dispatch through be.
+func (l *Linear) SetBackend(be tensor.Backend) { l.be = be }
+
+// backend resolves the layer's compute backend, defaulting to the reference
+// kernels.
+func (l *Linear) backend() tensor.Backend {
+	if l.be != nil {
+		return l.be
+	}
+	return tensor.Naive()
+}
+
+// Forward implements Layer. The x·W product is the layer's compute kernel and
+// the one place the backend choice matters: the eval path dispatches it
+// through the configured tensor.Backend (blocked tiles it, int8 quantizes and
+// dequantizes on exit), while the bias add stays an exact float32 row op in
+// every backend — the dequantized stage boundary.
 //
 //edgepc:hotpath
 func (l *Linear) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
@@ -41,7 +58,7 @@ func (l *Linear) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
 	var err error
 	if !train && l.ws != nil {
 		y = l.ws.Get(x.Rows, l.W.Value.Cols)
-		err = tensor.MatMulInto(y, x, l.W.Value)
+		err = l.backend().MatMulInto(y, x, l.W.Value)
 	} else {
 		//edgepc:lint-ignore hotpathalloc training / no-workspace fallback; the eval branch above uses MatMulInto
 		y, err = tensor.MatMul(x, l.W.Value)
@@ -49,7 +66,7 @@ func (l *Linear) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
 	if err != nil {
 		return nil, fmt.Errorf("linear %s: %w", l.W.Name, err)
 	}
-	if err := tensor.AddBiasRows(y, l.B.Value.Data); err != nil {
+	if err := l.backend().AddBiasRows(y, l.B.Value.Data); err != nil {
 		return nil, err
 	}
 	return y, nil
@@ -418,6 +435,12 @@ func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: lay
 func (s *Sequential) SetWorkspace(ws *tensor.Workspace) {
 	s.ws = ws
 	AttachWorkspace(ws, s.Layers...)
+}
+
+// SetBackend implements BackendUser, recursing into every child layer that
+// dispatches kernels through a backend.
+func (s *Sequential) SetBackend(be tensor.Backend) {
+	AttachBackend(be, s.Layers...)
 }
 
 // Forward implements Layer.

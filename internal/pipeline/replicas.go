@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/sample"
+	"repro/internal/tensor"
 )
 
 // Replicas constructs n networks for the same workload/configuration whose
@@ -61,25 +62,31 @@ func RebuildReplica(ref Net, w Workload, kind ConfigKind, opts Options) (Net, er
 }
 
 // MaxDegradeTiers is the depth of the ladder DegradeTiers can derive.
-const MaxDegradeTiers = 4
+const MaxDegradeTiers = 5
 
 // DegradeTiers derives up to MaxDegradeTiers option presets for serve's
 // degradation ladder from a base configuration, exploiting the paper's own
 // accuracy/latency knobs (§5, Fig. 15) plus the bucketed sampler's quality
-// knob. The steps are cumulative:
+// knob and the quantized compute backend. The steps are cumulative:
 //
 //	tier 1: shrink the Morton neighbor window W to max(k, W/2)
-//	tier 2: + step exact-FPS sampling sites onto bucketed pruned FPS at
+//	tier 2: + drop feature compute to the int8 backend (quantized matmuls,
+//	        dequantized at stage boundaries — a pure arithmetic cut that
+//	        keeps the sampling/search fidelity intact, so it slots in
+//	        before the rungs that change which points are looked at)
+//	tier 3: + step exact-FPS sampling sites onto bucketed pruned FPS at
 //	        quality 0.5 (half refinement picks, half stride seeds). Sites
 //	        already on the cheaper Morton stride are untouched, so the rung
 //	        only ever removes cost.
-//	tier 3: + halve the sample budget (PointNet++ SA SampleFrac; floor 0.05)
-//	tier 4: + raise the neighbor-reuse distance by one layer
+//	tier 4: + halve the sample budget (PointNet++ SA SampleFrac; floor 0.05)
+//	tier 5: + raise the neighbor-reuse distance by one layer
 //
 // The knobs never change parameter shapes, so every tier's replicas share
-// weights with the base net (TieredReplicas). Knobs a workload doesn't use
-// (W under the baseline config, SampleFrac on DGCNN) degrade gracefully to
-// the previous tier's cost.
+// weights with the base net (TieredReplicas) — the int8 rung quantizes
+// per-replica copies of the shared weights at first use, leaving the shared
+// float32 values untouched. Knobs a workload doesn't use (W under the
+// baseline config, SampleFrac on DGCNN) degrade gracefully to the previous
+// tier's cost.
 func DegradeTiers(w Workload, opts Options, n int) []Options {
 	if n < 1 {
 		return nil
@@ -95,6 +102,10 @@ func DegradeTiers(w Workload, opts Options, n int) []Options {
 		cur.WindowW = w.K
 	}
 	tiers = append(tiers, cur)
+	if len(tiers) < n {
+		cur.Backend = tensor.BackendInt8
+		tiers = append(tiers, cur)
+	}
 	if len(tiers) < n {
 		cur.SampleArch = sample.ArchBucketFPS
 		cur.SampleQuality = 0.5

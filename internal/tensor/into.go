@@ -30,10 +30,9 @@ func checkDst(op string, out *Matrix, rows, cols int) error {
 	return nil
 }
 
-// MatMulInto computes a·b into out (a.Rows × b.Cols), overwriting its
-// contents. Same ikj loop order as MatMul, parallelized over blocks of a's
-// rows, so results are bit-identical to the allocating version.
-func MatMulInto(out, a, b *Matrix) error {
+// checkMatMul validates shapes and aliasing for out = a·b; shared by every
+// backend's MatMul kernel so the validation contract cannot drift.
+func checkMatMul(out, a, b *Matrix) error {
 	if a.Cols != b.Rows {
 		return fmt.Errorf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
@@ -42,6 +41,30 @@ func MatMulInto(out, a, b *Matrix) error {
 	}
 	if sameBacking(out.Data, a.Data) || sameBacking(out.Data, b.Data) {
 		return fmt.Errorf("tensor: matmul destination aliases an input")
+	}
+	return nil
+}
+
+// checkMatMulBT validates shapes and aliasing for out = a·bᵀ.
+func checkMatMulBT(out, a, b *Matrix) error {
+	if a.Cols != b.Cols {
+		return fmt.Errorf("tensor: matmulBT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if err := checkDst("matmulBT", out, a.Rows, b.Rows); err != nil {
+		return err
+	}
+	if sameBacking(out.Data, a.Data) || sameBacking(out.Data, b.Data) {
+		return fmt.Errorf("tensor: matmulBT destination aliases an input")
+	}
+	return nil
+}
+
+// MatMulInto computes a·b into out (a.Rows × b.Cols), overwriting its
+// contents. Same ikj loop order as MatMul, parallelized over blocks of a's
+// rows, so results are bit-identical to the allocating version.
+func MatMulInto(out, a, b *Matrix) error {
+	if err := checkMatMul(out, a, b); err != nil {
+		return err
 	}
 	parallel.ForChunks(a.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -67,14 +90,8 @@ func MatMulInto(out, a, b *Matrix) error {
 // MatMulBTInto computes a·bᵀ into out (a: m×k, b: n×k → m×n), overwriting
 // its contents.
 func MatMulBTInto(out, a, b *Matrix) error {
-	if a.Cols != b.Cols {
-		return fmt.Errorf("tensor: matmulBT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols)
-	}
-	if err := checkDst("matmulBT", out, a.Rows, b.Rows); err != nil {
+	if err := checkMatMulBT(out, a, b); err != nil {
 		return err
-	}
-	if sameBacking(out.Data, a.Data) || sameBacking(out.Data, b.Data) {
-		return fmt.Errorf("tensor: matmulBT destination aliases an input")
 	}
 	parallel.ForChunks(a.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

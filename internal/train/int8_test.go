@@ -1,0 +1,63 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// TestInt8AccuracyEnvelope is the accuracy gate for the quantized backend:
+// train a PointNet++ segmentation net in float32 (training always runs the
+// reference kernels), share the trained weights into a net built on the int8
+// backend, and require its test accuracy within 2 percentage points of the
+// float32 evaluation — the envelope the backend's documentation promises.
+// Sharing weights (rather than retraining) isolates the quantization error:
+// both nets evaluate the exact same parameters.
+func TestInt8AccuracyEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a network")
+	}
+	ds := dataset.NewSceneSegmentation(32, 128, "s3dis", 5)
+	trainIdx, testIdx := dataset.Split(ds.Len(), 0.25)
+	w := pipeline.Workload{
+		ID: "int8-env", Arch: pipeline.ArchPointNetPP,
+		Classes: ds.Classes(), K: 6,
+	}
+	opts := pipeline.Options{BaseWidth: 8, Depth: 2, Seed: 3}
+	net, err := pipeline.NewNet(w, pipeline.SN, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(net, ds, trainIdx, testIdx, Config{Epochs: 12, LR: 5e-3, BatchSize: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chance := 1.0 / float64(ds.Classes())
+	if res.TestAcc < chance+0.1 {
+		t.Fatalf("float32 net barely above chance: %.4f (chance %.4f)", res.TestAcc, chance)
+	}
+
+	qopts := opts
+	qopts.Backend = tensor.BackendInt8
+	qnet, err := pipeline.NewNet(w, pipeline.SN, qopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ShareParams re-points the int8 net's Param.Value matrices at the trained
+	// ones; the backend calibrates its per-channel scales from them at first
+	// use (fresh *Matrix pointers always miss its cache).
+	if err := nn.ShareParams(qnet.Params(), net.Params()); err != nil {
+		t.Fatal(err)
+	}
+	qacc, _, err := Evaluate(qnet, ds, testIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("float32 accuracy %.4f, int8 accuracy %.4f", res.TestAcc, qacc)
+	if qacc < res.TestAcc-0.02 {
+		t.Fatalf("int8 accuracy %.4f fell more than 2pp below float32 accuracy %.4f", qacc, res.TestAcc)
+	}
+}
