@@ -14,8 +14,10 @@
 //	edgepc-loadgen -scenario 'seed=7;engines=8;qos-rate=50'
 //
 // Per scenario multiplier it prints one stable "scenario mult=..." count
-// line (what CI diffs across two same-seed runs) plus a human summary;
-// -out writes the full BENCH_serve.json report.
+// line (what CI diffs across two same-seed runs) plus a human summary, and
+// the goodput-under-stall-storm sweep prints one "survivability ..." line
+// per (multiplier, recovery policy); -out writes the full BENCH_serve.json
+// report.
 package main
 
 import (
@@ -105,6 +107,12 @@ func run(scenario string, seed uint64, quick bool, multsArg, crossArg, out strin
 	for _, p := range rep.Crossover {
 		fmt.Printf("  mult %6.1f: shed %5.1f%% degraded %5.1f%% goodput %8.0f fps p99 %8.3fms level %d\n",
 			p.Mult, p.ShedFrac*100, p.DegradedFrac*100, p.GoodputFPS, p.P99Ms, p.ShedLevelMax)
+	}
+	fmt.Println("survivability (goodput under a stall storm, per recovery policy):")
+	for _, p := range rep.Survivability {
+		fmt.Println(loadgen.SurvLine(p))
+		fmt.Printf("  mult %6.1f %-12s goodput %8.0f fps (%.1f%% of offered) p99 %8.3fms\n",
+			p.Mult, p.Policy, p.GoodputFPS, p.GoodFrac*100, p.P99Ms)
 	}
 
 	if out == "" {

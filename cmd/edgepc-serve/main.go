@@ -12,6 +12,9 @@
 //	edgepc-serve -quick -degrade 2 -chaos-panic 0.1     # ladder + chaos drill
 //	edgepc-serve -quick -engines 4 -tenants 8 -qos-rate 50   # fleet router
 //	edgepc-serve -quick -backend int8                   # quantized inference kernels
+//	edgepc-serve -quick -chaos-stall 0.1 -stall-timeout 2ms  # watchdog drill
+//	edgepc-serve -quick -engines 3 -retries 2 -hedge 5ms     # survivable fleet
+//	edgepc-serve -quick -checkpoint ckpt.epck           # restore weights first
 //
 // -quick shrinks the model and cloud far below the paper's scale so the
 // command completes in seconds on a development machine. -degrade N arms an
@@ -23,6 +26,14 @@
 // identities and route through the consistent-hash fleet router
 // (serve.Router) with optional per-tenant QoS token buckets (-qos-rate,
 // -qos-burst), priority load shedding, spillover, and quarantine.
+//
+// Survivability knobs (DESIGN.md §15): -stall-timeout arms the per-worker
+// stall watchdog (wedged frames fail with ErrStalled and the slot is
+// respawned); -chaos-stall injects deterministic worker stalls to drill it;
+// -retries and -hedge (fleet mode) arm deadline-budgeted retries and
+// tail-latency hedging on the router; -checkpoint restores weights from a
+// crash-safe checkpoint (edgepc-train -checkpoint) into the shared
+// parameters before serving.
 package main
 
 import (
@@ -63,7 +74,13 @@ func main() {
 		degrade      = flag.Int("degrade", 0, fmt.Sprintf("degradation-ladder depth 0..%d (0: off)", pipeline.MaxDegradeTiers))
 		chaosPanic   = flag.Float64("chaos-panic", 0, "fault injection: fraction of frames that panic a worker")
 		chaosCorrupt = flag.Float64("chaos-corrupt", 0, "fault injection: fraction of frames corrupted before admission")
+		chaosStall   = flag.Float64("chaos-stall", 0, "fault injection: fraction of frames that wedge their worker")
 		chaosSeed    = flag.Uint64("chaos-seed", 1, "fault-injection plan seed")
+
+		stallTimeout = flag.Duration("stall-timeout", 0, "stall watchdog: fail a worker wedged past this on one frame (0: off)")
+		retries      = flag.Int("retries", 0, "fleet mode: deadline-budgeted retry attempts for transient failures (0: off)")
+		hedge        = flag.Duration("hedge", 0, "fleet mode: duplicate in-flight requests slower than this on the next engine (0: off)")
+		checkpoint   = flag.String("checkpoint", "", "restore weights from this crash-safe checkpoint before serving")
 
 		engines  = flag.Int("engines", 1, "fleet size; >1 routes via the consistent-hash fleet router")
 		tenants  = flag.Int("tenants", 4, "fleet mode: distinct tenant ids the clients cycle through")
@@ -72,7 +89,8 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*workload, *config, *backend, *workers, *queue, *batch, *window, *timeout,
-		*frames, *clients, *seed, *quick, *degrade, *chaosPanic, *chaosCorrupt, *chaosSeed,
+		*frames, *clients, *seed, *quick, *degrade, *chaosPanic, *chaosCorrupt, *chaosStall, *chaosSeed,
+		*stallTimeout, *retries, *hedge, *checkpoint,
 		*engines, *tenants, *qosRate, *qosBurst); err != nil {
 		fmt.Fprintln(os.Stderr, "edgepc-serve:", err)
 		os.Exit(1)
@@ -108,7 +126,8 @@ func tierName(i int) string {
 }
 
 func run(workload, config, backend string, workers, queue, batch int, window, timeout time.Duration,
-	frames, clients int, seed int64, quick bool, degrade int, chaosPanic, chaosCorrupt float64, chaosSeed uint64,
+	frames, clients int, seed int64, quick bool, degrade int, chaosPanic, chaosCorrupt, chaosStall float64, chaosSeed uint64,
+	stallTimeout time.Duration, retries int, hedge time.Duration, checkpoint string,
 	engines, tenants int, qosRate, qosBurst float64) error {
 	w, err := pipeline.WorkloadByID(workload)
 	if err != nil {
@@ -129,11 +148,23 @@ func run(workload, config, backend string, workers, queue, batch int, window, ti
 	if degrade < 0 || degrade > pipeline.MaxDegradeTiers {
 		return fmt.Errorf("degrade must be 0..%d", pipeline.MaxDegradeTiers)
 	}
-	if chaosPanic < 0 || chaosPanic > 1 || chaosCorrupt < 0 || chaosCorrupt > 1 {
+	if chaosPanic < 0 || chaosPanic > 1 || chaosCorrupt < 0 || chaosCorrupt > 1 || chaosStall < 0 || chaosStall > 1 {
 		return fmt.Errorf("chaos fractions must be in [0,1]")
 	}
 	if engines < 1 || engines > 64 {
 		return fmt.Errorf("engines must be 1..64")
+	}
+	if stallTimeout < 0 {
+		return fmt.Errorf("-stall-timeout must be non-negative, got %v (0 disables the watchdog)", stallTimeout)
+	}
+	if retries < 0 {
+		return fmt.Errorf("-retries must be non-negative, got %d (0 disables retries)", retries)
+	}
+	if hedge < 0 {
+		return fmt.Errorf("-hedge must be non-negative, got %v (0 disables hedging)", hedge)
+	}
+	if engines == 1 && (retries > 0 || hedge > 0) {
+		return fmt.Errorf("-retries and -hedge re-route across a fleet: set -engines > 1 to use them")
 	}
 	if tenants < 1 || qosRate < 0 || qosBurst < 0 {
 		return fmt.Errorf("tenants must be positive, qos-rate/qos-burst non-negative")
@@ -146,17 +177,25 @@ func run(workload, config, backend string, workers, queue, batch int, window, ti
 	tierOpts := pipeline.DegradeTiers(w, opts, degrade)
 	if engines > 1 {
 		return runFleet(w, kind, opts, tierOpts, engines, workers, queue, batch, window, timeout,
-			frames, clients, seed, chaosPanic, chaosCorrupt, chaosSeed, tenants, qosRate, qosBurst)
+			frames, clients, seed, chaosPanic, chaosCorrupt, chaosStall, chaosSeed,
+			stallTimeout, retries, hedge, checkpoint, tenants, qosRate, qosBurst)
 	}
 	rows, err := pipeline.TieredReplicas(w, kind, opts, workers, tierOpts)
 	if err != nil {
 		return err
+	}
+	if checkpoint != "" {
+		// Replicas share weights: restoring into the first propagates to all.
+		if err := pipeline.LoadCheckpoint(checkpoint, rows[0][0]); err != nil {
+			return fmt.Errorf("-checkpoint %q: %w", checkpoint, err)
+		}
 	}
 	cfg := serve.Config{
 		QueueDepth:     queue,
 		MaxBatch:       batch,
 		BatchWindow:    window,
 		DefaultTimeout: timeout,
+		StallTimeout:   stallTimeout,
 		Rebuild: func(worker, tier int) (pipeline.Net, error) {
 			o := opts
 			if tier > 0 {
@@ -168,8 +207,8 @@ func run(workload, config, backend string, workers, queue, batch int, window, ti
 	for i, row := range rows[1:] {
 		cfg.Degrade = append(cfg.Degrade, serve.Tier{Name: tierName(i), Nets: row})
 	}
-	if chaosPanic > 0 || chaosCorrupt > 0 {
-		cfg.Faults = &faultinject.Plan{Seed: chaosSeed, PanicFrac: chaosPanic, CorruptFrac: chaosCorrupt}
+	if chaosPanic > 0 || chaosCorrupt > 0 || chaosStall > 0 {
+		cfg.Faults = &faultinject.Plan{Seed: chaosSeed, PanicFrac: chaosPanic, CorruptFrac: chaosCorrupt, StallFrac: chaosStall}
 	}
 	engine, err := serve.New(rows[0], edgesim.JetsonAGXXavier(), pipeline.SimConfig(w, kind, opts), cfg)
 	if err != nil {
@@ -198,10 +237,17 @@ func run(workload, config, backend string, workers, queue, batch int, window, ti
 		fmt.Printf("degradation ladder: %d tiers armed\n", degrade)
 	}
 	if cfg.Faults != nil {
-		fmt.Printf("chaos: panic %.0f%%, corrupt %.0f%% (seed %d)\n", chaosPanic*100, chaosCorrupt*100, chaosSeed)
+		fmt.Printf("chaos: panic %.0f%%, corrupt %.0f%%, stall %.0f%% (seed %d)\n",
+			chaosPanic*100, chaosCorrupt*100, chaosStall*100, chaosSeed)
+	}
+	if checkpoint != "" {
+		fmt.Printf("restored weights from checkpoint %s\n", checkpoint)
+	}
+	if stallTimeout > 0 {
+		fmt.Printf("stall watchdog armed at %v\n", stallTimeout)
 	}
 
-	var next, okCount, deadlineCount, panicCount, invalidCount, retries atomic.Int64
+	var next, okCount, deadlineCount, panicCount, stalledCount, invalidCount, backoffs atomic.Int64
 	var firstErr atomic.Value
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -222,7 +268,7 @@ func run(workload, config, backend string, workers, queue, batch int, window, ti
 						okCount.Add(1)
 					case errors.Is(err, serve.ErrQueueFull):
 						// Backpressure: yield briefly and resubmit.
-						retries.Add(1)
+						backoffs.Add(1)
 						time.Sleep(200 * time.Microsecond)
 						continue
 					case errors.Is(err, serve.ErrDeadline):
@@ -230,6 +276,9 @@ func run(workload, config, backend string, workers, queue, batch int, window, ti
 					case errors.Is(err, serve.ErrPanic):
 						// Isolated: the frame failed but the engine serves on.
 						panicCount.Add(1)
+					case errors.Is(err, serve.ErrStalled):
+						// Watchdog-failed: the wedged worker was deposed.
+						stalledCount.Add(1)
 					case errors.Is(err, serve.ErrInvalidInput):
 						invalidCount.Add(1)
 					default:
@@ -251,14 +300,17 @@ func run(workload, config, backend string, workers, queue, batch int, window, ti
 
 	s := engine.Stats()
 	fmt.Printf("served %d frames: %d ok, %d deadline-dropped (%d backpressure retries)\n",
-		okCount.Load()+deadlineCount.Load(), okCount.Load(), deadlineCount.Load(), retries.Load())
+		okCount.Load()+deadlineCount.Load(), okCount.Load(), deadlineCount.Load(), backoffs.Load())
 	fmt.Printf("latency p50 %v p90 %v p99 %v max %v (window of %d)\n",
 		s.Latency.P50.Round(time.Microsecond), s.Latency.P90.Round(time.Microsecond),
 		s.Latency.P99.Round(time.Microsecond), s.Latency.Max.Round(time.Microsecond), s.Latency.Window)
 	fmt.Printf("batches: %d (mean %.2f frames/batch), throughput %.0f frames/s\n",
 		s.Batches, s.MeanBatch, float64(okCount.Load())/elapsed.Seconds())
-	fmt.Printf("resilience: %d panics (%d quarantines, %d breaker trips), %d invalid, %d step-downs / %d step-ups\n",
-		s.Panics, s.Quarantines, s.BreakerTrips, s.Invalid, s.StepDowns, s.StepUps)
+	fmt.Printf("resilience: %d panics (%d quarantines, %d breaker trips), %d stalls / %d respawns, %d invalid, %d step-downs / %d step-ups\n",
+		s.Panics, s.Quarantines, s.BreakerTrips, s.Stalls, s.Respawns, s.Invalid, s.StepDowns, s.StepUps)
+	if n := stalledCount.Load(); n > 0 {
+		fmt.Printf("  %d frames failed by the stall watchdog\n", n)
+	}
 	for tier, n := range s.Degraded {
 		if tier > 0 && n > 0 {
 			fmt.Printf("  tier %d (%s): %d frames\n", tier, engine.TierName(tier), n)
@@ -273,11 +325,19 @@ func run(workload, config, backend string, workers, queue, batch int, window, ti
 // shedding and spillover, with clients cycling tenant/stream identities.
 func runFleet(w pipeline.Workload, kind pipeline.ConfigKind, opts pipeline.Options, tierOpts []pipeline.Options,
 	engines, workers, queue, batch int, window, timeout time.Duration,
-	frames, clients int, seed int64, chaosPanic, chaosCorrupt float64, chaosSeed uint64,
+	frames, clients int, seed int64, chaosPanic, chaosCorrupt, chaosStall float64, chaosSeed uint64,
+	stallTimeout time.Duration, retryMax int, hedge time.Duration, checkpoint string,
 	tenants int, qosRate, qosBurst float64) error {
 	fleet, err := pipeline.FleetReplicas(w, kind, opts, engines, workers, tierOpts)
 	if err != nil {
 		return err
+	}
+	if checkpoint != "" {
+		// The whole fleet shares weights: restoring into the first replica of
+		// the first engine propagates everywhere.
+		if err := pipeline.LoadCheckpoint(checkpoint, fleet[0][0][0]); err != nil {
+			return fmt.Errorf("-checkpoint %q: %w", checkpoint, err)
+		}
 	}
 	pool := make([]*serve.Engine, engines)
 	for e := range pool {
@@ -286,6 +346,7 @@ func runFleet(w pipeline.Workload, kind pipeline.ConfigKind, opts pipeline.Optio
 			MaxBatch:       batch,
 			BatchWindow:    window,
 			DefaultTimeout: timeout,
+			StallTimeout:   stallTimeout,
 			Rebuild: func(worker, tier int) (pipeline.Net, error) {
 				o := opts
 				if tier > 0 {
@@ -297,8 +358,9 @@ func runFleet(w pipeline.Workload, kind pipeline.ConfigKind, opts pipeline.Optio
 		for i, row := range fleet[e][1:] {
 			cfg.Degrade = append(cfg.Degrade, serve.Tier{Name: tierName(i), Nets: row})
 		}
-		if chaosPanic > 0 || chaosCorrupt > 0 {
-			cfg.Faults = &faultinject.Plan{Seed: chaosSeed + uint64(e), PanicFrac: chaosPanic, CorruptFrac: chaosCorrupt}
+		if chaosPanic > 0 || chaosCorrupt > 0 || chaosStall > 0 {
+			cfg.Faults = &faultinject.Plan{Seed: chaosSeed + uint64(e),
+				PanicFrac: chaosPanic, CorruptFrac: chaosCorrupt, StallFrac: chaosStall}
 		}
 		eng, err := serve.New(fleet[e][0], edgesim.JetsonAGXXavier(), pipeline.SimConfig(w, kind, opts), cfg)
 		if err != nil {
@@ -309,6 +371,12 @@ func runFleet(w pipeline.Workload, kind pipeline.ConfigKind, opts pipeline.Optio
 	rcfg := serve.RouterConfig{}
 	if qosRate > 0 {
 		rcfg.QoS = serve.NewQoS(serve.QoSConfig{Default: serve.TenantLimit{Rate: qosRate, Burst: qosBurst}})
+	}
+	if retryMax > 0 {
+		rcfg.Retry = &serve.RetryPolicy{Max: retryMax}
+	}
+	if hedge > 0 {
+		rcfg.Hedge = &serve.HedgePolicy{Delay: hedge}
 	}
 	router, err := serve.NewRouter(pool, rcfg)
 	if err != nil {
@@ -330,6 +398,12 @@ func runFleet(w pipeline.Workload, kind pipeline.ConfigKind, opts pipeline.Optio
 		w.ID, kind, engines, workers, clients, frames, tenants)
 	if qosRate > 0 {
 		fmt.Printf("qos: %.3g frames/s per tenant (burst %.3g)\n", qosRate, qosBurst)
+	}
+	if checkpoint != "" {
+		fmt.Printf("restored weights from checkpoint %s\n", checkpoint)
+	}
+	if retryMax > 0 || hedge > 0 {
+		fmt.Printf("survivability: %d retries, hedge after %v (stall watchdog %v)\n", retryMax, hedge, stallTimeout)
 	}
 
 	var next, okCount, shedCount, failCount, retries atomic.Int64
@@ -363,7 +437,8 @@ func runFleet(w pipeline.Workload, kind pipeline.ConfigKind, opts pipeline.Optio
 						continue
 					case errors.Is(err, serve.ErrThrottled), errors.Is(err, serve.ErrShed):
 						shedCount.Add(1)
-					case errors.Is(err, serve.ErrDeadline), errors.Is(err, serve.ErrPanic), errors.Is(err, serve.ErrInvalidInput):
+					case errors.Is(err, serve.ErrDeadline), errors.Is(err, serve.ErrPanic),
+						errors.Is(err, serve.ErrStalled), errors.Is(err, serve.ErrInvalidInput):
 						failCount.Add(1)
 					default:
 						firstErr.CompareAndSwap(nil, err)
@@ -385,6 +460,13 @@ func runFleet(w pipeline.Workload, kind pipeline.ConfigKind, opts pipeline.Optio
 
 	fmt.Printf("fleet: %d offered, %d completed, %d failed, shed %d/%d/%d (throttle/overload/queue), %d spills, %d quarantines\n",
 		s.Offered, s.Completed, s.Failed, s.ShedThrottled, s.ShedOverload, s.ShedQueueFull, s.Spills, s.Quarantines)
+	if s.Retries > 0 || s.Hedges > 0 || s.Stalls > 0 {
+		fmt.Printf("survivability: %d retries, %d hedges (%d wins), %d stalled attempts\n",
+			s.Retries, s.Hedges, s.HedgeWins, s.Stalls)
+	}
+	if err := s.Conservation(); err != nil {
+		return err
+	}
 	fmt.Printf("fleet latency p50 %v p90 %v p99 %v, throughput %.0f frames/s (%d backpressure retries)\n",
 		s.Latency.P50.Round(time.Microsecond), s.Latency.P90.Round(time.Microsecond),
 		s.Latency.P99.Round(time.Microsecond), float64(okCount.Load())/elapsed.Seconds(), retries.Load())

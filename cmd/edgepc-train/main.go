@@ -6,12 +6,19 @@
 // Usage:
 //
 //	edgepc-train [-task cls|partseg] [-items N] [-points N] [-epochs N] [-seed N]
+//	edgepc-train -checkpoint ckpt.epck      # crash-safe per-epoch checkpoints
+//
+// -checkpoint writes a crash-safe checkpoint (versioned, checksummed,
+// atomically renamed into place) after every retraining epoch and again
+// after the final epoch, so a killed run always leaves a loadable file —
+// either the previous epoch's or the new one, never a torn mix.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro"
@@ -25,15 +32,24 @@ func main() {
 	width := flag.Int("width", 12, "network base width")
 	seed := flag.Int64("seed", 1, "seed")
 	save := flag.String("save", "", "write the retrained EdgePC model's weights to this file")
+	checkpoint := flag.String("checkpoint", "", "write a crash-safe checkpoint here after every retraining epoch")
 	flag.Parse()
 
-	if err := run(*task, *items, *points, *epochs, *width, *seed, *save); err != nil {
+	if err := run(*task, *items, *points, *epochs, *width, *seed, *save, *checkpoint); err != nil {
 		fmt.Fprintln(os.Stderr, "edgepc-train:", err)
 		os.Exit(1)
 	}
 }
 
-func run(task string, items, points, epochs, width int, seed int64, save string) error {
+func run(task string, items, points, epochs, width int, seed int64, save, checkpoint string) error {
+	if checkpoint != "" {
+		// Fail a bad -checkpoint before any training time is spent: the
+		// atomic write needs the directory to exist.
+		dir := filepath.Dir(checkpoint)
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			return fmt.Errorf("-checkpoint %q: directory %q does not exist or is not a directory", checkpoint, dir)
+		}
+	}
 	var ds edgepc.Dataset
 	var w edgepc.Workload
 	opts := edgepc.Options{BaseWidth: width, Seed: seed}
@@ -89,9 +105,26 @@ func run(task string, items, points, epochs, width int, seed int64, save string)
 		return err
 	}
 	fmt.Printf("before retraining (baseline weights + approximations): accuracy %.3f\n", naiveAcc)
+	if checkpoint != "" {
+		// Per-epoch crash-safe checkpoints: a kill at any instant leaves
+		// either the previous epoch's file or the new one, never a torn mix.
+		inner := tc.Progress
+		tc.Progress = func(epoch int, loss, acc float64) {
+			inner(epoch, loss, acc)
+			if err := edgepc.SaveCheckpoint(checkpoint, edgeNet); err != nil {
+				fmt.Fprintf(os.Stderr, "  checkpoint (epoch %d): %v\n", epoch, err)
+			}
+		}
+	}
 	edgeRes, err := edgepc.Train(edgeNet, ds, trainIdx, testIdx, tc)
 	if err != nil {
 		return err
+	}
+	if checkpoint != "" {
+		if err := edgepc.SaveCheckpoint(checkpoint, edgeNet); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		fmt.Printf("checkpoint written to %s\n", checkpoint)
 	}
 	fmt.Printf("EdgePC accuracy %.3f (mIoU %.3f)\n", edgeRes.TestAcc, edgeRes.TestIoU)
 	fmt.Printf("accuracy drop vs baseline: %.1f%% (paper: within 2%% after retraining)\n",

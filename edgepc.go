@@ -341,6 +341,22 @@ func LoadNet(path string, net Net) error {
 	return nn.LoadParams(f, net.Params())
 }
 
+// SaveCheckpoint writes a crash-safe checkpoint of the network's
+// parameters: versioned, per-parameter and whole-file checksummed, written
+// via temp-file + fsync + atomic rename so a crash mid-write can never
+// leave a torn file at path (the previous checkpoint, if any, survives).
+func SaveCheckpoint(path string, net Net) error {
+	return pipeline.SaveCheckpoint(path, net)
+}
+
+// LoadCheckpoint restores parameters from a SaveCheckpoint file into an
+// architecturally identical network. Corruption — a flipped bit, a
+// truncated tail, a foreign file — is always detected and reported with a
+// typed error before any parameter is modified (all-or-nothing).
+func LoadCheckpoint(path string, net Net) error {
+	return pipeline.LoadCheckpoint(path, net)
+}
+
 // CopyParams copies trained weights between two architecturally identical
 // networks — e.g. from a baseline-trained model into an SN-configured one
 // before retraining, the paper's §5.3 procedure (the strategies differ, the

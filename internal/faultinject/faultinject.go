@@ -88,7 +88,11 @@ type Plan struct {
 
 	// StallFrac freezes the worker for Stall before this fraction of frames.
 	StallFrac float64
-	Stall     time.Duration // zero: DefaultStall
+	// StallFrames forces OpStall on these exact sequence numbers,
+	// independent of StallFrac (deterministic single-stall scenarios for the
+	// watchdog tests). Panic and corrupt draws still take priority.
+	StallFrames []uint64
+	Stall       time.Duration // zero: DefaultStall
 
 	// DelayFrac slows this fraction of frames by Delay.
 	DelayFrac float64
@@ -101,7 +105,7 @@ func (p *Plan) Active() bool {
 		return false
 	}
 	return p.PanicFrac > 0 || len(p.PanicFrames) > 0 || p.CorruptFrac > 0 ||
-		p.StallFrac > 0 || p.DelayFrac > 0
+		p.StallFrac > 0 || len(p.StallFrames) > 0 || p.DelayFrac > 0
 }
 
 // Frame returns the fault scheduled for frame seq. It is nil-safe,
@@ -121,6 +125,11 @@ func (p *Plan) Frame(seq uint64) Decision {
 	}
 	if p.CorruptFrac > 0 && p.draw(seq, 2) < p.CorruptFrac {
 		return Decision{Op: OpCorrupt}
+	}
+	for _, f := range p.StallFrames {
+		if f == seq {
+			return Decision{Op: OpStall, Sleep: defaultDur(p.Stall, DefaultStall)}
+		}
 	}
 	if p.StallFrac > 0 && p.draw(seq, 3) < p.StallFrac {
 		return Decision{Op: OpStall, Sleep: defaultDur(p.Stall, DefaultStall)}

@@ -46,6 +46,9 @@ func TestRunConservationAndClassTotals(t *testing.T) {
 	spec.QoSRate = 20 // exercise all three shed causes
 	spec.QoSBurst = 5
 	spec.Deadline = 2 * time.Millisecond
+	spec.StallFrac = 0.1 // and the survivability layer, all recovery paths on
+	spec.Retries = 1
+	spec.HedgeDelay = time.Millisecond
 	for _, mult := range []float64{1, 20} {
 		m, err := Run(spec, mult)
 		if err != nil {
@@ -54,8 +57,8 @@ func TestRunConservationAndClassTotals(t *testing.T) {
 		if m.Offered != m.Admitted+m.Shed() {
 			t.Fatalf("mult %g: offered %d != admitted %d + shed %d", mult, m.Offered, m.Admitted, m.Shed())
 		}
-		if m.Admitted != m.Completed+m.FailedDeadline {
-			t.Fatalf("mult %g: admitted %d != completed %d + failed %d", mult, m.Admitted, m.Completed, m.FailedDeadline)
+		if m.Admitted != m.Completed+m.FailedDeadline+m.FailedStall {
+			t.Fatalf("mult %g: admitted %d != completed %d + failed %d+%d", mult, m.Admitted, m.Completed, m.FailedDeadline, m.FailedStall)
 		}
 		var offered, completed, shed, failed, degraded uint64
 		for _, c := range m.Classes {
@@ -67,9 +70,9 @@ func TestRunConservationAndClassTotals(t *testing.T) {
 		for _, n := range m.Degraded {
 			degraded += n
 		}
-		if offered != m.Offered || completed != m.Completed || shed != m.Shed() || failed != m.FailedDeadline {
+		if offered != m.Offered || completed != m.Completed || shed != m.Shed() || failed != m.FailedDeadline+m.FailedStall {
 			t.Fatalf("mult %g: class totals (%d/%d/%d/%d) disagree with aggregates (%d/%d/%d/%d)",
-				mult, offered, completed, shed, failed, m.Offered, m.Completed, m.Shed(), m.FailedDeadline)
+				mult, offered, completed, shed, failed, m.Offered, m.Completed, m.Shed(), m.FailedDeadline+m.FailedStall)
 		}
 		if degraded != m.Completed {
 			t.Fatalf("mult %g: per-tier completions %d != completed %d", mult, degraded, m.Completed)
@@ -141,6 +144,134 @@ func TestRunQoSThrottles(t *testing.T) {
 	}
 	if m.ShedThrottled == 0 {
 		t.Fatal("zipf-skewed 10x load against 10fps tenant buckets throttled nothing")
+	}
+}
+
+// A stall storm with no recovery policy: every stalled frame terminally
+// fails, the counters stay conserved, and two same-seed runs agree bit for
+// bit. Survivability counters must stay zero when StallFrac is zero — even
+// with retries/hedging configured — so plain runs are unchanged.
+func TestRunStallStormConservation(t *testing.T) {
+	spec := Quick()
+	spec.StallFrac = 0.1
+	for _, mult := range []float64{1, 10} {
+		m, err := Run(spec, mult)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Stalled == 0 {
+			t.Fatalf("mult %g: 10%% stall injection stalled nothing", mult)
+		}
+		if m.FailedStall == 0 {
+			t.Fatalf("mult %g: stalls with no recovery policy failed nothing", mult)
+		}
+		if m.Admitted != m.Completed+m.FailedDeadline+m.FailedStall {
+			t.Fatalf("mult %g: admitted %d != completed %d + failed %d+%d",
+				mult, m.Admitted, m.Completed, m.FailedDeadline, m.FailedStall)
+		}
+		again, err := Run(spec, mult)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m.Counts, again.Counts) {
+			t.Fatalf("mult %g: stall-storm runs not reproducible:\n%+v\n%+v", mult, m.Counts, again.Counts)
+		}
+	}
+
+	off := Quick()
+	off.Retries = 2
+	off.HedgeDelay = time.Millisecond
+	m, err := Run(off, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stalled+m.FailedStall+m.Retried+m.Hedged+m.HedgeWins != 0 {
+		t.Fatalf("StallFrac=0 run has survivability counters: %+v", m.Counts)
+	}
+}
+
+// Retries buy goodput back: re-dispatching stalled frames on the next ring
+// candidate must recover most of what the storm killed.
+func TestRunRetriesRecoverStalledFrames(t *testing.T) {
+	spec := Quick()
+	spec.StallFrac = 0.1
+	spec.StallTimeout = spec.SvcTiers[0] // snappy watchdog: recovery signal, not wedge cost
+	none, err := Run(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Retries = 2
+	retry, err := Run(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retry.Retried == 0 {
+		t.Fatal("retry policy never retried a stalled frame")
+	}
+	if retry.FailedStall >= none.FailedStall {
+		t.Fatalf("retries did not reduce stall failures: %d -> %d", none.FailedStall, retry.FailedStall)
+	}
+	if retry.Completed <= none.Completed {
+		t.Fatalf("retries did not buy goodput: completed %d -> %d", none.Completed, retry.Completed)
+	}
+}
+
+// The retry path is deadline-budget-aware: with every attempt stalling and
+// the second watchdog firing past the deadline, each frame retries at most
+// once and nothing completes.
+func TestRunRetryRespectsDeadlineBudget(t *testing.T) {
+	spec := Quick()
+	spec.StallFrac = 1
+	spec.Retries = 8
+	spec.StallTimeout = 2 * time.Millisecond
+	spec.Deadline = 3 * time.Millisecond
+	m, err := Run(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 0 {
+		t.Fatalf("every attempt stalls, yet %d frames completed", m.Completed)
+	}
+	if m.Retried == 0 {
+		t.Fatal("first watchdog fires inside the budget, yet nothing retried")
+	}
+	if m.Retried > m.Admitted {
+		t.Fatalf("retried %d > admitted %d: budget did not stop the second retry", m.Retried, m.Admitted)
+	}
+}
+
+// Hedging wins races against wedged workers, never exceeds its launch
+// budget, and hedge wins never exceed hedges launched.
+func TestRunHedgingWinsRaces(t *testing.T) {
+	spec := Quick()
+	spec.StallFrac = 0.1
+	none, err := Run(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.HedgeDelay = time.Millisecond
+	spec.HedgeBudget = 1
+	m, err := Run(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hedged == 0 || m.HedgeWins == 0 {
+		t.Fatalf("hedging launched %d won %d; expected both > 0", m.Hedged, m.HedgeWins)
+	}
+	if m.HedgeWins > m.Hedged {
+		t.Fatalf("hedge wins %d > hedges %d", m.HedgeWins, m.Hedged)
+	}
+	if m.Completed <= none.Completed {
+		t.Fatalf("hedging did not buy goodput: completed %d -> %d", none.Completed, m.Completed)
+	}
+	capped := spec
+	capped.HedgeBudget = 0.01
+	c, err := Run(capped, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(c.Hedged) > 0.01*float64(c.Offered)+1 {
+		t.Fatalf("hedge budget 1%% of %d offered exceeded: %d hedges", c.Offered, c.Hedged)
 	}
 }
 
@@ -240,13 +371,15 @@ func TestRNGDeterminism(t *testing.T) {
 }
 
 func TestParseSpecTable(t *testing.T) {
-	good, err := ParseSpec("seed=9;engines=8;workers=4;rate=500;alpha=2;zipf=0.9;mix=0.1,0.6,0.3;svc=2ms,1ms;ramp=0:1,1:2;deadline=5ms", Quick())
+	good, err := ParseSpec("seed=9;engines=8;workers=4;rate=500;alpha=2;zipf=0.9;mix=0.1,0.6,0.3;svc=2ms,1ms;ramp=0:1,1:2;deadline=5ms;stall-frac=0.1;stall-timeout=3ms;retries=2;hedge-delay=1ms;hedge-budget=0.2", Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if good.Seed != 9 || good.Engines != 8 || good.Workers != 4 || good.Rate != 500 ||
 		len(good.SvcTiers) != 2 || good.SvcTiers[1] != time.Millisecond ||
-		len(good.Ramp) != 2 || good.Deadline != 5*time.Millisecond {
+		len(good.Ramp) != 2 || good.Deadline != 5*time.Millisecond ||
+		good.StallFrac != 0.1 || good.StallTimeout != 3*time.Millisecond ||
+		good.Retries != 2 || good.HedgeDelay != time.Millisecond || good.HedgeBudget != 0.2 {
 		t.Fatalf("parsed spec wrong: %+v", good)
 	}
 	if got, _ := ParseSpec("", Quick()); !reflect.DeepEqual(got, Quick()) {
@@ -273,6 +406,12 @@ func TestParseSpecTable(t *testing.T) {
 		{"zipf=99", "zipf"},
 		{"shed-high=2", "shed-high"},
 		{"rate=1e7;duration=1h", "rate"}, // > 5e7 arrivals
+		{"stall-frac=2", "stall-frac"},
+		{"stall-frac=NaN", "stall-frac"},
+		{"stall-timeout=-1ms", "stall-timeout"},
+		{"retries=9", "retries"},
+		{"hedge-delay=2h", "hedge-delay"},
+		{"hedge-budget=-0.1", "hedge-budget"},
 	}
 	for _, tc := range bad {
 		_, err := ParseSpec(tc.in, Quick())
@@ -340,11 +479,32 @@ func TestBuildReport(t *testing.T) {
 	if rep.Crossover[0].GoodputFPS != rep.Scenarios[0].GoodputFPS {
 		t.Fatal("crossover and grid disagree at mult 1")
 	}
+	// The survivability sweep: one row per (multiplier, policy), retries and
+	// hedging buying goodput back at every multiplier.
+	if len(rep.Survivability) != 2*3 {
+		t.Fatalf("survivability rows: %d, want 6", len(rep.Survivability))
+	}
+	for i := 0; i < len(rep.Survivability); i += 3 {
+		none, retry, hedge := rep.Survivability[i], rep.Survivability[i+1], rep.Survivability[i+2]
+		if none.Policy != "none" || retry.Policy != "retry2" || hedge.Policy != "retry2+hedge" {
+			t.Fatalf("policy order at %d: %s/%s/%s", i, none.Policy, retry.Policy, hedge.Policy)
+		}
+		if none.Stalled == 0 || none.FailedStall == 0 {
+			t.Fatalf("storm row stalled nothing: %+v", none)
+		}
+		if retry.Retried == 0 || retry.GoodFrac <= none.GoodFrac {
+			t.Fatalf("retry policy bought no goodput: none %.4f retry %.4f (%d retried)",
+				none.GoodFrac, retry.GoodFrac, retry.Retried)
+		}
+		if hedge.Hedged == 0 {
+			t.Fatalf("hedge policy launched no hedges: %+v", hedge)
+		}
+	}
 	var sb strings.Builder
 	if err := rep.WriteJSON(&sb); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{`"bench": "serve_fleet"`, `"crossover"`, `"scenarios"`, `"p99_ms"`, `"fairness_jain"`} {
+	for _, key := range []string{`"bench": "serve_fleet"`, `"crossover"`, `"scenarios"`, `"p99_ms"`, `"fairness_jain"`, `"survivability"`, `"hedge_wins"`} {
 		if !strings.Contains(sb.String(), key) {
 			t.Fatalf("report JSON missing %s", key)
 		}
@@ -358,6 +518,11 @@ func TestBuildReport(t *testing.T) {
 	for i := range rep.Scenarios {
 		if CountLine(rep.Scenarios[i]) != CountLine(rep2.Scenarios[i]) {
 			t.Fatalf("count line %d not reproducible", i)
+		}
+	}
+	for i := range rep.Survivability {
+		if SurvLine(rep.Survivability[i]) != SurvLine(rep2.Survivability[i]) {
+			t.Fatalf("survivability line %d not reproducible", i)
 		}
 	}
 }

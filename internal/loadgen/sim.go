@@ -18,14 +18,29 @@ import (
 // calibration or the spec, with the engine queue/worker/degradation-ladder
 // state machine mirroring serve.Engine's (same watermarks, same hysteresis
 // rule, same reject-don't-block queue).
+//
+// With StallFrac > 0 the survivability layer engages (mirrors the stall
+// watchdog, serve.RetryPolicy and serve.HedgePolicy; DESIGN.md §15): a
+// seeded per-dispatch draw wedges the attempt's worker until the modelled
+// watchdog reclaims it at StallTimeout; stalled frames are then retried on
+// the next ring candidate (deadline-budget-aware, up to Retries times) and
+// optionally hedged — a duplicate attempt launched HedgeDelay after the
+// primary stalls, first completion wins, the loser is cancelled at pickup
+// or completes without counting. The stall draw is a pure hash of (seed,
+// attempt ordinal), never the arrival RNG, so StallFrac = 0 runs are
+// bit-identical to the plain model.
 
 // event kinds.
 const (
 	evArrival = iota
 	evComplete
+	evStallFree // watchdog reclaims a stalled attempt's worker
+	evHedge     // hedge launch point for a stalled frame
 )
 
-// event is one heap entry. Completion events carry the frame's provenance.
+// event is one heap entry. Completion events carry the frame's provenance;
+// survivability events additionally carry the frame id and whether the
+// attempt was a hedge.
 type event struct {
 	at     int64 // virtual ns
 	seq    uint64
@@ -34,7 +49,9 @@ type event struct {
 	tier   int16
 	eng    int32
 	tenant int32
-	arr    int64 // arrival time of the completing frame
+	arr    int64  // arrival time of the completing frame
+	fid    uint64 // frame id; 0 when the survivability layer is off
+	hedge  bool   // this attempt is the frame's hedge
 }
 
 // eventHeap is a binary min-heap over (at, seq).
@@ -85,11 +102,29 @@ func eventLess(a, b event) bool {
 	return a.seq < b.seq
 }
 
-// qItem is one queued frame in a simulated engine.
+// qItem is one queued attempt in a simulated engine.
 type qItem struct {
 	arr    int64
 	tenant int32
 	prio   uint8
+	fid    uint64 // frame id; 0 when the survivability layer is off
+	hedge  bool
+}
+
+// frameState tracks one admitted frame's attempts while the survivability
+// layer is on: the primary dispatch plus any retries and the optional hedge
+// all point back here, so the first completion wins exactly once and a
+// frame terminally fails only when its last in-flight attempt resolves.
+type frameState struct {
+	arr     int64
+	h       uint64 // route hash; retry/hedge candidates recomputed from it
+	tenant  int32
+	prio    uint8
+	candIdx int // next ring candidate for a retry or hedge dispatch
+	retries int
+	pending int // attempts queued or in service
+	done    bool
+	hedged  bool
 }
 
 // simEngine mirrors serve.Engine's queue/worker/ladder state: a bounded
@@ -130,7 +165,12 @@ type Counts struct {
 	ShedOverload   uint64   `json:"shed_overload"`
 	ShedQueueFull  uint64   `json:"shed_queue"`
 	FailedDeadline uint64   `json:"failed_deadline"`
-	Degraded       []uint64 `json:"degraded"` // completed per tier; [0] is full fidelity
+	FailedStall    uint64   `json:"failed_stall"` // stalled with retries/hedge exhausted
+	Stalled        uint64   `json:"stalled"`      // attempts wedged until the watchdog reclaimed them
+	Retried        uint64   `json:"retried"`      // re-dispatches of stalled frames (attempts, not offers)
+	Hedged         uint64   `json:"hedged"`       // hedge attempts launched
+	HedgeWins      uint64   `json:"hedge_wins"`   // frames whose hedge completed first
+	Degraded       []uint64 `json:"degraded"`     // completed per tier; [0] is full fidelity
 	StepDowns      uint64   `json:"step_downs"`
 	StepUps        uint64   `json:"step_ups"`
 	ShedRaises     uint64   `json:"shed_raises"`
@@ -187,6 +227,17 @@ type sim struct {
 	zipf    *Zipf
 	cand    []int
 
+	// Survivability state (nil/zero unless StallFrac > 0).
+	surv        bool
+	frames      map[uint64]*frameState
+	nextFid     uint64
+	attemptSeq  uint64 // ordinal feeding the pure-hash stall draw
+	stallNs     int64  // resolved watchdog reclaim delay
+	hedgeNs     int64  // hedge launch delay; 0 disables hedging
+	hedgeBudget float64
+	wantCand    int   // ring candidates needed to cover spill + retries + hedge
+	cand2       []int // scratch for retry/hedge candidate recomputation
+
 	rateBase   float64 // spec rate × overload multiplier
 	xmCache    float64 // Pareto xm at the current effective rate
 	rateCache  float64
@@ -215,8 +266,9 @@ func (s *Spec) EffectiveRate() float64 {
 
 // Run simulates one scenario at the given overload multiplier and returns
 // its metrics. The spec is validated first; the conservation laws
-// (offered = admitted + shed, admitted = completed + deadline-failed) are
-// checked before returning and violate loudly, never silently.
+// (offered = admitted + shed, admitted = completed + deadline-failed +
+// stall-failed, hedge wins ≤ hedges launched) are checked before returning
+// and violate loudly, never silently.
 func Run(spec Spec, mult float64) (Metrics, error) {
 	if err := spec.Validate(); err != nil {
 		return Metrics{}, err
@@ -314,6 +366,25 @@ func newSim(spec Spec, mult float64) (*sim, error) {
 		})
 	}
 	s.counts.Degraded = make([]uint64, len(spec.SvcTiers))
+	// Survivability layer: engages only when stalls are actually injected, so
+	// StallFrac = 0 runs stay bit-identical to the plain model.
+	s.surv = spec.StallFrac > 0
+	if s.surv {
+		s.frames = make(map[uint64]*frameState)
+		s.stallNs = int64(spec.StallTimeout)
+		if s.stallNs <= 0 {
+			s.stallNs = 4 * int64(spec.SvcTiers[0])
+		}
+		s.hedgeNs = int64(spec.HedgeDelay)
+		s.hedgeBudget = spec.HedgeBudget
+		if s.hedgeBudget <= 0 {
+			s.hedgeBudget = 0.05
+		}
+		s.wantCand = 1 + spec.Spill + spec.Retries
+		if s.hedgeNs > 0 {
+			s.wantCand++
+		}
+	}
 	return s, nil
 }
 
@@ -418,14 +489,34 @@ func (s *sim) arrive() {
 		return
 	}
 	h := hash64(hash64(s.spec.Seed^0x726f757465) ^ uint64(tenant)<<10 ^ uint64(stream))
-	s.cand = s.ring.CandidatesHash(h, 1+s.spec.Spill, s.cand)
-	for _, id := range s.cand {
+	want := 1 + s.spec.Spill
+	if s.surv && s.wantCand > want {
+		want = s.wantCand
+	}
+	s.cand = s.ring.CandidatesHash(h, want, s.cand)
+	// Initial admission only spills over the first 1+Spill candidates — the
+	// rest of the walk is reserved for retries and hedges, exactly like the
+	// router's wider Candidates request.
+	adm := s.cand
+	if spill := 1 + s.spec.Spill; len(adm) > spill {
+		adm = adm[:spill]
+	}
+	for i, id := range adm {
 		e := &s.engines[id]
 		if e.n >= e.depth {
 			continue
 		}
 		s.counts.Admitted++
-		e.push(qItem{arr: s.now, tenant: int32(tenant), prio: uint8(prio)})
+		var fid uint64
+		if s.surv {
+			s.nextFid++
+			fid = s.nextFid
+			s.frames[fid] = &frameState{
+				arr: s.now, h: h, tenant: int32(tenant), prio: uint8(prio),
+				candIdx: i + 1, pending: 1,
+			}
+		}
+		e.push(qItem{arr: s.now, tenant: int32(tenant), prio: uint8(prio), fid: fid})
 		// Mirror serve.maybeStepDown: a successful enqueue past the high
 		// watermark steps the ladder down one tier.
 		if e.fill() >= s.ladderHigh && e.tier < s.maxTier {
@@ -441,25 +532,157 @@ func (s *sim) arrive() {
 }
 
 // dispatch starts service on engine id while workers are idle and frames
-// queued, mirroring serve's at-pickup deadline drop.
+// queued, mirroring serve's at-pickup deadline drop. With the survivability
+// layer on it also draws per-attempt stalls and cancels queued losers of
+// already-resolved hedge races.
 func (s *sim) dispatch(id int) {
 	e := &s.engines[id]
 	for e.free > 0 && e.n > 0 {
 		it := e.popq()
+		if it.fid != 0 {
+			if fr := s.frames[it.fid]; fr != nil && fr.done {
+				// Loser attempt of a frame another attempt already resolved:
+				// the real router cancels it at pickup; drop without service.
+				s.resolveAttempt(it.fid, &s.counts.FailedStall)
+				s.observeCalm(e)
+				continue
+			}
+		}
 		if s.spec.Deadline > 0 && s.now-it.arr > int64(s.spec.Deadline) {
-			s.counts.FailedDeadline++
-			s.classes[it.prio].Failed++
+			if it.fid != 0 {
+				s.resolveAttempt(it.fid, &s.counts.FailedDeadline)
+			} else {
+				s.counts.FailedDeadline++
+				s.classes[it.prio].Failed++
+			}
 			s.observeCalm(e)
 			continue
 		}
 		e.free--
+		if s.surv && s.stallDraw() {
+			// Stalled attempt: the worker stays wedged until the modelled
+			// watchdog reclaims it at StallTimeout. A stalled primary also
+			// arms the frame's hedge launch point.
+			s.counts.Stalled++
+			s.seq++
+			s.events.push(event{
+				at: s.now + s.stallNs, seq: s.seq, kind: evStallFree, prio: it.prio,
+				eng: int32(id), tenant: it.tenant, arr: it.arr, fid: it.fid, hedge: it.hedge,
+			})
+			if it.fid != 0 && s.hedgeNs > 0 && !it.hedge {
+				if fr := s.frames[it.fid]; fr != nil && !fr.hedged {
+					s.seq++
+					s.events.push(event{at: s.now + s.hedgeNs, seq: s.seq, kind: evHedge, fid: it.fid})
+				}
+			}
+			continue
+		}
 		svc := int64(s.spec.SvcTiers[e.tier])
 		s.seq++
 		s.events.push(event{
 			at: s.now + svc, seq: s.seq, kind: evComplete, prio: it.prio,
 			tier: int16(e.tier), eng: int32(id), tenant: it.tenant, arr: it.arr,
+			fid: it.fid, hedge: it.hedge,
 		})
 	}
+}
+
+// stallDraw decides whether the attempt being dispatched stalls: a pure
+// hash of (seed, attempt ordinal), never the arrival RNG, so enabling the
+// survivability layer does not perturb the arrival stream.
+func (s *sim) stallDraw() bool {
+	s.attemptSeq++
+	u := float64(hash64(s.spec.Seed^0x7374616c6c21^s.attemptSeq)>>11) * (1.0 / (1 << 53))
+	return u < s.spec.StallFrac
+}
+
+// resolveAttempt retires one in-flight attempt of frame fid. When the last
+// attempt resolves without any attempt having won, the frame terminally
+// fails into *failed; resolved frames are dropped from the tracking map.
+func (s *sim) resolveAttempt(fid uint64, failed *uint64) {
+	fr := s.frames[fid]
+	fr.pending--
+	if fr.pending > 0 {
+		return
+	}
+	if !fr.done {
+		fr.done = true
+		*failed++
+		s.classes[fr.prio].Failed++
+	}
+	delete(s.frames, fid)
+}
+
+// reenqueue pushes a fresh attempt of fr onto the next ring candidate with
+// queue room, wrapping over the candidate walk like the router's
+// trySubmitFrom. Returns the target engine (not yet dispatched) or -1 when
+// every candidate's queue is full.
+func (s *sim) reenqueue(fr *frameState, fid uint64, hedge bool) int {
+	s.cand2 = s.ring.CandidatesHash(fr.h, s.wantCand, s.cand2)
+	cand := s.cand2
+	for i := 0; i < len(cand); i++ {
+		j := (fr.candIdx + i) % len(cand)
+		e := &s.engines[cand[j]]
+		if e.n >= e.depth {
+			continue
+		}
+		fr.candIdx = j + 1
+		e.push(qItem{arr: fr.arr, tenant: fr.tenant, prio: fr.prio, fid: fid, hedge: hedge})
+		if e.fill() >= s.ladderHigh && e.tier < s.maxTier {
+			e.tier++
+			e.calm = 0
+			e.stepDowns++
+		}
+		return cand[j]
+	}
+	return -1
+}
+
+// stallFree is the modelled watchdog firing: the wedged worker comes back,
+// and the stalled frame either retries on the next candidate (primary
+// attempts only, within the retry cap and the deadline budget — mirroring
+// serve.RetryPolicy's never-retry-past-the-budget rule) or resolves,
+// terminally failing as stall-failed if it was the last attempt.
+func (s *sim) stallFree(ev event) {
+	e := &s.engines[ev.eng]
+	e.free++
+	fr := s.frames[ev.fid]
+	if ev.fid != 0 && fr != nil && !fr.done && !ev.hedge && fr.retries < s.spec.Retries &&
+		(s.spec.Deadline <= 0 || s.now-fr.arr < int64(s.spec.Deadline)) {
+		if id := s.reenqueue(fr, ev.fid, false); id >= 0 {
+			fr.retries++
+			s.counts.Retried++
+			s.dispatch(id)
+			s.dispatch(int(ev.eng))
+			return
+		}
+	}
+	if ev.fid != 0 {
+		s.resolveAttempt(ev.fid, &s.counts.FailedStall)
+	}
+	s.dispatch(int(ev.eng))
+}
+
+// hedgeFire launches the frame's hedge if it is still unresolved and the
+// hedge budget (HedgeBudget × offered, mirroring serve.HedgePolicy's
+// MaxFraction) has room. The hedge is a full attempt: it can stall, be
+// deadline-dropped, or win the race.
+func (s *sim) hedgeFire(ev event) {
+	fr := s.frames[ev.fid]
+	if fr == nil || fr.done || fr.hedged {
+		return
+	}
+	if float64(s.counts.Hedged+1) > s.hedgeBudget*float64(s.counts.Offered) {
+		return
+	}
+	id := s.reenqueue(fr, ev.fid, true)
+	if id < 0 {
+		return
+	}
+	fr.hedged = true
+	fr.pending++
+	s.counts.Hedged++
+	s.dispatch(id)
 }
 
 // observeCalm mirrors serve.observeLoad's hysteresis step-up.
@@ -480,11 +703,33 @@ func (s *sim) observeCalm(e *simEngine) {
 	e.calm = 0
 }
 
-// complete finishes one frame: latency accounting, ladder calm observation,
-// next dispatch.
+// complete finishes one attempt: latency accounting, ladder calm
+// observation, next dispatch. Under the survivability layer only the first
+// attempt of a frame to complete counts — a hedge-race loser finishes its
+// service without counting.
 func (s *sim) complete(ev event) {
 	e := &s.engines[ev.eng]
 	e.free++
+	if ev.fid != 0 {
+		fr := s.frames[ev.fid]
+		if !fr.done {
+			fr.done = true
+			lat := s.now - ev.arr
+			s.lat = append(s.lat, lat)
+			s.classLat[ev.prio] = append(s.classLat[ev.prio], lat)
+			s.counts.Completed++
+			s.counts.Degraded[ev.tier]++
+			s.tDone[ev.tenant]++
+			s.classes[ev.prio].Completed++
+			if ev.hedge {
+				s.counts.HedgeWins++
+			}
+		}
+		s.resolveAttempt(ev.fid, &s.counts.FailedStall)
+		s.observeCalm(e)
+		s.dispatch(int(ev.eng))
+		return
+	}
 	lat := s.now - ev.arr
 	s.lat = append(s.lat, lat)
 	s.classLat[ev.prio] = append(s.classLat[ev.prio], lat)
@@ -501,11 +746,16 @@ func (s *sim) run() (Metrics, error) {
 	for len(s.events) > 0 {
 		ev := s.events.pop()
 		s.now = ev.at
-		if ev.kind == evArrival {
+		switch ev.kind {
+		case evArrival:
 			s.arrive()
 			s.scheduleArrival()
-		} else {
+		case evComplete:
 			s.complete(ev)
+		case evStallFree:
+			s.stallFree(ev)
+		case evHedge:
+			s.hedgeFire(ev)
 		}
 	}
 	for i := range s.engines {
@@ -520,8 +770,14 @@ func (s *sim) run() (Metrics, error) {
 	if c.Offered != c.Admitted+c.Shed() {
 		return Metrics{}, fmt.Errorf("loadgen: accounting violated: offered %d != admitted %d + shed %d", c.Offered, c.Admitted, c.Shed())
 	}
-	if c.Admitted != c.Completed+c.FailedDeadline {
-		return Metrics{}, fmt.Errorf("loadgen: accounting violated: admitted %d != completed %d + deadline-failed %d", c.Admitted, c.Completed, c.FailedDeadline)
+	if c.Admitted != c.Completed+c.FailedDeadline+c.FailedStall {
+		return Metrics{}, fmt.Errorf("loadgen: accounting violated: admitted %d != completed %d + deadline-failed %d + stall-failed %d", c.Admitted, c.Completed, c.FailedDeadline, c.FailedStall)
+	}
+	if c.HedgeWins > c.Hedged {
+		return Metrics{}, fmt.Errorf("loadgen: accounting violated: hedge wins %d > hedges launched %d", c.HedgeWins, c.Hedged)
+	}
+	if len(s.frames) > 0 {
+		return Metrics{}, fmt.Errorf("loadgen: accounting violated: %d frames leaked unresolved", len(s.frames))
 	}
 
 	m := Metrics{Counts: s.counts}

@@ -94,6 +94,20 @@ type Spec struct {
 	Deadline time.Duration // per-frame deadline at service start; 0: none
 	VNodes   int           // ring vnodes per engine
 	Spill    int           // extra ring candidates on queue-full
+
+	// Survivability model (mirrors serve.RetryPolicy / HedgePolicy and the
+	// stall watchdog; DESIGN.md §15). StallFrac > 0 injects worker stalls: a
+	// stalled attempt wedges its worker until the watchdog reclaims it at
+	// StallTimeout. Retries re-dispatches a stalled frame on the next ring
+	// candidate up to Retries times (deadline-budget-aware). HedgeDelay > 0
+	// launches a duplicate attempt on the next candidate when the primary has
+	// not resolved after the delay; first completion wins, capped at
+	// HedgeBudget × offered hedges.
+	StallFrac    float64       // fraction of dispatched attempts that stall, [0,1]
+	StallTimeout time.Duration // watchdog reclaim delay; 0: 4× SvcTiers[0]
+	Retries      int           // max re-dispatches of a stalled frame, [0,8]
+	HedgeDelay   time.Duration // hedge launch delay; 0 disables hedging
+	HedgeBudget  float64       // max hedges / offered, (0,1]; 0: 0.05
 }
 
 const numPriorities = 3
@@ -234,6 +248,21 @@ func (s *Spec) Validate() error {
 	if s.Spill < 0 || s.Spill > 256 {
 		return specErr("spill", fmt.Sprint(s.Spill), "must be in [0, 256]")
 	}
+	if !(s.StallFrac >= 0) || s.StallFrac > 1 {
+		return specErr("stall-frac", fmt.Sprint(s.StallFrac), "stalled-attempt fraction must be in [0, 1]")
+	}
+	if s.StallTimeout < 0 || s.StallTimeout > time.Minute {
+		return specErr("stall-timeout", s.StallTimeout.String(), "must be in [0, 1m] (0: 4x the tier-0 service time)")
+	}
+	if s.Retries < 0 || s.Retries > 8 {
+		return specErr("retries", fmt.Sprint(s.Retries), "must be in [0, 8]")
+	}
+	if s.HedgeDelay < 0 || s.HedgeDelay > time.Minute {
+		return specErr("hedge-delay", s.HedgeDelay.String(), "must be in [0, 1m] (0 disables hedging)")
+	}
+	if !(s.HedgeBudget >= 0) || s.HedgeBudget > 1 {
+		return specErr("hedge-budget", fmt.Sprint(s.HedgeBudget), "hedge fraction of offered must be in [0, 1] (0: 0.05)")
+	}
 	// Bound total modelled arrivals so a spec cannot ask for an unrunnable
 	// simulation (CI runs attacker-shaped fuzz corpora through here).
 	rate := s.Rate
@@ -279,7 +308,8 @@ func (s *Spec) queueDepth() int {
 // Recognized keys: seed, duration, rate, alpha, ramp, tenants, zipf,
 // streams, mix, engines, workers, queue, svc, ladder-high, ladder-low,
 // ladder-hyst, shed-high, shed-low, shed-hyst, qos-rate, qos-burst,
-// deadline, vnodes, spill. Every failure is a *SpecError.
+// deadline, vnodes, spill, stall-frac, stall-timeout, retries,
+// hedge-delay, hedge-budget. Every failure is a *SpecError.
 func ParseSpec(s string, base Spec) (Spec, error) {
 	out := base
 	for _, pair := range strings.Split(s, ";") {
@@ -369,6 +399,16 @@ func (s *Spec) set(k, v string) error {
 		return parseIntField(k, v, &s.VNodes)
 	case "spill":
 		return parseIntField(k, v, &s.Spill)
+	case "stall-frac":
+		return parseFloatField(k, v, &s.StallFrac)
+	case "stall-timeout":
+		return parseDurField(k, v, &s.StallTimeout)
+	case "retries":
+		return parseIntField(k, v, &s.Retries)
+	case "hedge-delay":
+		return parseDurField(k, v, &s.HedgeDelay)
+	case "hedge-budget":
+		return parseFloatField(k, v, &s.HedgeBudget)
 	default:
 		return specErr(k, v, "unknown key")
 	}

@@ -1,0 +1,48 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// SaveCheckpoint writes net's trainable parameters to path with the
+// crash-safe checkpoint discipline (nn.WriteCheckpoint: per-parameter and
+// whole-file CRC-32, temp file + fsync + rename). Safe to call between
+// frames; the parameters are only read.
+func SaveCheckpoint(path string, net Net) error {
+	if net == nil {
+		return fmt.Errorf("pipeline: checkpoint needs a net")
+	}
+	return nn.WriteCheckpoint(path, net.Params())
+}
+
+// LoadCheckpoint restores net's parameters from the checkpoint at path.
+// The load is all-or-nothing: a corrupt or torn checkpoint (typed
+// nn.ErrCheckpointCorrupt / nn.ErrCheckpointTorn) leaves the net untouched.
+// Loading into replica 0 of a weight-sharing replica set (pipeline.Replicas)
+// restores every replica at once — do it before serving starts.
+func LoadCheckpoint(path string, net Net) error {
+	if net == nil {
+		return fmt.Errorf("pipeline: checkpoint needs a net")
+	}
+	return nn.ReadCheckpoint(path, net.Params())
+}
+
+// RebuildReplicaFromCheckpoint is the disaster-recovery sibling of
+// RebuildReplica: instead of re-pointing the fresh net at in-memory shared
+// weights — useless when the weights themselves are the casualty — it builds
+// a fully private net and restores its parameters from the last good
+// on-disk snapshot. The returned net shares nothing with the running fleet,
+// so it is also the seed for rebuilding a replica set from scratch
+// (Replicas around it, or nn.ShareParams against its params).
+func RebuildReplicaFromCheckpoint(path string, w Workload, kind ConfigKind, opts Options) (Net, error) {
+	net, err := Build(w, kind, opts)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: rebuild from checkpoint: %w", err)
+	}
+	if err := nn.ReadCheckpoint(path, net.Params()); err != nil {
+		return nil, fmt.Errorf("pipeline: rebuild from checkpoint: %w", err)
+	}
+	return net, nil
+}

@@ -33,15 +33,14 @@ func (e *Engine) runProtected(w *worker, r *request, batchSize, tier int) (panic
 }
 
 // failRequest delivers a failure for a request that has not yet received a
-// result. The done guard makes it safe to call from recover paths: if the
-// panic fired after finish delivered (e.g. inside a deferred hook), a second
-// send would wedge the cap-1 reply channel forever.
+// result. The deliver CAS makes it safe to call from recover paths and
+// concurrently with the stall watchdog: whoever claims the request first
+// wins, so the cap-1 reply channel can never wedge on a second send.
 func (e *Engine) failRequest(w *worker, r *request, batchSize, tier int, err error) {
-	if r == nil || r.done {
+	if r == nil {
 		return
 	}
-	r.done = true
-	r.reply <- Result{Err: err, Worker: w.id, BatchSize: batchSize, Tier: tier, Wait: time.Since(r.enq), Total: time.Since(r.enq)}
+	r.deliver(Result{Err: err, Worker: w.id, BatchSize: batchSize, Tier: tier, Wait: time.Since(r.enq), Total: time.Since(r.enq)})
 }
 
 // notePanic records the most recent panic's worker, value and stack for
@@ -74,22 +73,16 @@ func (e *Engine) quarantine(w *worker, tier int) {
 }
 
 // trip parks the worker for the circuit-breaker backoff: PanicTrip
-// consecutive panics mean the failure is not frame-local (poisoned weights,
-// a deterministic bug, injected chaos), and hammering the replica with
-// fresh requests at full rate just burns rebuilds. The park doubles per
-// consecutive trip (BackoffBase up to BackoffMax) and is interrupted
-// immediately by Close so a draining engine never waits out a backoff.
+// consecutive failures mean the problem is not frame-local (poisoned
+// weights, a deterministic bug, injected chaos), and hammering the replica
+// with fresh requests at full rate just burns rebuilds. The park doubles
+// per consecutive trip (BackoffBase up to BackoffMax) with seeded jitter —
+// see breakerBackoff — and is interrupted immediately by Close so a
+// draining engine never waits out a backoff.
 func (e *Engine) trip(w *worker) {
 	e.trips.Add(1)
-	shift := w.trips
-	if shift > 20 {
-		shift = 20
-	}
-	d := e.cfg.BackoffBase << shift
-	if d <= 0 || d > e.cfg.BackoffMax {
-		d = e.cfg.BackoffMax
-	}
-	w.trips++
+	d := breakerBackoff(e.cfg.BackoffBase, e.cfg.BackoffMax, int(w.trips.Load()), e.cfg.BackoffJitterSeed, w.id)
+	w.trips.Add(1)
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
@@ -98,20 +91,54 @@ func (e *Engine) trip(w *worker) {
 	}
 }
 
-// maxRespawns bounds lastResort's worker resurrection: a goroutine that
-// re-dies this many times has a failure the recover wrappers cannot contain,
-// and respawning it forever would spin.
+// breakerBackoff is the park duration for a worker's trip-th consecutive
+// breaker trip: base<<trip capped at max, then deterministically jittered
+// into [d/2, d) by a SplitMix64 hash of (seed, worker, trip). Pure doubling
+// would release every worker tripped by one fault storm at the same
+// instant — a synchronized re-probe herd that re-trips in lockstep; the
+// jitter decorrelates the herd while a fixed seed keeps the exact schedule
+// reproducible in tests.
+func breakerBackoff(base, max time.Duration, trip int, seed uint64, worker int) time.Duration {
+	shift := trip
+	if shift > 20 {
+		shift = 20
+	}
+	d := base << shift
+	if d <= 0 || d > max {
+		d = max
+	}
+	h := mix64(seed ^ uint64(worker+1)*0x9e3779b97f4a7c15 ^ uint64(trip+1)*0xda942042e4dd58b5)
+	half := d / 2
+	return half + time.Duration(float64(h>>11)/(1<<53)*float64(half))
+}
+
+// maxRespawns bounds worker resurrection (lastResort and the stall
+// watchdog alike): a slot lineage that re-dies this many times in a row —
+// the streak resets on any clean frame — has a failure the recover
+// wrappers cannot contain, and respawning it forever would spin.
 const maxRespawns = 8
 
 // lastResort is the outermost guard on a worker goroutine: runProtected
-// contains per-frame panics, so anything arriving here escaped the engine's
-// own machinery (a panic in coalesce, the batcher, or the resilience code
-// itself). It fails the batch in flight, then respawns the worker goroutine
-// so the pool keeps its capacity — bounded by maxRespawns to avoid a
-// crash-loop. Deliberately minimal: no rebuild, no breaker, just "do not
-// take the process down and do not lose requests".
+// contains per-frame panics, so any panic arriving here escaped the
+// engine's own machinery (a panic in coalesce, the batcher, or the
+// resilience code itself). It fails the batch in flight, then respawns the
+// pool slot with a fresh worker incarnation so the pool keeps its capacity
+// — bounded by maxRespawns to avoid a crash-loop. Deliberately minimal: no
+// rebuild, no breaker, just "do not take the process down and do not lose
+// requests".
+//
+// It is also every incarnation's exit path: the deposed CAS decides who
+// balances the goroutine's wg slot. If the stall watchdog already claimed
+// (deposed) this incarnation, it also ran wg.Done on its behalf — Close
+// must never wait on a wedged goroutine — and respawned the slot, so a
+// late-unsticking zombie must do nothing here, especially not respawn a
+// second worker into the slot.
 func (e *Engine) lastResort(w *worker) {
 	v := recover()
+	if !w.deposed.CompareAndSwap(false, true) {
+		return // deposed by the watchdog: slot already released + respawned
+	}
+	defer e.wg.Done()
 	if v == nil {
 		return
 	}
@@ -124,12 +151,20 @@ func (e *Engine) lastResort(w *worker) {
 			w.batch[i] = nil
 		}
 	}
-	if w.respawns >= maxRespawns {
+	if int(w.respawns.Load()) >= maxRespawns {
+		e.slots[w.id].CompareAndSwap(w, nil) // retire the slot for the watchdog
 		return
 	}
-	w.respawns++
+	// Fresh incarnation: same replicas (no rebuild here), fresh
+	// deposed/heartbeat state, breaker streak carried over.
+	nw := &worker{id: w.id, nets: w.nets, trace: w.trace, batch: make([]*request, 0, e.cfg.MaxBatch)}
+	nw.consec.Store(w.consec.Load())
+	nw.trips.Store(w.trips.Load())
+	nw.respawns.Store(w.respawns.Load() + 1)
+	e.respawns.Add(1)
+	e.slots[w.id].Store(nw)
 	e.wg.Add(1)
-	go e.workerLoop(w)
+	go e.workerLoop(nw)
 }
 
 // currentTier loads the ladder position, clamped to the configured rungs.

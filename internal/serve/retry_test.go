@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/edgesim"
+	"repro/internal/faultinject"
+	"repro/internal/pipeline"
+)
+
+// newMixedFleet builds one single-worker engine per config (ungated stubs)
+// and a router over them — for survivability tests where engines must fail
+// differently (one panicking replica, healthy successors).
+func newMixedFleet(t *testing.T, cfgs []Config, rcfg RouterConfig) *Router {
+	t.Helper()
+	engines := make([]*Engine, len(cfgs))
+	for i, c := range cfgs {
+		e, err := New([]pipeline.Net{&stubNet{}}, nil, edgesim.Config{}, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = e
+	}
+	rt, err := NewRouter(engines, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	return rt
+}
+
+// TestRetryReRoutesPanicToNextCandidate pins a stream to an engine whose
+// every frame panics and asserts the retry policy re-routes the re-attempt
+// to the ring successor instead of hammering the failed owner: the request
+// completes, counted once, with exactly one retry.
+func TestRetryReRoutesPanicToNextCandidate(t *testing.T) {
+	rt := newMixedFleet(t,
+		[]Config{
+			{MaxBatch: 1, PanicTrip: 100, Faults: &faultinject.Plan{Seed: 3, PanicFrac: 1}},
+			{MaxBatch: 1},
+		},
+		RouterConfig{
+			Spill: -1, // isolate retry re-routing from spillover
+			Retry: &RetryPolicy{Max: 2, BackoffBase: 200 * time.Microsecond, BackoffMax: time.Millisecond},
+		})
+	stream := pinStream(t, rt, 0)
+	res, err := rt.Submit(context.Background(), FleetRequest{
+		Request: Request{Cloud: testCloud()}, Tenant: "t", Stream: stream,
+	})
+	if err != nil {
+		t.Fatalf("retried frame: %v", err)
+	}
+	if res.Output == nil {
+		t.Fatal("retried frame: no output")
+	}
+	s := rt.Stats()
+	conserve(t, s)
+	if s.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", s.Retries)
+	}
+	if s.Completed != 1 || s.Failed != 0 {
+		t.Fatalf("completed/failed = %d/%d, want 1/0", s.Completed, s.Failed)
+	}
+	if s.EngineStats[1].Completed != 1 {
+		t.Fatal("re-attempt did not land on the ring successor")
+	}
+}
+
+// TestRetryRespectsDeadlineBudget gives a hopeless request (every engine
+// attempt panics) a 30ms budget against 20ms-doubling backoffs: the policy
+// must stop retrying the moment the next backoff would cross the remaining
+// budget, returning the transient error promptly instead of burning the
+// full Max=5 schedule.
+func TestRetryRespectsDeadlineBudget(t *testing.T) {
+	rt := newMixedFleet(t,
+		[]Config{{MaxBatch: 1, PanicTrip: 100, Faults: &faultinject.Plan{Seed: 3, PanicFrac: 1}}},
+		RouterConfig{Retry: &RetryPolicy{Max: 5, BackoffBase: 20 * time.Millisecond, BackoffMax: 40 * time.Millisecond}})
+	start := time.Now()
+	_, err := rt.Submit(context.Background(), FleetRequest{
+		Request: Request{Cloud: testCloud(), Timeout: 30 * time.Millisecond}, Tenant: "t",
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want the transient ErrPanic the budget cut off", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("submit took %v; retries ran past the 30ms budget", elapsed)
+	}
+	s := rt.Stats()
+	conserve(t, s)
+	if s.Retries < 1 || s.Retries >= 5 {
+		t.Fatalf("Retries = %d, want in [1, 5): some retries within budget, never the full schedule", s.Retries)
+	}
+	if s.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", s.Failed)
+	}
+}
+
+// TestRetryNeverRetriesTerminalErrors: invalid input is the frame's fault —
+// no engine will ever accept it, so the retry policy must not spend budget
+// on it.
+func TestRetryNeverRetriesTerminalErrors(t *testing.T) {
+	rt := newMixedFleet(t, []Config{{MaxBatch: 1}},
+		RouterConfig{Retry: &RetryPolicy{Max: 3, BackoffBase: time.Millisecond}})
+	_, err := rt.Submit(context.Background(), FleetRequest{Tenant: "t"}) // nil cloud
+	if !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("err = %v, want ErrInvalidInput", err)
+	}
+	s := rt.Stats()
+	conserve(t, s)
+	if s.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0 (terminal error retried)", s.Retries)
+	}
+}
+
+// TestHedgeWinsOnWedgedOwner wedges a stream's owner (gated forward, no
+// watchdog) and asserts the hedge saves the request: after the hedge delay
+// the duplicate lands on the ring successor, its result wins, the wedged
+// primary is cancelled, and the request counts completed exactly once.
+func TestHedgeWinsOnWedgedOwner(t *testing.T) {
+	rt, gates := newStubFleet(t, 2, true, Config{MaxBatch: 1},
+		RouterConfig{Spill: -1, Hedge: &HedgePolicy{Delay: 2 * time.Millisecond, MaxFraction: 1}})
+	stream := pinStream(t, rt, 0)
+	close(gates[1]) // successor serves instantly; owner stays wedged
+	res, err := rt.Submit(context.Background(), FleetRequest{
+		Request: Request{Cloud: testCloud()}, Tenant: "t", Stream: stream,
+	})
+	if err != nil {
+		t.Fatalf("hedged frame: %v", err)
+	}
+	if res.Output == nil {
+		t.Fatal("hedged frame: no output")
+	}
+	s := rt.Stats()
+	conserve(t, s)
+	if s.Hedges != 1 || s.HedgeWins != 1 {
+		t.Fatalf("hedges/wins = %d/%d, want 1/1", s.Hedges, s.HedgeWins)
+	}
+	if s.Completed != 1 {
+		t.Fatalf("Completed = %d, want exactly 1 (no double-complete)", s.Completed)
+	}
+	if s.EngineStats[1].Completed != 1 {
+		t.Fatal("hedge did not land on the ring successor")
+	}
+}
+
+// TestHedgeBudgetAndShedDisengage pins canHedge's two gates: the
+// MaxFraction budget over offered traffic, and the hard disengage while the
+// fleet shed controller is at any non-zero level.
+func TestHedgeBudgetAndShedDisengage(t *testing.T) {
+	rt, _ := newStubFleet(t, 2, false, Config{},
+		RouterConfig{Hedge: &HedgePolicy{Delay: time.Millisecond}}) // MaxFraction defaults to 0.05
+	rt.offered.Add(10) // budget 0.05*10 = 0.5 < 1: first hedge denied
+	if rt.canHedge() {
+		t.Fatal("hedge allowed past MaxFraction budget")
+	}
+	rt.offered.Add(10) // budget 0.05*20 = 1.0: first hedge allowed
+	if !rt.canHedge() {
+		t.Fatal("hedge denied within MaxFraction budget")
+	}
+	rt.shed.Observe(1.0) // crosses the high watermark: shed level 1
+	if rt.shed.Level() == 0 {
+		t.Fatal("shed controller did not engage")
+	}
+	if rt.canHedge() {
+		t.Fatal("hedge allowed while the shed controller is engaged")
+	}
+}
+
+// TestRouterSurvivabilityConcurrentConservation is the satellite accounting
+// test: concurrent tenants over a panicking fleet with retries and hedging
+// both live. Every offered request must terminate in exactly one class —
+// the conservation law plus the hedge bound, checked by
+// RouterStats.Conservation — and the caller-observed outcome tallies must
+// equal the router's own counters.
+func TestRouterSurvivabilityConcurrentConservation(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 25
+	)
+	cfg := Config{MaxBatch: 1, QueueDepth: 64, PanicTrip: 1000,
+		Faults: &faultinject.Plan{Seed: 5, PanicFrac: 0.08}}
+	rt := newMixedFleet(t, []Config{cfg, cfg, cfg}, RouterConfig{
+		Retry: &RetryPolicy{Max: 2, BackoffBase: 200 * time.Microsecond, BackoffMax: 2 * time.Millisecond},
+		Hedge: &HedgePolicy{Delay: time.Millisecond, MaxFraction: 0.2},
+	})
+	var ok, failed atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cloud := testCloud()
+			for i := 0; i < perG; i++ {
+				_, err := rt.Submit(context.Background(), FleetRequest{
+					Request: Request{Cloud: cloud, Timeout: 2 * time.Second},
+					Tenant:  fmt.Sprintf("tenant-%d", g),
+					Stream:  fmt.Sprintf("stream-%d-%d", g, i%5),
+				})
+				if err == nil {
+					ok.Add(1)
+				} else {
+					failed.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := rt.Stats()
+	conserve(t, s)
+	if s.Offered != goroutines*perG {
+		t.Fatalf("Offered = %d, want %d", s.Offered, goroutines*perG)
+	}
+	if s.Completed != ok.Load() {
+		t.Fatalf("Completed = %d, caller saw %d successes", s.Completed, ok.Load())
+	}
+	if terminal := s.Failed + s.ShedThrottled + s.ShedOverload + s.ShedQueueFull; terminal != failed.Load() {
+		t.Fatalf("error classes sum to %d, caller saw %d failures", terminal, failed.Load())
+	}
+}

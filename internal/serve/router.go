@@ -15,12 +15,17 @@ import (
 // across N engines with a consistent-hash ring, runs per-tenant QoS and
 // fleet-wide priority shedding *before* any engine queue is touched, spills
 // a frame to the next engines on the ring when its owner's queue is full,
-// and quarantines an engine whose frames keep panicking so traffic re-routes
-// around it. Every Submit terminates in exactly one accounting class, so
+// and quarantines an engine whose frames keep panicking (or stalling) so
+// traffic re-routes around it. With a RetryPolicy/HedgePolicy (retry.go) the
+// router also re-routes transient failures and hedges tail latency — both
+// multiply *attempts*, not offers, so every Submit still terminates in
+// exactly one accounting class and
 //
 //	Offered = Completed + Failed + ShedThrottled + ShedOverload + ShedQueueFull
 //
-// holds at all times — the conservation law the chaos tests assert.
+// holds at all times — the conservation law the chaos tests assert (see
+// RouterStats.Conservation). Retries/Hedges/HedgeWins ride alongside as
+// attempt counters, with HedgeWins <= Hedges as the secondary invariant.
 
 // RouterConfig tunes the fleet layer. The zero value selects defaults.
 type RouterConfig struct {
@@ -42,6 +47,13 @@ type RouterConfig struct {
 	// Cooloff is how long a quarantined engine is skipped by routing before
 	// it is probed again. Default 2s.
 	Cooloff time.Duration
+	// Retry, when non-nil, re-routes transient failures (panicked, stalled
+	// or queue-full attempts) to further ring candidates under the request's
+	// deadline budget. Nil — the default — keeps Submit single-attempt.
+	Retry *RetryPolicy
+	// Hedge, when non-nil, duplicates slow in-flight requests on the next
+	// candidate after HedgePolicy.Delay. Nil disables hedging.
+	Hedge *HedgePolicy
 	// TenantWindowSize is the per-tenant latency window capacity
 	// (metrics.DefaultLatencyWindow when zero) and TenantCardinality bounds
 	// how many tenants get private windows/counters before overflow
@@ -95,6 +107,9 @@ type Router struct {
 	qos     *QoS
 	shed    *ShedController
 	now     Clock
+	retry   *RetryPolicy // normalized private copy; nil when disabled
+	hedge   *HedgePolicy // normalized private copy; nil when disabled
+	seq     atomic.Uint64
 
 	consecFail []atomic.Int32 // per-engine consecutive panic failures
 	downUntil  []atomic.Int64 // per-engine quarantine deadline (unix ns)
@@ -108,6 +123,10 @@ type Router struct {
 	spills        atomic.Uint64
 	quarantines   atomic.Uint64
 	failOpen      atomic.Uint64
+	retries       atomic.Uint64
+	hedges        atomic.Uint64
+	hedgeWins     atomic.Uint64
+	stalls        atomic.Uint64
 
 	latency *metrics.LatencyWindow
 	tenants *metrics.TenantWindows
@@ -151,6 +170,16 @@ func NewRouter(engines []*Engine, cfg RouterConfig) (*Router, error) {
 		downUntil:  make([]atomic.Int64, len(engines)),
 		latency:    metrics.NewLatencyWindow(cfg.TenantWindowSize),
 		tenants:    metrics.NewTenantWindows(cfg.TenantWindowSize, cfg.TenantCardinality),
+	}
+	if cfg.Retry != nil {
+		p := *cfg.Retry
+		p.normalize()
+		rt.retry = &p
+	}
+	if cfg.Hedge != nil {
+		p := *cfg.Hedge
+		p.normalize()
+		rt.hedge = &p
 	}
 	rt.bufPool.New = func() any {
 		b := make([]int, 0, len(engines))
@@ -224,11 +253,36 @@ func (rt *Router) Submit(ctx context.Context, req FleetRequest) (Result, error) 
 	if key == "" {
 		key = req.Tenant
 	}
+	want := 1 + rt.cfg.Spill
+	if rt.retry != nil {
+		want += rt.retry.Max // each re-attempt rotates one candidate further
+	}
+	if rt.hedge != nil {
+		want++ // the hedge starts one past its attempt's primary
+	}
 	bufp := rt.bufPool.Get().(*[]int)
-	cand := rt.ring.Candidates(key, 1+rt.cfg.Spill, *bufp)
-	res, err := rt.trySubmit(ctx, cand, req)
-	*bufp = cand[:0]
-	rt.bufPool.Put(bufp)
+	cand := rt.ring.Candidates(key, want, *bufp)
+	var res Result
+	var err error
+	if rt.retry == nil && rt.hedge == nil {
+		// Fast path: single attempt, pooled buffer, zero extra allocations.
+		res, err = rt.trySubmitFrom(ctx, cand, 0, len(cand), req)
+		*bufp = cand[:0]
+		rt.bufPool.Put(bufp)
+	} else if rt.hedge == nil {
+		// Retries are synchronous, so the pooled buffer stays ours.
+		res, err = rt.submitSurvivable(ctx, cand, req, rt.seq.Add(1))
+		*bufp = cand[:0]
+		rt.bufPool.Put(bufp)
+	} else {
+		// A hedged loser can outlive Submit (it is cancelled, not joined), so
+		// it must not share the pooled buffer with a future submission.
+		own := make([]int, len(cand))
+		copy(own, cand)
+		*bufp = cand[:0]
+		rt.bufPool.Put(bufp)
+		res, err = rt.submitSurvivable(ctx, own, req, rt.seq.Add(1))
+	}
 	switch {
 	case err == nil:
 		rt.completed.Add(1)
@@ -245,17 +299,25 @@ func (rt *Router) Submit(ctx context.Context, req FleetRequest) (Result, error) 
 	return res, err
 }
 
-// trySubmit walks the candidate engines: quarantined engines are skipped
-// (unless every candidate is quarantined, in which case the router fails
-// open and uses the owner anyway — a fully-down fleet should surface engine
+// trySubmitFrom walks span candidate engines starting at ring position
+// start (wrapping): quarantined engines are skipped (unless every walked
+// candidate is quarantined, in which case the router fails open and uses
+// the walk's first engine anyway — a fully-down fleet should surface engine
 // errors, not mask them as sheds), and a full queue spills to the next
 // candidate. The first engine that admits the frame decides the outcome.
-func (rt *Router) trySubmit(ctx context.Context, cand []int, req FleetRequest) (Result, error) {
+// The default path walks from 0 over the whole candidate set; retry
+// attempts rotate start so a re-attempt lands on fresh engines first.
+func (rt *Router) trySubmitFrom(ctx context.Context, cand []int, start, span int, req FleetRequest) (Result, error) {
 	now := rt.now().UnixNano()
 	var res Result
 	err := error(ErrQueueFull)
 	tried := 0
-	for i, id := range cand {
+	if span > len(cand) {
+		span = len(cand)
+	}
+	first := cand[start%len(cand)]
+	for i := 0; i < span; i++ {
+		id := cand[(start+i)%len(cand)]
 		if rt.downUntil[id].Load() > now {
 			continue
 		}
@@ -273,22 +335,27 @@ func (rt *Router) trySubmit(ctx context.Context, cand []int, req FleetRequest) (
 	if tried > 0 {
 		return res, err
 	}
-	// Whole candidate set quarantined: fail open through the key's owner so
-	// a fully-down fleet surfaces engine errors instead of masking them.
+	// Whole candidate set quarantined: fail open through the walk's first
+	// engine so a fully-down fleet surfaces engine errors instead of
+	// masking them.
 	rt.failOpen.Add(1)
-	res, err = rt.engines[cand[0]].Submit(ctx, req.Request)
+	res, err = rt.engines[first].Submit(ctx, req.Request)
 	if !errors.Is(err, ErrQueueFull) {
-		rt.noteOutcome(cand[0], err)
+		rt.noteOutcome(first, err)
 	}
 	return res, err
 }
 
 // noteOutcome updates an engine's health from one terminal result: a panic
-// failure counts toward quarantine, anything else (success, deadline,
-// invalid input, ctx cancellation) resets the streak — those are the
-// frame's or caller's fault, not the engine's.
+// or stall failure counts toward quarantine (both say "this engine is
+// sick"), anything else (success, deadline, invalid input, ctx
+// cancellation) resets the streak — those are the frame's or caller's
+// fault, not the engine's.
 func (rt *Router) noteOutcome(id int, err error) {
-	if err == nil || !errors.Is(err, ErrPanic) {
+	if err != nil && errors.Is(err, ErrStalled) {
+		rt.stalls.Add(1)
+	}
+	if err == nil || (!errors.Is(err, ErrPanic) && !errors.Is(err, ErrStalled)) {
 		rt.consecFail[id].Store(0)
 		return
 	}
@@ -332,6 +399,10 @@ type RouterStats struct {
 	Spills        uint64 // submissions routed past the key's owner
 	Quarantines   uint64 // engine quarantine events
 	FailOpen      uint64 // submissions with the whole candidate set down
+	Retries       uint64 // re-attempts launched by the retry policy
+	Hedges        uint64 // hedge attempts launched
+	HedgeWins     uint64 // requests whose hedge finished first
+	Stalls        uint64 // terminal attempts that failed with ErrStalled
 
 	Shed        ShedStats
 	QoS         QoSStats
@@ -341,6 +412,23 @@ type RouterStats struct {
 	Tenants map[string]metrics.TenantSnapshot // per-tenant windows + counters
 
 	EngineStats []Stats // per-engine counters
+}
+
+// Conservation checks the router's accounting invariants on a quiescent
+// snapshot (no Submit in flight): every offered request terminated in
+// exactly one class, and the hedge counters are internally consistent.
+// Retries and hedges are attempt counters — they multiply work, never
+// offers — so they appear only in the secondary bounds.
+func (s RouterStats) Conservation() error {
+	terminal := s.Completed + s.Failed + s.ShedThrottled + s.ShedOverload + s.ShedQueueFull
+	if s.Offered != terminal {
+		return fmt.Errorf("serve: conservation violated: offered %d != completed %d + failed %d + shed %d/%d/%d = %d",
+			s.Offered, s.Completed, s.Failed, s.ShedThrottled, s.ShedOverload, s.ShedQueueFull, terminal)
+	}
+	if s.HedgeWins > s.Hedges {
+		return fmt.Errorf("serve: conservation violated: hedge wins %d > hedges launched %d", s.HedgeWins, s.Hedges)
+	}
+	return nil
 }
 
 // Stats snapshots the router and every engine.
@@ -356,6 +444,10 @@ func (rt *Router) Stats() RouterStats {
 		Spills:        rt.spills.Load(),
 		Quarantines:   rt.quarantines.Load(),
 		FailOpen:      rt.failOpen.Load(),
+		Retries:       rt.retries.Load(),
+		Hedges:        rt.hedges.Load(),
+		HedgeWins:     rt.hedgeWins.Load(),
+		Stalls:        rt.stalls.Load(),
 		Shed:          rt.shed.Stats(),
 		Latency:       rt.latency.Snapshot(),
 		Tenants:       rt.tenants.Snapshot(),

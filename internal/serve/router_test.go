@@ -60,9 +60,8 @@ func newStubFleet(t *testing.T, n int, gated bool, cfg Config, rcfg RouterConfig
 // conserve asserts the router's accounting conservation law.
 func conserve(t *testing.T, s RouterStats) {
 	t.Helper()
-	if s.Offered != s.Completed+s.Failed+s.ShedThrottled+s.ShedOverload+s.ShedQueueFull {
-		t.Fatalf("accounting violated: offered %d != completed %d + failed %d + shed %d/%d/%d",
-			s.Offered, s.Completed, s.Failed, s.ShedThrottled, s.ShedOverload, s.ShedQueueFull)
+	if err := s.Conservation(); err != nil {
+		t.Fatal(err)
 	}
 }
 

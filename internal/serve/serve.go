@@ -31,6 +31,11 @@
 //     worker's replica is quarantined and rebuilt via Config.Rebuild, and
 //     repeated panics trip a per-worker circuit breaker with exponential
 //     backoff — see resilience.go.
+//   - A stall watchdog: every worker stamps an atomic frame-start heartbeat;
+//     a watchdog goroutine detects a worker wedged past Config.StallTimeout,
+//     fails its in-flight batch with ErrStalled (exactly-once delivery via a
+//     per-request CAS), counts the stall toward the circuit breaker, and
+//     respawns the pool slot with rebuilt replicas — see watchdog.go.
 //   - A degradation ladder: when queue depth crosses the high watermark the
 //     engine steps down to cheaper approximation tiers (Config.Degrade,
 //     built from pipeline.DegradeTiers) instead of rejecting, and steps back
@@ -125,9 +130,22 @@ type Config struct {
 	// its circuit breaker. Default 3.
 	PanicTrip int
 	// BackoffBase is the first breaker park duration; it doubles on every
-	// consecutive trip up to BackoffMax. Defaults 100ms / 5s.
+	// consecutive trip up to BackoffMax, with seeded jitter spreading each
+	// park across the upper half of its doubled value so workers tripped by
+	// the same fault storm do not re-probe in lockstep. Defaults 100ms / 5s.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// BackoffJitterSeed seeds the deterministic breaker-backoff jitter;
+	// fixed seeds reproduce exact park schedules. Default 1.
+	BackoffJitterSeed uint64
+	// StallTimeout arms the stall watchdog: a worker whose frame-start
+	// heartbeat is older than this is declared wedged — its in-flight batch
+	// fails with ErrStalled, the stall counts toward the worker's circuit
+	// breaker, and the pool slot is respawned with replicas rebuilt through
+	// Rebuild (without a Rebuild hook the batch still fails but the wedged
+	// worker keeps its slot, since its replica cannot be replaced). Zero —
+	// the default — disables the watchdog. See watchdog.go.
+	StallTimeout time.Duration
 	// Rebuild, when set, is called after a replica panics to build its
 	// replacement (pipeline.RebuildReplica shares weights with the old set).
 	// worker is the pool slot, tier the ladder rung that panicked. A nil
@@ -178,6 +196,12 @@ func (c *Config) defaults(workers int) {
 			c.BackoffMax = c.BackoffBase
 		}
 	}
+	if c.BackoffJitterSeed == 0 {
+		c.BackoffJitterSeed = 1
+	}
+	if c.StallTimeout < 0 {
+		c.StallTimeout = 0
+	}
 }
 
 // Request is one frame submitted for inference.
@@ -227,22 +251,51 @@ type request struct {
 	deadline time.Time // zero: no deadline
 	enq      time.Time
 	reply    chan Result // buffered (cap 1): workers never block on delivery
-	done     bool        // result delivered; owned by the serving worker
+	done     atomic.Bool // result delivered; CAS-claimed (see deliver)
 }
 
-// worker is one pool slot: a private net replica per ladder tier (shared
-// weights, private workspace and caches), a reusable trace, and a reusable
-// batch slice. consec/trips/respawns are the circuit-breaker state, touched
-// only by the worker's own goroutine.
+// deliver claims the request and sends res, reporting whether this caller
+// won the claim. Exactly one deliverer ever wins — the serving worker, the
+// stall watchdog, or a recover path — which is what keeps the cap-1 reply
+// channel from wedging and guarantees no request is double-completed when a
+// watchdog fails a batch a zombie worker later finishes.
+//
+//edgepc:hotpath
+func (r *request) deliver(res Result) bool {
+	if r == nil || !r.done.CompareAndSwap(false, true) {
+		return false
+	}
+	r.reply <- res
+	return true
+}
+
+// worker is one goroutine incarnation of a pool slot: a private net replica
+// per ladder tier (shared weights, private workspace and caches), a
+// reusable trace, and a reusable batch slice. A respawn — lastResort after
+// an escaped panic, or the stall watchdog deposing a wedged incarnation —
+// builds a fresh worker for the slot, so deposed/beat/live state is never
+// shared between the dying goroutine and its replacement.
 type worker struct {
-	id       int
-	nets     []pipeline.Net // nets[tier]; index 0 is the full-fidelity replica
-	trace    model.Trace
-	batch    []*request
-	carry    *request // dequeued frame with a mismatched key, runs next batch
-	consec   int      // consecutive panicked frames
-	trips    int      // consecutive breaker trips (backoff exponent)
-	respawns int      // lastResort restarts of this worker's goroutine
+	id    int
+	nets  []pipeline.Net // nets[tier]; index 0 is the full-fidelity replica
+	trace model.Trace
+	batch []*request
+	carry *request // dequeued frame with a mismatched key, runs next batch
+
+	// Circuit-breaker state. Written only by the owning goroutine (and the
+	// constructor of a replacement incarnation); atomic because the stall
+	// watchdog reads them to carry the streak across a depose-respawn.
+	consec   atomic.Int32 // consecutive failed (panicked or stalled) frames
+	trips    atomic.Int32 // consecutive breaker trips (backoff exponent)
+	respawns atomic.Int32 // consecutive respawns of this slot's lineage
+
+	pendingTrip bool // replacement must serve a breaker park before batch 1
+
+	beat    atomic.Int64 // frame-start heartbeat (unix ns); 0 while idle
+	deposed atomic.Bool  // incarnation claimed (watchdog or own exit); claimant runs wg.Done
+	stalled atomic.Bool  // watchdog already failed the current batch in place
+	liveMu  sync.Mutex   // guards live
+	live    []*request   // in-flight batch published for the watchdog
 }
 
 // Engine is the concurrent batched inference engine. Create with New; all
@@ -283,6 +336,10 @@ type Engine struct {
 	panics      atomic.Uint64
 	quarantines atomic.Uint64
 	trips       atomic.Uint64
+	stalls      atomic.Uint64 // frames failed with ErrStalled by the watchdog
+	respawns    atomic.Uint64 // worker respawns (lastResort + watchdog deposals)
+
+	slots []atomic.Pointer[worker] // current incarnation per pool slot
 
 	panicMu   sync.Mutex
 	lastPanic string
@@ -337,6 +394,7 @@ func New(nets []pipeline.Net, dev *edgesim.Device, sim edgesim.Config, cfg Confi
 		e.highN = 1
 	}
 	e.lowN = int(cfg.LowWatermark * float64(cfg.QueueDepth))
+	e.slots = make([]atomic.Pointer[worker], len(nets))
 	for i, n := range nets {
 		tiers := make([]pipeline.Net, 1, e.numTiers)
 		tiers[0] = n
@@ -344,8 +402,13 @@ func New(nets []pipeline.Net, dev *edgesim.Device, sim edgesim.Config, cfg Confi
 			tiers = append(tiers, t.Nets[i])
 		}
 		w := &worker{id: i, nets: tiers, batch: make([]*request, 0, cfg.MaxBatch)}
+		e.slots[i].Store(w)
 		e.wg.Add(1)
 		go e.workerLoop(w)
+	}
+	if cfg.StallTimeout > 0 {
+		e.wg.Add(1)
+		go e.watchdog()
 	}
 	return e, nil
 }
@@ -450,9 +513,21 @@ func (e *Engine) Submit(ctx context.Context, req Request) (Result, error) {
 //
 //edgepc:goroutines-must-recover
 func (e *Engine) workerLoop(w *worker) {
-	defer e.wg.Done()
-	defer e.lastResort(w)
+	defer e.lastResort(w) // recovers; also balances the incarnation's wg slot
+	if w.pendingTrip {
+		// This incarnation replaced one whose failure streak crossed
+		// PanicTrip (stall deposals count like panics): serve the breaker
+		// park before touching the queue.
+		w.pendingTrip = false
+		e.trip(w)
+	}
 	for {
+		if w.deposed.Load() {
+			// The watchdog declared this incarnation wedged, failed its
+			// batch and respawned the slot. If we got here the stall
+			// resolved late — bow out without touching the queue.
+			return
+		}
 		first := w.carry
 		w.carry = nil
 		if first == nil {
@@ -530,25 +605,46 @@ func (e *Engine) runBatch(w *worker) {
 	e.batches.Add(1)
 	e.frames.Add(uint64(n))
 	tier := e.currentTier()
+	// Publish the in-flight batch and start the heartbeat so the stall
+	// watchdog can see (and fail) exactly these requests if we wedge. The
+	// publish copies into a private slice under liveMu: the worker keeps
+	// mutating w.batch lock-free on the hot path.
+	w.stalled.Store(false)
+	w.liveMu.Lock()
+	w.live = append(w.live[:0], w.batch...)
+	w.liveMu.Unlock()
+	w.beat.Store(time.Now().UnixNano())
 	if e.faults != nil {
 		if d := e.faults.Frame(w.batch[0].seq); d.Op == faultinject.OpStall {
 			time.Sleep(d.Sleep)
 		}
 	}
 	for i, r := range w.batch {
+		if w.deposed.Load() {
+			// The watchdog already failed every published request and
+			// respawned the slot; running the rest of the batch would be
+			// wasted compute on a zombie.
+			break
+		}
 		if e.runProtected(w, r, n, tier) {
 			e.quarantine(w, tier)
-			w.consec++
-			if w.consec >= e.cfg.PanicTrip {
-				w.consec = 0
+			if w.consec.Add(1) >= int32(e.cfg.PanicTrip) {
+				w.consec.Store(0)
+				w.beat.Store(0) // a breaker park is not a stall
 				e.trip(w)
+				w.beat.Store(time.Now().UnixNano())
 			}
 		} else {
-			w.consec = 0
-			w.trips = 0
+			w.consec.Store(0)
+			w.trips.Store(0)
+			w.respawns.Store(0)
 		}
 		w.batch[i] = nil // release the request for GC; the slice is reused
 	}
+	w.beat.Store(0)
+	w.liveMu.Lock()
+	w.live = w.live[:0]
+	w.liveMu.Unlock()
 	e.observeLoad()
 }
 
@@ -561,16 +657,17 @@ func (e *Engine) runBatch(w *worker) {
 //edgepc:hotpath
 func (e *Engine) runFrame(w *worker, r *request, batchSize, tier int) {
 	now := time.Now()
+	w.beat.Store(now.UnixNano()) // frame-start heartbeat for the watchdog
 	if r.ctx.Err() != nil {
 		// Submitter is gone (counted in canceled at Submit); deliver into
 		// the buffered channel for the record and move on.
-		r.done = true
-		r.reply <- Result{Err: r.ctx.Err(), Worker: w.id, BatchSize: batchSize, Tier: tier}
+		r.deliver(Result{Err: r.ctx.Err(), Worker: w.id, BatchSize: batchSize, Tier: tier})
 		return
 	}
 	if !r.deadline.IsZero() && now.After(r.deadline) {
-		e.timedOut.Add(1)
-		e.finish(r, Result{Err: ErrDeadline, Worker: w.id, BatchSize: batchSize, Tier: tier, Wait: now.Sub(r.enq)})
+		if e.finish(r, Result{Err: ErrDeadline, Worker: w.id, BatchSize: batchSize, Tier: tier, Wait: now.Sub(r.enq)}) {
+			e.timedOut.Add(1)
+		}
 		return
 	}
 	if e.faults != nil {
@@ -583,24 +680,31 @@ func (e *Engine) runFrame(w *worker, r *request, batchSize, tier int) {
 	}
 	rep, out, err := pipeline.RunInto(w.nets[tier], r.cloud, &w.trace, e.dev, e.sim)
 	if err != nil {
-		e.failed.Add(1)
-		e.finish(r, Result{Err: fmt.Errorf("serve: worker %d: %w", w.id, err), Worker: w.id, BatchSize: batchSize, Tier: tier, Wait: now.Sub(r.enq)})
+		if e.finish(r, Result{Err: fmt.Errorf("serve: worker %d: %w", w.id, err), Worker: w.id, BatchSize: batchSize, Tier: tier, Wait: now.Sub(r.enq)}) {
+			e.failed.Add(1)
+		}
 		return
 	}
-	e.completed.Add(1)
-	e.degraded[tier].Add(1)
-	e.finish(r, Result{Output: out, Report: rep, Worker: w.id, BatchSize: batchSize, Tier: tier, Wait: now.Sub(r.enq)})
+	if e.finish(r, Result{Output: out, Report: rep, Worker: w.id, BatchSize: batchSize, Tier: tier, Wait: now.Sub(r.enq)}) {
+		e.completed.Add(1)
+		e.degraded[tier].Add(1)
+	}
 }
 
-// finish stamps the end-to-end latency, records it, and delivers the result
-// (never blocking: the reply channel is buffered and read at most once).
+// finish stamps the end-to-end latency and delivers the result (never
+// blocking: the reply channel is buffered and read at most once). It
+// reports whether this caller won the delivery — counters must only move
+// for the winner, so a zombie worker finishing a batch the watchdog
+// already failed cannot double-count frames.
 //
 //edgepc:hotpath
-func (e *Engine) finish(r *request, res Result) {
+func (e *Engine) finish(r *request, res Result) bool {
 	res.Total = time.Since(r.enq)
+	if !r.deliver(res) {
+		return false
+	}
 	e.latency.Observe(res.Total)
-	r.done = true
-	r.reply <- res
+	return true
 }
 
 // Close stops admission, wakes any breaker-parked worker, drains every
@@ -640,6 +744,8 @@ type Stats struct {
 	Panics       uint64 // frames failed by a worker panic (ErrPanic)
 	Quarantines  uint64 // replica quarantine events after panics
 	BreakerTrips uint64 // circuit-breaker parks across all workers
+	Stalls       uint64 // frames failed by the stall watchdog (ErrStalled)
+	Respawns     uint64 // worker respawns (escaped panics + stall deposals)
 	LastPanic    string // worker, value and stack of the most recent panic
 
 	Tier      int      // current degradation tier (0 = full fidelity)
@@ -670,6 +776,8 @@ func (e *Engine) Stats() Stats {
 		Panics:       e.panics.Load(),
 		Quarantines:  e.quarantines.Load(),
 		BreakerTrips: e.trips.Load(),
+		Stalls:       e.stalls.Load(),
+		Respawns:     e.respawns.Load(),
 		Tier:         int(e.tier.Load()),
 		StepDowns:    e.stepDowns.Load(),
 		StepUps:      e.stepUps.Load(),

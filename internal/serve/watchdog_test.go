@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/pipeline"
+)
+
+// TestStallWatchdogDetectsAndRespawns wedges the only worker on a gated
+// forward pass and asserts the full recovery contract: the in-flight request
+// fails with ErrStalled within the watchdog's detection window, the slot is
+// respawned through Rebuild, and the next request completes on the
+// replacement while the zombie goroutine stays parked on the gate.
+func TestStallWatchdogDetectsAndRespawns(t *testing.T) {
+	gate := make(chan struct{})
+	t.Cleanup(func() { close(gate) }) // unstick the zombie after Close
+	e := newStubEngine(t, gate, Config{
+		MaxBatch:     1,
+		StallTimeout: 10 * time.Millisecond,
+		Rebuild:      func(worker, tier int) (pipeline.Net, error) { return &stubNet{}, nil },
+	})
+	defer e.Close()
+	cloud := testCloud()
+
+	start := time.Now()
+	_, err := e.Submit(context.Background(), Request{Cloud: cloud})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("wedged frame: err = %v, want ErrStalled", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("stall detection took %v; watchdog not sweeping", waited)
+	}
+
+	// The replacement worker carries the slot: an ungated replica serves.
+	res, err := e.Submit(context.Background(), Request{Cloud: cloud})
+	if err != nil {
+		t.Fatalf("post-respawn frame: %v", err)
+	}
+	if res.Output == nil {
+		t.Fatal("post-respawn frame: no output")
+	}
+
+	s := e.Stats()
+	if s.Stalls != 1 {
+		t.Fatalf("Stalls = %d, want 1", s.Stalls)
+	}
+	if s.Respawns != 1 {
+		t.Fatalf("Respawns = %d, want 1", s.Respawns)
+	}
+	if s.Completed != 1 {
+		t.Fatalf("Completed = %d, want 1 (stalled frame must not double-complete)", s.Completed)
+	}
+}
+
+// TestStallWithoutRebuildFailsBatchInPlace covers the degraded watchdog mode:
+// with no Rebuild hook the wedged replica cannot be replaced, but the
+// in-flight batch must still fail with ErrStalled so callers are never
+// wedged. Once the worker unsticks on its own it keeps serving — no respawn.
+func TestStallWithoutRebuildFailsBatchInPlace(t *testing.T) {
+	gate := make(chan struct{})
+	e := newStubEngine(t, gate, Config{
+		MaxBatch:     1,
+		StallTimeout: 10 * time.Millisecond,
+	})
+	defer e.Close()
+	cloud := testCloud()
+
+	_, err := e.Submit(context.Background(), Request{Cloud: cloud})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("wedged frame: err = %v, want ErrStalled", err)
+	}
+
+	close(gate) // the worker unsticks; its late result must be discarded
+	res, err := e.Submit(context.Background(), Request{Cloud: cloud})
+	if err != nil {
+		t.Fatalf("post-unstick frame: %v", err)
+	}
+	if res.Output == nil {
+		t.Fatal("post-unstick frame: no output")
+	}
+
+	s := e.Stats()
+	if s.Stalls != 1 {
+		t.Fatalf("Stalls = %d, want 1", s.Stalls)
+	}
+	if s.Respawns != 0 {
+		t.Fatalf("Respawns = %d, want 0 (no Rebuild hook, no respawn)", s.Respawns)
+	}
+	if s.Completed != 1 {
+		t.Fatalf("Completed = %d, want 1 (late unstick must not double-count)", s.Completed)
+	}
+}
+
+// TestStallCountsTowardBreaker drives two injected stalls (faultinject
+// StallFrames) through a PanicTrip=2 engine and asserts stalls feed the same
+// circuit breaker as panics: the second replacement inherits the streak and
+// parks before its first batch, after which serving resumes.
+func TestStallCountsTowardBreaker(t *testing.T) {
+	e := newStubEngine(t, nil, Config{
+		MaxBatch:     1,
+		StallTimeout: 6 * time.Millisecond,
+		PanicTrip:    2,
+		BackoffBase:  20 * time.Millisecond,
+		BackoffMax:   100 * time.Millisecond,
+		Rebuild:      func(worker, tier int) (pipeline.Net, error) { return &stubNet{}, nil },
+		Faults: &faultinject.Plan{
+			StallFrames: []uint64{0, 1},
+			Stall:       time.Second, // far past StallTimeout: a genuine wedge
+		},
+	})
+	defer e.Close()
+	cloud := testCloud()
+
+	for i := 0; i < 2; i++ {
+		if _, err := e.Submit(context.Background(), Request{Cloud: cloud}); !errors.Is(err, ErrStalled) {
+			t.Fatalf("stalled frame %d: err = %v, want ErrStalled", i, err)
+		}
+	}
+	// Frame 2 is clean; it waits out the inherited breaker park, then serves.
+	res, err := e.Submit(context.Background(), Request{Cloud: cloud})
+	if err != nil {
+		t.Fatalf("post-park frame: %v", err)
+	}
+	if res.Output == nil {
+		t.Fatal("post-park frame: no output")
+	}
+
+	s := e.Stats()
+	if s.Stalls != 2 {
+		t.Fatalf("Stalls = %d, want 2", s.Stalls)
+	}
+	if s.Respawns != 2 {
+		t.Fatalf("Respawns = %d, want 2", s.Respawns)
+	}
+	if s.BreakerTrips < 1 {
+		t.Fatalf("BreakerTrips = %d, want >= 1 (stall streak must trip the breaker)", s.BreakerTrips)
+	}
+}
+
+// TestBreakerBackoffJitterPinned pins the seeded breaker jitter: the exact
+// park schedule for a fixed (seed, worker) must never drift across
+// refactors, every park must land in [d/2, d) of its un-jittered doubling,
+// and distinct workers must decorrelate.
+func TestBreakerBackoffJitterPinned(t *testing.T) {
+	const (
+		base = 100 * time.Millisecond
+		max  = 5 * time.Second
+		seed = uint64(1)
+	)
+	want := []time.Duration{ // worker 0, trips 0..5 — regenerate only on a deliberate schedule change
+		53824454,
+		198394749,
+		308675001,
+		679941820,
+		1338092046,
+		1786401717,
+	}
+	for trip, w := range want {
+		got := breakerBackoff(base, max, trip, seed, 0)
+		if got != w {
+			t.Fatalf("trip %d: backoff = %d, want pinned %d", trip, got, w)
+		}
+	}
+	// Bounds: every jittered park lies in [d/2, d) of the capped doubling.
+	for worker := 0; worker < 4; worker++ {
+		for trip := 0; trip < 10; trip++ {
+			d := base << min(trip, 20)
+			if d <= 0 || d > max {
+				d = max
+			}
+			got := breakerBackoff(base, max, trip, seed, worker)
+			if got < d/2 || got >= d {
+				t.Fatalf("worker %d trip %d: backoff %v outside [%v, %v)", worker, trip, got, d/2, d)
+			}
+			if again := breakerBackoff(base, max, trip, seed, worker); again != got {
+				t.Fatalf("worker %d trip %d: non-deterministic backoff %v != %v", worker, trip, again, got)
+			}
+		}
+	}
+	if breakerBackoff(base, max, 0, seed, 1) == breakerBackoff(base, max, 0, seed, 0) {
+		t.Fatal("workers 0 and 1 share a park schedule; jitter must decorrelate workers")
+	}
+}

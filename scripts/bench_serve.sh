@@ -5,8 +5,10 @@
 # Zipf tenant skew — through the real serve control plane (consistent-hash
 # ring, tenant QoS buckets, priority shed controller) on a virtual clock,
 # and writes the full report to BENCH_serve.json at the repository root:
-# latency quantiles, goodput, per-class fairness, and the shed-vs-degrade
-# crossover curve. Same seed ⇒ bit-identical counts.
+# latency quantiles, goodput, per-class fairness, the shed-vs-degrade
+# crossover curve, and the goodput-under-stall-storm survivability sweep
+# (none / retry2 / retry2+hedge recovery policies at 10% injected stalls).
+# Same seed ⇒ bit-identical counts.
 #
 # The full run calibrates per-tier service times from the real pipeline
 # first (-calibrate), so the simulated fleet serves at measured speeds; the
@@ -34,4 +36,4 @@ else
 fi
 
 echo "wrote $OUT; count lines:"
-grep '^scenario mult=' "$RAW"
+grep -E '^(scenario|survivability) mult=' "$RAW"

@@ -55,13 +55,16 @@ echo "== fuzz smoke (seed corpus only) =="
 # loudly instead of silently shrinking coverage.
 go test -run '^Fuzz' ./internal/compress/ ./internal/dataset/ ./internal/nn/ ./internal/neighbor/ ./internal/serve/ ./internal/loadgen/
 
-echo "== chaos smoke (fault injection under -race; see DESIGN.md §11) =="
+echo "== chaos smoke (fault injection under -race; see DESIGN.md §11, §15) =="
 # The resilience layer's promises — panics isolated and quarantined, invalid
 # input rejected at admission, Close never hung by a parked breaker, the
-# degradation ladder stepping both ways — exercised under the race detector.
-go test -race -run 'TestChaos|TestCircuitBreaker|TestCloseDoesNotWaitOutBreakerPark|TestLastResort|TestDegradation|TestAdmission|TestCorruptInjection|TestDelayAndStall|TestFleetChaosPanicStorm' ./internal/serve/
+# degradation ladder stepping both ways, stalled workers detected and
+# respawned, retries/hedges conserving the accounting under a stall storm —
+# exercised under the race detector.
+go test -race -run 'TestChaos|TestCircuitBreaker|TestCloseDoesNotWaitOutBreakerPark|TestLastResort|TestDegradation|TestAdmission|TestCorruptInjection|TestDelayAndStall|TestFleetChaos|TestStall|TestBreakerBackoffJitterPinned|TestRetry|TestHedge|TestRouterSurvivability' ./internal/serve/
 go test -run '^$' -fuzz '^FuzzSubmitFrame$' -fuzztime 5s ./internal/serve/
 go test -run '^$' -fuzz '^FuzzLoadgenConfig$' -fuzztime 5s ./internal/loadgen/
+go test -run '^$' -fuzz '^FuzzReadCheckpoint$' -fuzztime 5s ./internal/nn/
 
 echo "== backend parity (golden suite under each compute backend) =="
 # The three compute backends are a contract: pin the registry by name so a
@@ -98,9 +101,11 @@ OUT=.bench_serve_smoke.json RAW=.bench_serve_smoke.txt scripts/bench_serve.sh -q
 grep -q '"bench": "serve_fleet"' .bench_serve_smoke.json
 grep -q '"crossover"' .bench_serve_smoke.json
 grep -q '"fairness_jain"' .bench_serve_smoke.json
-grep '^scenario mult=' .bench_serve_smoke.txt >.bench_serve_counts1.txt
+grep -q '"survivability"' .bench_serve_smoke.json
+grep -q '"hedge_wins"' .bench_serve_smoke.json
+grep -E '^(scenario|survivability) mult=' .bench_serve_smoke.txt >.bench_serve_counts1.txt
 OUT=.bench_serve_smoke.json RAW=.bench_serve_smoke.txt scripts/bench_serve.sh -quick >/dev/null
-grep '^scenario mult=' .bench_serve_smoke.txt >.bench_serve_counts2.txt
+grep -E '^(scenario|survivability) mult=' .bench_serve_smoke.txt >.bench_serve_counts2.txt
 diff .bench_serve_counts1.txt .bench_serve_counts2.txt
 rm -f .bench_serve_smoke.json .bench_serve_smoke.txt .bench_serve_counts1.txt .bench_serve_counts2.txt
 
